@@ -1,0 +1,270 @@
+package tdmatch_test
+
+// Benchmark harness: one benchmark per paper table and figure (delegating
+// to the experiment runners at bench scale) plus micro-benchmarks for the
+// pipeline's hot paths. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute quality numbers are printed by `go run ./cmd/tdexp -exp all`;
+// the benchmarks measure the cost of regenerating each artefact.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tdmatch/tdmatch"
+	"github.com/tdmatch/tdmatch/internal/compress"
+	"github.com/tdmatch/tdmatch/internal/datasets"
+	"github.com/tdmatch/tdmatch/internal/embed"
+	"github.com/tdmatch/tdmatch/internal/experiments"
+	"github.com/tdmatch/tdmatch/internal/graph"
+	"github.com/tdmatch/tdmatch/internal/match"
+	"github.com/tdmatch/tdmatch/internal/walk"
+)
+
+// benchScale trims the Small scale so the full -bench=. suite stays in the
+// minutes range.
+var benchScale = experiments.Scale{
+	IMDbMovies: 40, CoronaCountries: 10, CoronaGenClaims: 60, CoronaUsrClaims: 25,
+	AuditLevel1: 4, AuditConcepts: 8, AuditDocuments: 60, ClaimsFactor: 0.15,
+	STSPairs: 100, GeneralSentences: 1000,
+	NumWalks: 8, WalkLength: 14, Dim: 40, Epochs: 2, Seed: 7,
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkTable1IMDb regenerates paper Table I (IMDb WT/NT quality).
+func BenchmarkTable1IMDb(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2Corona regenerates paper Table II (CoronaCheck quality).
+func BenchmarkTable2Corona(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3Audit regenerates paper Table III (taxonomy Exact/Node).
+func BenchmarkTable3Audit(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4Politifact regenerates paper Table IV.
+func BenchmarkTable4Politifact(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTable5Snopes regenerates paper Table V.
+func BenchmarkTable5Snopes(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkTable6STS regenerates paper Table VI (STS k=2,3).
+func BenchmarkTable6STS(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkTable7Times regenerates paper Table VII (train/test times).
+func BenchmarkTable7Times(b *testing.B) { benchExperiment(b, "table7") }
+
+// BenchmarkTable8Compression regenerates paper Table VIII (MSP vs SSuM).
+func BenchmarkTable8Compression(b *testing.B) { benchExperiment(b, "table8") }
+
+// BenchmarkFig6WalkLength regenerates paper Figure 6 (MAP vs walk length).
+func BenchmarkFig6WalkLength(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7NumWalks regenerates paper Figure 7 (MAP vs #walks).
+func BenchmarkFig7NumWalks(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8Scaling regenerates paper Figure 8 (time vs graph size).
+func BenchmarkFig8Scaling(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9Filtering regenerates paper Figure 9 (filter ablation).
+func BenchmarkFig9Filtering(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Combine regenerates paper Figure 10 (S-BE combination).
+func BenchmarkFig10Combine(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkNGramsAblation regenerates the §V-F1 tokens-per-term sweep.
+func BenchmarkNGramsAblation(b *testing.B) { benchExperiment(b, "ngrams") }
+
+// BenchmarkMergingAblation regenerates the §V-F2 node-merging ablation.
+func BenchmarkMergingAblation(b *testing.B) { benchExperiment(b, "merging") }
+
+// BenchmarkMetaEdgesAblation regenerates the §V-F2 metadata-edge ablation.
+func BenchmarkMetaEdgesAblation(b *testing.B) { benchExperiment(b, "metaedges") }
+
+// BenchmarkBlockingAblation measures the token-blocking extension.
+func BenchmarkBlockingAblation(b *testing.B) { benchExperiment(b, "blocking") }
+
+// BenchmarkWalkBiasAblation measures the kind-weighted walk extension.
+func BenchmarkWalkBiasAblation(b *testing.B) { benchExperiment(b, "walkbias") }
+
+// --- Micro-benchmarks for the pipeline hot paths. ---
+
+func benchIMDbScenario(b *testing.B) *datasets.Scenario {
+	b.Helper()
+	s, err := datasets.IMDb(datasets.IMDbConfig{Seed: 3, Movies: 80, WithTitle: true, GeneralSentences: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkGraphBuild measures Algorithm 1 on the IMDb scenario.
+func BenchmarkGraphBuild(b *testing.B) {
+	s := benchIMDbScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := graph.Build(s.First, s.Second, graph.BuildConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Graph.NumNodes()
+	}
+}
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	s := benchIMDbScenario(b)
+	res, err := graph.Build(s.First, s.Second, graph.BuildConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Graph
+}
+
+// BenchmarkRandomWalks measures Algorithm 4 walk generation.
+func BenchmarkRandomWalks(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		walks := walk.Generate(g, walk.Config{NumWalks: 10, Length: 20, Seed: int64(i)})
+		if len(walks) == 0 {
+			b.Fatal("no walks")
+		}
+	}
+}
+
+// BenchmarkWord2VecSkipGram measures embedding training on walk sequences.
+func BenchmarkWord2VecSkipGram(b *testing.B) {
+	g := benchGraph(b)
+	walks := walk.Generate(g, walk.Config{NumWalks: 6, Length: 15, Seed: 1})
+	seqs := walk.ToSequences(walks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := embed.Train(seqs, g.Cap(), embed.Config{
+			Dim: 48, Window: 3, Epochs: 1, Seed: int64(i), Mode: embed.SkipGram,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWord2VecCBOW measures the CBOW objective used for text tasks.
+func BenchmarkWord2VecCBOW(b *testing.B) {
+	g := benchGraph(b)
+	walks := walk.Generate(g, walk.Config{NumWalks: 6, Length: 15, Seed: 1})
+	seqs := walk.ToSequences(walks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := embed.Train(seqs, g.Cap(), embed.Config{
+			Dim: 48, Window: 10, Epochs: 1, Seed: int64(i), Mode: embed.CBOW,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMSPCompression measures Algorithm 3 on an expanded graph.
+func BenchmarkMSPCompression(b *testing.B) {
+	s := benchIMDbScenario(b)
+	pr, err := experiments.RunPipeline(s, benchScale, experiments.PipelineOpts{Expand: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := pr.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cg := compress.MSP(g, compress.Options{Ratio: 0.5, Seed: int64(i)})
+		if cg.NumNodes() == 0 {
+			b.Fatal("empty compressed graph")
+		}
+	}
+}
+
+// BenchmarkTopKMatch measures single-query cosine ranking at 10k targets.
+func BenchmarkTopKMatch(b *testing.B) {
+	const n, dim = 10000, 96
+	ids := make([]string, n)
+	vecs := make([][]float32, n)
+	rng := uint64(12345)
+	next := func() float32 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float32(rng%1000)/500 - 1
+	}
+	for i := range ids {
+		ids[i] = fmt.Sprintf("t%d", i)
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = next()
+		}
+		vecs[i] = v
+	}
+	idx, err := match.NewIndex(ids, vecs, dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := vecs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := idx.TopK(query, 20); len(got) != 20 {
+			b.Fatal("short result")
+		}
+	}
+}
+
+// BenchmarkEndToEndPipeline measures the full public-API Build call.
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	s := benchIMDbScenario(b)
+	first, err := tdmatch.NewTable("movies", s.First.Columns, rowsOf(s), s.First.IDs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	texts := make([]string, 0, s.Second.Len())
+	for _, d := range s.Second.Docs {
+		texts = append(texts, d.Text())
+	}
+	second, err := tdmatch.NewText("reviews", texts, s.Second.IDs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := tdmatch.Defaults()
+	cfg.NumWalks = 8
+	cfg.WalkLength = 14
+	cfg.Dim = 40
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		model, err := tdmatch.Build(first, second, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if model.Stats().GraphNodes == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func rowsOf(s *datasets.Scenario) [][]string {
+	rows := make([][]string, 0, s.First.Len())
+	for _, d := range s.First.Docs {
+		row := make([]string, len(d.Values))
+		for i, v := range d.Values {
+			row[i] = v.Text
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,75 @@
+// Command tdexp regenerates the paper's evaluation artefacts (Tables I-VIII
+// and Figures 6-10, plus the §V-F ablations) on the synthetic scenario
+// suite and prints them as aligned text tables.
+//
+// Usage:
+//
+//	tdexp -exp table1              # one experiment
+//	tdexp -exp table1,fig9         # several
+//	tdexp -exp all -scale small    # everything, bench scale
+//	tdexp -list                    # show available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tdmatch/tdmatch/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		scale   = flag.String("scale", "small", "dataset scale: small | standard")
+		seed    = flag.Int64("seed", 7, "random seed for datasets and training")
+		workers = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "tdexp: -exp is required (try -list)")
+		os.Exit(2)
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.Small
+	case "standard":
+		sc = experiments.Standard
+	default:
+		fmt.Fprintf(os.Stderr, "tdexp: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+	sc.Workers = *workers
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		start := time.Now()
+		tbl, err := experiments.Run(id, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadTriples(t *testing.T) {
+	path := writeFile(t, "kb.tsv",
+		"tarantino\tstyle\tcomedy\nbad line without tabs\nwillis\tstarring\tpulp fiction\n")
+	triples, err := loadTriples(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 2 {
+		t.Fatalf("triples = %d, want 2 (malformed line skipped)", len(triples))
+	}
+	if triples[0] != [3]string{"tarantino", "style", "comedy"} {
+		t.Errorf("triple = %v", triples[0])
+	}
+	if _, err := loadTriples(filepath.Join(t.TempDir(), "missing.tsv")); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestLoadSynonyms(t *testing.T) {
+	path := writeFile(t, "syn.csv",
+		"bruce willis, b willis , willis bruce\nsingleton\npdca,plan do check act\n")
+	groups, err := loadSynonyms(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (singleton skipped)", len(groups))
+	}
+	if groups[0].Canonical != "bruce willis" || len(groups[0].Variants) != 2 {
+		t.Errorf("group = %+v", groups[0])
+	}
+	if groups[0].Variants[0] != "b willis" {
+		t.Errorf("variant not trimmed: %q", groups[0].Variants[0])
+	}
+	if _, err := loadSynonyms(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("want error for missing file")
+	}
+}

@@ -1,0 +1,178 @@
+package tdmatch
+
+import "runtime"
+
+// FilterStrategy selects how data nodes are filtered at graph creation
+// (§II-B, Fig. 9).
+type FilterStrategy uint8
+
+const (
+	// FilterIntersect is the paper's technique: the corpus with fewer
+	// distinct tokens defines the vocabulary; terms exclusive to the other
+	// corpus are dropped. The default.
+	FilterIntersect FilterStrategy = iota
+	// FilterNone keeps every term of both corpora.
+	FilterNone
+	// FilterTFIDF keeps each document's top-k TF-IDF tokens.
+	FilterTFIDF
+)
+
+// CompressionStrategy selects the §III-B graph compression.
+type CompressionStrategy uint8
+
+const (
+	// CompressNone disables compression (the paper's default pipeline;
+	// compression is an optional trade-off, Table VIII).
+	CompressNone CompressionStrategy = iota
+	// CompressMSP samples shortest paths between cross-corpus metadata
+	// node pairs (Algorithm 3).
+	CompressMSP
+)
+
+// Config parametrizes the pipeline. Zero values select paper defaults via
+// Defaults(); construct from Defaults() and override selectively.
+type Config struct {
+	// Seed drives all randomness (walks, sampling, training order).
+	Seed int64
+
+	// MaxNGram is the largest multi-token term size (§II-D; default 3).
+	MaxNGram int
+	// Filter selects data-node filtering (§II-B; default intersect).
+	Filter FilterStrategy
+	// TFIDFTopK is the per-document token budget under FilterTFIDF.
+	TFIDFTopK int
+	// DisableMetadataEdges drops taxonomy parent-child edges (§V-F2
+	// ablation; default false, i.e. edges present).
+	DisableMetadataEdges bool
+
+	// Bucketing merges numeric data nodes by equal-width binning with the
+	// Freedman–Diaconis rule (§II-C).
+	Bucketing bool
+	// BucketWidth overrides the computed bucket width when > 0.
+	BucketWidth float64
+	// SynonymGroups merge known surface variants into one node (§II-C).
+	SynonymGroups []Synonyms
+
+	// Resource enables graph expansion (§III-A) when non-nil.
+	Resource Resource
+	// MaxRelationsPerNode caps KB relations fetched per node (0 = all).
+	MaxRelationsPerNode int
+
+	// Compression selects the §III-B strategy (default none).
+	Compression CompressionStrategy
+	// CompressionRatio is β of Algorithm 3 (default 0.5).
+	CompressionRatio float64
+
+	// NumWalks per node (§IV-A; paper default 100, library default 20 —
+	// the quality plateau of Fig. 7 at laptop-friendly cost).
+	NumWalks int
+	// WalkLength in nodes (§IV-A; paper and library default 30, the
+	// plateau of Fig. 6).
+	WalkLength int
+
+	// Dim is the embedding size (paper uses 300; default 96 keeps quality
+	// at laptop-friendly cost — override for larger corpora).
+	Dim int
+	// Window is the Word2Vec context window. The paper uses 3 with
+	// Skip-gram for text-to-data and 15 with CBOW for text tasks; 0 lets
+	// Build choose from the corpus kinds.
+	Window int
+	// CBOW switches from Skip-gram to CBOW. Set ChooseObjective to let
+	// Build pick per task, as in the paper.
+	CBOW bool
+	// ChooseObjective lets Build select Skip-gram/window-3 for table
+	// tasks and CBOW/window-15 for text-only tasks (§V). Default true
+	// via Defaults().
+	ChooseObjective bool
+	// Negative is the negative-sampling count (default 5).
+	Negative int
+	// Epochs over the walk corpus (default 2).
+	Epochs int
+	// Subsample is the frequent-token down-sampling threshold (word2vec's
+	// `sample`; default 1e-3). High-degree metadata hubs occur in a large
+	// share of walk tokens, and without down-sampling their vectors
+	// diffuse — low-degree nodes then act as proxies of their single
+	// neighbor and outrank genuinely related nodes. Set negative to
+	// disable.
+	Subsample float64
+	// Workers bounds parallelism (default GOMAXPROCS). Training is
+	// hogwild-parallel; set 1 for bit-reproducible output.
+	Workers int
+
+	// WalkBias enables kind-weighted walks, the typed-walk extension of
+	// the paper's future work (§VII). Nil keeps uniform random walks.
+	WalkBias *WalkBias
+
+	// ReturnParam and InOutParam enable node2vec-style second-order walks
+	// (the paper's cited alternative walk strategy, §IV-A): 1/ReturnParam
+	// weights stepping back to the previous node, 1/InOutParam weights
+	// moving away from its neighborhood. Both unset (0) or both 1 keeps
+	// the paper's default uniform walk.
+	ReturnParam float64
+	InOutParam  float64
+}
+
+// WalkBias weights the random-walk step probability by the kind of the
+// candidate next node. Weight 1 is neutral, 0 removes the kind from walk
+// steps entirely (nodes still start their own walks). Zero-valued fields
+// mean "unspecified" and default to 1.
+type WalkBias struct {
+	// Attribute weights table-column nodes; lowering it keeps walks from
+	// ricocheting through high-degree attribute hubs.
+	Attribute float64
+	// Metadata weights tuple/snippet/concept nodes.
+	Metadata float64
+	// External weights nodes added by graph expansion.
+	External float64
+}
+
+// Defaults returns the paper-faithful configuration at library scale.
+func Defaults() Config {
+	return Config{
+		MaxNGram:         3,
+		Filter:           FilterIntersect,
+		CompressionRatio: 0.5,
+		NumWalks:         20,
+		WalkLength:       30,
+		Dim:              96,
+		Negative:         5,
+		Epochs:           2,
+		Subsample:        1e-2,
+		ChooseObjective:  true,
+		Workers:          runtime.GOMAXPROCS(0),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.MaxNGram <= 0 {
+		c.MaxNGram = d.MaxNGram
+	}
+	if c.CompressionRatio <= 0 {
+		c.CompressionRatio = d.CompressionRatio
+	}
+	if c.NumWalks <= 0 {
+		c.NumWalks = d.NumWalks
+	}
+	if c.WalkLength <= 0 {
+		c.WalkLength = d.WalkLength
+	}
+	if c.Dim <= 0 {
+		c.Dim = d.Dim
+	}
+	if c.Negative <= 0 {
+		c.Negative = d.Negative
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = d.Epochs
+	}
+	if c.Subsample == 0 {
+		c.Subsample = d.Subsample
+	} else if c.Subsample < 0 {
+		c.Subsample = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	return c
+}

@@ -1,0 +1,93 @@
+package tdmatch_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tdmatch/tdmatch"
+)
+
+// Example demonstrates the minimal pipeline: build a model over a table
+// and a text corpus, then rank tuples for a review. Workers=1 makes the
+// run bit-reproducible, so the output is stable.
+func Example() {
+	movies, err := tdmatch.NewTable("movies",
+		[]string{"title", "director", "star", "genre"},
+		[][]string{
+			{"The Sixth Sense", "Shyamalan", "Bruce Willis", "Thriller"},
+			{"Pulp Fiction", "Tarantino", "Bruce Willis", "Drama"},
+			{"The Godfather", "Coppola", "Marlon Brando", "Crime"},
+		}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reviews, err := tdmatch.NewText("reviews", []string{
+		"Willis senses dead people in this sixth sense thriller by Shyamalan",
+		"Brando rules the crime family",
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := tdmatch.Defaults()
+	cfg.Seed = 42
+	cfg.Workers = 1
+	cfg.NumWalks = 30
+	cfg.Dim = 32
+
+	model, err := tdmatch.Build(movies, reviews, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := model.TopK("reviews:p0", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	title, _ := movies.DocText(top[0].ID)
+	fmt.Println(title)
+	// Output: The Sixth Sense Shyamalan Bruce Willis Thriller
+}
+
+// ExampleModel_MatchAll ranks every review against the movie table in one
+// call, the bulk-matching entry point.
+func ExampleModel_MatchAll() {
+	movies, _ := tdmatch.NewTable("movies",
+		[]string{"title", "star"},
+		[][]string{
+			{"Alien", "Sigourney Weaver"},
+			{"Die Hard", "Bruce Willis"},
+		}, nil)
+	reviews, _ := tdmatch.NewText("reviews", []string{
+		"Weaver fights the alien in deep space",
+		"Willis defends the tower",
+	}, nil)
+
+	cfg := tdmatch.Defaults()
+	cfg.Seed = 7
+	cfg.Workers = 1
+	cfg.NumWalks = 30
+	cfg.Dim = 32
+
+	model, err := tdmatch.Build(movies, reviews, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	all := model.MatchAll(true, 1)
+	fmt.Println(all["reviews:p0"][0].ID)
+	fmt.Println(all["reviews:p1"][0].ID)
+	// Output:
+	// movies:t0
+	// movies:t1
+}
+
+// ExampleNewMemoryResource shows the expansion resource: triples are
+// symmetric, so either endpoint resolves to the other.
+func ExampleNewMemoryResource() {
+	kb := tdmatch.NewMemoryResource([][3]string{
+		{"tarantino", "style", "comedy"},
+	})
+	for _, rel := range kb.Related("comedy") {
+		fmt.Printf("%s(%s)\n", rel.Predicate, rel.Object)
+	}
+	// Output: style(tarantino)
+}

@@ -1,0 +1,57 @@
+// Quickstart: match free-text reviews against a small movie table with the
+// default pipeline — the minimal end-to-end use of the tdmatch API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tdmatch/tdmatch"
+)
+
+func main() {
+	movies, err := tdmatch.NewTable("movies",
+		[]string{"title", "director", "star", "genre"},
+		[][]string{
+			{"The Sixth Sense", "Shyamalan", "Bruce Willis", "Thriller"},
+			{"Pulp Fiction", "Tarantino", "Bruce Willis", "Drama"},
+			{"The Godfather", "Coppola", "Marlon Brando", "Crime"},
+		}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reviews, err := tdmatch.NewText("reviews", []string{
+		"Willis sees dead people in this tense Shyamalan thriller",
+		"a hilarious Tarantino movie starring Willis and Jackson",
+		"Brando rules the crime family in this timeless masterpiece",
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := tdmatch.Defaults()
+	cfg.Seed = 1
+
+	model, err := tdmatch.Build(movies, reviews, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := model.Stats()
+	fmt.Printf("graph: %d nodes, %d edges, trained in %s\n\n",
+		st.GraphNodes, st.GraphEdges, st.TrainTime.Round(1000000))
+
+	for _, reviewID := range reviews.IDs() {
+		matches, err := model.TopK(reviewID, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text, _ := reviews.DocText(reviewID)
+		fmt.Printf("review %q\n", text)
+		for rank, m := range matches {
+			title, _ := movies.DocText(m.ID)
+			fmt.Printf("  %d. %-50s score %.3f\n", rank+1, title, m.Score)
+		}
+		fmt.Println()
+	}
+}

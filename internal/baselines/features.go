@@ -1,0 +1,221 @@
+package baselines
+
+import (
+	"github.com/tdmatch/tdmatch/internal/datasets"
+	"github.com/tdmatch/tdmatch/internal/pretrained"
+	"github.com/tdmatch/tdmatch/internal/textproc"
+)
+
+// FeatureSet selects which pair features a supervised stand-in uses; the
+// subsets loosely mirror what the original systems can see:
+//   - FeaturesLexical (DITTO*): serialized-token overlap and TF-IDF cosine.
+//   - FeaturesTabular (TAPAS*): per-column overlap against the table schema.
+//   - FeaturesEmbedding (DEEP-M*): pre-trained embedding cosine + basic
+//     overlap.
+//   - FeaturesFull (RANK*): everything, the learning-to-rank feature view.
+type FeatureSet uint8
+
+const (
+	// FeaturesLexical mirrors serialization-based matchers.
+	FeaturesLexical FeatureSet = iota
+	// FeaturesTabular mirrors table-aware matchers.
+	FeaturesTabular
+	// FeaturesEmbedding mirrors embedding-similarity matchers.
+	FeaturesEmbedding
+	// FeaturesFull is the union, for the learning-to-rank baseline.
+	FeaturesFull
+)
+
+// Featurizer computes pair feature vectors between scenario queries and
+// targets. All features are in [0, 1]; the first slot is a bias term.
+type Featurizer struct {
+	s       *datasets.Scenario
+	pm      *pretrained.Model
+	set     FeatureSet
+	pre     textproc.Preprocessor
+	tfidf   *TFIDF
+	qTokens map[string]map[string]bool
+	tTokens map[string]map[string]bool
+	tCols   map[string][]map[string]bool
+	tPos    map[string]int
+	sbe     *SBE
+}
+
+// NewFeaturizer indexes the scenario for feature extraction.
+func NewFeaturizer(s *datasets.Scenario, pm *pretrained.Model, set FeatureSet) (*Featurizer, error) {
+	f := &Featurizer{
+		s:   s,
+		pm:  pm,
+		set: set,
+		pre: textproc.Preprocessor{RemoveStopwords: true, Stem: true, MaxNGram: 1},
+	}
+	all := docTexts(s, s.Targets, true, false)
+	f.tfidf = NewTFIDF(all)
+	f.tTokens = map[string]map[string]bool{}
+	f.tCols = map[string][]map[string]bool{}
+	f.tPos = map[string]int{}
+	for i, id := range s.Targets {
+		f.tPos[id] = i
+	}
+	for _, id := range s.Targets {
+		d, _ := s.First.Doc(id)
+		f.tTokens[id] = f.tokenSet(d.Text())
+		var cols []map[string]bool
+		for _, v := range d.Values {
+			cols = append(cols, f.tokenSet(v.Text))
+		}
+		f.tCols[id] = cols
+	}
+	f.qTokens = map[string]map[string]bool{}
+	for _, id := range s.Queries {
+		d, _ := s.Second.Doc(id)
+		f.qTokens[id] = f.tokenSet(d.Text())
+	}
+	if set == FeaturesEmbedding || set == FeaturesFull {
+		sbe, err := NewSBE(s, pm)
+		if err != nil {
+			return nil, err
+		}
+		f.sbe = sbe
+	}
+	return f, nil
+}
+
+func (f *Featurizer) tokenSet(text string) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range f.pre.Tokens(text) {
+		out[t] = true
+	}
+	return out
+}
+
+// Dim returns the feature-vector length for the configured set.
+func (f *Featurizer) Dim() int {
+	switch f.set {
+	case FeaturesLexical:
+		return 5
+	case FeaturesTabular:
+		return 6
+	case FeaturesEmbedding:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Features computes the pair feature vector (index 0 is the bias).
+func (f *Featurizer) Features(queryID, targetID string) []float64 {
+	q := f.qTokens[queryID]
+	t := f.tTokens[targetID]
+
+	shared := 0
+	for tok := range q {
+		if t[tok] {
+			shared++
+		}
+	}
+	union := len(q) + len(t) - shared
+	jaccard := 0.0
+	if union > 0 {
+		jaccard = float64(shared) / float64(union)
+	}
+	qCover := 0.0
+	if len(q) > 0 {
+		qCover = float64(shared) / float64(len(q))
+	}
+	qd, _ := f.s.Second.Doc(queryID)
+	tfidfCos := CosineSparse(f.tfidf.Embed(qd.Text()), f.tfidf.Vector(targetID))
+
+	numShared, numTotal := 0, 0
+	for tok := range q {
+		if textproc.IsNumeric(tok) {
+			numTotal++
+			if t[tok] {
+				numShared++
+			}
+		}
+	}
+	numFrac := 0.0
+	if numTotal > 0 {
+		numFrac = float64(numShared) / float64(numTotal)
+	}
+
+	switch f.set {
+	case FeaturesLexical:
+		return []float64{1, jaccard, qCover, tfidfCos, numFrac}
+	case FeaturesTabular:
+		best, hitCols := 0.0, 0.0
+		cols := f.tCols[targetID]
+		for _, col := range cols {
+			overlap := 0
+			for tok := range col {
+				if q[tok] {
+					overlap++
+				}
+			}
+			if len(col) > 0 {
+				frac := float64(overlap) / float64(len(col))
+				if frac > best {
+					best = frac
+				}
+				if overlap > 0 {
+					hitCols++
+				}
+			}
+		}
+		if len(cols) > 0 {
+			hitCols /= float64(len(cols))
+		}
+		return []float64{1, jaccard, best, hitCols, numFrac, tfidfCos}
+	case FeaturesEmbedding:
+		cos := f.embeddingCos(queryID, targetID)
+		return []float64{1, cos, jaccard, qCover}
+	default:
+		cos := f.embeddingCos(queryID, targetID)
+		bigram := f.bigramOverlap(queryID, targetID)
+		return []float64{1, jaccard, qCover, tfidfCos, numFrac, cos, bigram, boolTo(shared > 0)}
+	}
+}
+
+func (f *Featurizer) embeddingCos(queryID, targetID string) float64 {
+	if f.sbe == nil {
+		return 0
+	}
+	i, ok := f.tPos[targetID]
+	if !ok {
+		return 0
+	}
+	return f.sbe.Index().Score(f.sbe.QueryVector(queryID), i)
+}
+
+func (f *Featurizer) bigramOverlap(queryID, targetID string) float64 {
+	qd, _ := f.s.Second.Doc(queryID)
+	td, _ := f.s.First.Doc(targetID)
+	qb := bigrams(f.pre.Tokens(qd.Text()))
+	tb := bigrams(f.pre.Tokens(td.Text()))
+	if len(qb) == 0 {
+		return 0
+	}
+	shared := 0
+	for b := range qb {
+		if tb[b] {
+			shared++
+		}
+	}
+	return float64(shared) / float64(len(qb))
+}
+
+func bigrams(tokens []string) map[string]bool {
+	out := map[string]bool{}
+	for i := 0; i+1 < len(tokens); i++ {
+		out[tokens[i]+" "+tokens[i+1]] = true
+	}
+	return out
+}
+
+func boolTo(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

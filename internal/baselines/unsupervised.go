@@ -1,0 +1,228 @@
+package baselines
+
+import (
+	"github.com/tdmatch/tdmatch/internal/datasets"
+	"github.com/tdmatch/tdmatch/internal/embed"
+	"github.com/tdmatch/tdmatch/internal/match"
+	"github.com/tdmatch/tdmatch/internal/pretrained"
+	"github.com/tdmatch/tdmatch/internal/textproc"
+)
+
+// Ranker is the interface all baselines implement: rank the scenario's
+// targets for one query document.
+type Ranker interface {
+	// Name returns the method label used in result tables.
+	Name() string
+	// Rank returns the top-k targets for the query document ID.
+	Rank(queryID string, k int) []match.Scored
+}
+
+// RankAll runs a ranker over all queries.
+func RankAll(r Ranker, queries []string, k int) map[string][]string {
+	out := make(map[string][]string, len(queries))
+	for _, q := range queries {
+		out[q] = match.IDsOf(r.Rank(q, k))
+	}
+	return out
+}
+
+// docTexts extracts id → text for a corpus side, serializing tuples with
+// the [COL]/[VAL] convention when serialize is set (§V-A).
+func docTexts(s *datasets.Scenario, ids []string, first bool, serialize bool) map[string]string {
+	c := s.Second
+	if first {
+		c = s.First
+	}
+	out := make(map[string]string, len(ids))
+	for _, id := range ids {
+		d, ok := c.Doc(id)
+		if !ok {
+			continue
+		}
+		if serialize {
+			out[id] = d.Serialize()
+		} else {
+			out[id] = d.Text()
+		}
+	}
+	return out
+}
+
+// SBE is the SentenceBERT substitute: rank targets by cosine similarity of
+// pre-trained mean-token sentence embeddings. No training on the corpora.
+type SBE struct {
+	model   *pretrained.Model
+	s       *datasets.Scenario
+	index   *match.Index
+	queries map[string][]float32
+}
+
+// NewSBE embeds all targets once with the pre-trained model.
+func NewSBE(s *datasets.Scenario, pm *pretrained.Model) (*SBE, error) {
+	vecs := make([][]float32, len(s.Targets))
+	for i, id := range s.Targets {
+		d, _ := s.First.Doc(id)
+		vecs[i] = pm.SentenceVector(d.Text())
+	}
+	idx, err := match.NewIndex(s.Targets, vecs, pm.Dim())
+	if err != nil {
+		return nil, err
+	}
+	return &SBE{model: pm, s: s, index: idx, queries: map[string][]float32{}}, nil
+}
+
+// Name implements Ranker.
+func (b *SBE) Name() string { return "S-BE" }
+
+// QueryVector embeds (and caches) a query document.
+func (b *SBE) QueryVector(queryID string) []float32 {
+	if v, ok := b.queries[queryID]; ok {
+		return v
+	}
+	d, _ := b.s.Second.Doc(queryID)
+	v := b.model.SentenceVector(d.Text())
+	if v == nil {
+		v = make([]float32, b.model.Dim())
+	}
+	b.queries[queryID] = v
+	return v
+}
+
+// Index exposes the target index (used by the Fig. 10 combination).
+func (b *SBE) Index() *match.Index { return b.index }
+
+// Rank implements Ranker.
+func (b *SBE) Rank(queryID string, k int) []match.Scored {
+	return b.index.TopK(b.QueryVector(queryID), k)
+}
+
+// W2Vec is the unsupervised training-based baseline: Word2Vec trained on
+// the serialized documents of both corpora, documents matched by the mean
+// of their token vectors.
+type W2Vec struct {
+	s     *datasets.Scenario
+	tm    *embed.TextModel
+	index *match.Index
+	pre   textproc.Preprocessor
+}
+
+// NewW2Vec trains on both corpora (tuples serialized to [COL]/[VAL]
+// sentences) with Skip-Gram, vectors of size per cfg (the paper uses 300;
+// scaled configs use less).
+func NewW2Vec(s *datasets.Scenario, cfg embed.Config) (*W2Vec, error) {
+	pre := textproc.DefaultPreprocessor()
+	var sents [][]string
+	for _, first := range []bool{true, false} {
+		ids := s.Targets
+		if !first {
+			ids = s.Queries
+		}
+		for _, text := range docTexts(s, ids, first, true) {
+			sents = append(sents, pre.Tokens(text))
+		}
+	}
+	cfg.Mode = embed.SkipGram
+	tm, err := embed.TrainText(sents, 1, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &W2Vec{s: s, tm: tm, pre: pre}
+	vecs := make([][]float32, len(s.Targets))
+	for i, id := range s.Targets {
+		d, _ := s.First.Doc(id)
+		vecs[i] = tm.SentenceVector(pre.Tokens(d.Serialize()))
+	}
+	b.index, err = match.NewIndex(s.Targets, vecs, tm.Model.Dim)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Name implements Ranker.
+func (b *W2Vec) Name() string { return "W2VEC" }
+
+// Rank implements Ranker.
+func (b *W2Vec) Rank(queryID string, k int) []match.Scored {
+	d, _ := b.s.Second.Doc(queryID)
+	return b.index.TopK(b.tm.SentenceVector(b.pre.Tokens(d.Text())), k)
+}
+
+// D2Vec is the document-embedding baseline: PV-DBOW vectors for every
+// document of both corpora, matched by cosine.
+type D2Vec struct {
+	s       *datasets.Scenario
+	index   *match.Index
+	queries map[string][]float32
+}
+
+// NewD2Vec trains DBOW document vectors jointly over targets and queries.
+func NewD2Vec(s *datasets.Scenario, cfg embed.Config) (*D2Vec, error) {
+	pre := textproc.DefaultPreprocessor()
+	ids := append(append([]string{}, s.Targets...), s.Queries...)
+	texts := docTexts(s, s.Targets, true, true)
+	for id, t := range docTexts(s, s.Queries, false, false) {
+		texts[id] = t
+	}
+	sents := make([][]string, len(ids))
+	for i, id := range ids {
+		sents[i] = pre.Tokens(texts[id])
+	}
+	vocab := embed.BuildVocab(sents, 1)
+	vecs, err := embed.TrainDBOW(vocab.Encode(sents), maxInt(vocab.Size(), 1), cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &D2Vec{s: s, queries: map[string][]float32{}}
+	targetVecs := vecs[:len(s.Targets)]
+	for i, id := range s.Queries {
+		b.queries[id] = vecs[len(s.Targets)+i]
+	}
+	b.index, err = match.NewIndex(s.Targets, targetVecs, cfg.Dim)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Name implements Ranker.
+func (b *D2Vec) Name() string { return "D2VEC" }
+
+// Rank implements Ranker.
+func (b *D2Vec) Rank(queryID string, k int) []match.Scored {
+	v := b.queries[queryID]
+	if v == nil {
+		return nil
+	}
+	return b.index.TopK(v, k)
+}
+
+// BM25Ranker adapts the Okapi index to the Ranker interface.
+type BM25Ranker struct {
+	s   *datasets.Scenario
+	idx *BM25
+}
+
+// NewBM25Ranker indexes the scenario targets.
+func NewBM25Ranker(s *datasets.Scenario) *BM25Ranker {
+	return &BM25Ranker{s: s, idx: NewBM25(docTexts(s, s.Targets, true, false))}
+}
+
+// Name implements Ranker.
+func (b *BM25Ranker) Name() string { return "BM25" }
+
+// Rank implements Ranker.
+func (b *BM25Ranker) Rank(queryID string, k int) []match.Scored {
+	d, _ := b.s.Second.Doc(queryID)
+	text := d.Text()
+	return match.TopKFunc(b.s.Targets, func(i int) float64 {
+		return b.idx.Score(text, b.s.Targets[i])
+	}, k)
+}

@@ -1,0 +1,219 @@
+package datasets
+
+// Vocabulary inventories for the synthetic worlds. Each scenario draws
+// deterministic entities from these lists; the general corpus (the
+// pre-training substitute) covers the generic words but not the
+// domain-specific combinations, reproducing the coverage gap between
+// pre-trained models and domain corpora that the paper measures.
+
+var firstNames = []string{
+	"bruce", "quentin", "samuel", "uma", "john", "harvey", "tim", "ving",
+	"brad", "edward", "helena", "meat", "jared", "norton", "marlon", "al",
+	"james", "diane", "robert", "talia", "christian", "heath", "aaron",
+	"michael", "gary", "morgan", "tom", "bob", "elijah", "ian", "viggo",
+	"sean", "liv", "orlando", "cate", "keanu", "laurence", "carrie",
+	"hugo", "joe", "leonardo", "ellen", "joseph", "marion", "ken", "jack",
+	"kate", "billy", "kathy", "frances", "russell", "ed", "jennifer",
+	"paul", "anthony", "jodie", "scott", "ted", "anne", "david", "sigourney",
+	"jeff", "sam", "julianne", "steve", "peter", "natalie", "hugh", "sally",
+	"daniel", "rachel", "emma", "rupert", "alan", "maggie", "ralph", "gina",
+	"denzel", "ethan", "clive", "julia", "vincent", "angela", "forest",
+	"sofia", "ryan", "emily", "mark", "amy", "bradley", "alicia", "oscar",
+	"lupita", "adam", "scarlett", "chris", "zoe", "karen", "benedict",
+}
+
+var lastNames = []string{
+	"willis", "tarantino", "jackson", "thurman", "travolta", "keitel",
+	"roth", "rhames", "pitt", "norton", "bonham", "loaf", "leto", "shyamalan",
+	"brando", "pacino", "caan", "keaton", "duvall", "shire", "bale",
+	"ledger", "eckhart", "caine", "oldman", "freeman", "hanks", "gunton",
+	"wood", "mckellen", "mortensen", "astin", "tyler", "bloom", "blanchett",
+	"reeves", "fishburne", "moss", "weaving", "pantoliano", "dicaprio",
+	"page", "gordon", "cotillard", "watanabe", "nicholson", "winslet",
+	"crudup", "bates", "mcdormand", "crowe", "harris", "connelly", "bettany",
+	"hopkins", "foster", "glenn", "levine", "heche", "fincher", "weaver",
+	"bridges", "rockwell", "moore", "buscemi", "sarsgaard", "portman",
+	"jackman", "field", "craig", "weisz", "watson", "grint", "rickman",
+	"smith", "fiennes", "torres", "washington", "hawke", "owen", "roberts",
+	"cassel", "bassett", "whitaker", "coppola", "gosling", "blunt",
+	"ruffalo", "adams", "cooper", "vikander", "isaac", "nyongo", "driver",
+	"johansson", "pratt", "saldana", "gillan", "cumberbatch",
+}
+
+var titleWords = []string{
+	"sixth", "sense", "pulp", "fiction", "godfather", "dark", "knight",
+	"shawshank", "redemption", "fight", "club", "matrix", "inception",
+	"return", "king", "fellowship", "ring", "towers", "silence", "lambs",
+	"beautiful", "mind", "gladiator", "departed", "prestige", "memento",
+	"alien", "blade", "runner", "seven", "usual", "suspects", "goodfellas",
+	"casino", "heat", "taxi", "driver", "raging", "bull", "rocky",
+	"terminator", "predator", "jaws", "vertigo", "psycho", "birds",
+	"casablanca", "chinatown", "network", "amadeus", "platoon", "unforgiven",
+	"braveheart", "titanic", "avatar", "interstellar", "arrival", "whiplash",
+	"birdman", "boyhood", "moonlight", "parasite", "joker", "dunkirk",
+	"tenet", "oppenheimer", "barbie", "frozen", "coco", "ratatouille",
+	"wall", "street", "social", "wolf", "revenant", "martian", "gravity",
+}
+
+var genres = []string{
+	"drama", "comedy", "thriller", "action", "horror", "romance",
+	"western", "musical", "documentary", "animation", "crime", "mystery",
+}
+
+// genreSynonyms are review-side ways to refer to a genre without naming it,
+// the "Pulp Fiction is reported as Drama but comedy is mentioned" problem.
+var genreSynonyms = map[string][]string{
+	"drama":       {"dramatic", "moving", "tragedy"},
+	"comedy":      {"funny", "hilarious", "comedic"},
+	"thriller":    {"tense", "suspenseful", "gripping"},
+	"action":      {"explosive", "fast", "adrenaline"},
+	"horror":      {"scary", "terrifying", "frightening"},
+	"romance":     {"romantic", "love", "tender"},
+	"western":     {"frontier", "cowboy", "desert"},
+	"musical":     {"songs", "singing", "melodic"},
+	"documentary": {"factual", "real", "archive"},
+	"animation":   {"animated", "cartoon", "drawn"},
+	"crime":       {"heist", "gangster", "underworld"},
+	"mystery":     {"puzzle", "enigmatic", "whodunit"},
+}
+
+var ratings = []string{"g", "pg", "pg13", "r", "nc17"}
+
+var languages = []string{"english", "french", "italian", "spanish", "german", "japanese", "korean", "mandarin"}
+
+var countries = []string{
+	"usa", "france", "italy", "spain", "germany", "japan", "korea", "china",
+	"india", "brazil", "mexico", "canada", "australia", "russia", "turkey",
+	"iran", "egypt", "nigeria", "kenya", "sweden", "norway", "poland",
+	"austria", "belgium", "portugal", "greece", "ireland", "denmark",
+	"finland", "hungary", "romania", "chile", "peru", "colombia", "argentina",
+	"thailand", "vietnam", "indonesia", "malaysia", "philippines",
+}
+
+var months = []string{
+	"january", "february", "march", "april", "may", "june",
+	"july", "august", "september", "october", "november", "december",
+}
+
+// reviewFiller are generic words that appear in reviews and in the general
+// corpus; they carry no matching signal.
+var reviewFiller = []string{
+	"masterpiece", "performance", "scene", "plot", "character", "screen",
+	"cinema", "story", "watch", "acting", "script", "dialogue", "ending",
+	"beginning", "camera", "music", "score", "visual", "effect", "scenes",
+	"audience", "memorable", "boring", "brilliant", "stunning", "weak",
+	"pacing", "tone", "atmosphere", "classic", "modern", "style",
+}
+
+// claimVerbs / claimObjects feed the fact-checking scenarios.
+var claimSubjects = []string{
+	"senator", "president", "governor", "mayor", "minister", "candidate",
+	"spokesman", "official", "agency", "committee", "company", "union",
+	"hospital", "university", "school", "police", "army", "court",
+}
+
+var claimVerbs = []string{
+	"claimed", "said", "announced", "denied", "reported", "stated",
+	"confirmed", "promised", "suggested", "revealed", "admitted", "argued",
+}
+
+var claimTopics = []string{
+	"taxes", "immigration", "healthcare", "education", "unemployment",
+	"inflation", "crime", "energy", "climate", "election", "budget",
+	"pension", "housing", "transport", "security", "trade", "wages",
+	"tariffs", "debt", "borders", "vaccines", "schools",
+}
+
+var claimObjects = []string{
+	"increased", "decreased", "doubled", "halved", "stabilized",
+	"collapsed", "improved", "worsened", "recovered", "stalled",
+}
+
+// claimParaphrase maps fact words to tweet-side paraphrases.
+var claimParaphrase = map[string][]string{
+	"increased":  {"grew", "rose", "went up"},
+	"decreased":  {"fell", "dropped", "went down"},
+	"doubled":    {"twice", "two times"},
+	"halved":     {"half", "cut in two"},
+	"stabilized": {"flat", "steady"},
+	"collapsed":  {"crashed", "plummeted"},
+	"improved":   {"better", "gains"},
+	"worsened":   {"worse", "deteriorated"},
+	"recovered":  {"rebound", "bounced back"},
+	"stalled":    {"stuck", "frozen"},
+	"claimed":    {"says", "asserts"},
+	"announced":  {"unveiled", "declared"},
+	"denied":     {"rejected", "disputed"},
+}
+
+// auditconcepts feed the taxonomy scenario; they are domain-specific and
+// deliberately excluded from the general corpus.
+var auditConcepts = []string{
+	"compliance", "assurance", "materiality", "sampling", "vouching",
+	"substantive", "walkthrough", "attestation", "engagement", "fieldwork",
+	"workpaper", "misstatement", "disclosure", "provision", "impairment",
+	"reconciliation", "segregation", "authorization", "custody", "ledger",
+	"journal", "accrual", "deferral", "valuation", "completeness",
+	"occurrence", "cutoff", "classification", "existence", "rights",
+	"obligations", "governance", "oversight", "remediation", "deficiency",
+	"scoping", "benchmark", "rollforward", "confirmation", "observation",
+	"inquiry", "reperformance", "recalculation", "procedures", "evidence",
+	"documentation", "independence", "skepticism", "judgment", "estimate",
+}
+
+var auditModifiers = []string{
+	"internal", "external", "financial", "operational", "statutory",
+	"interim", "annual", "preliminary", "final", "consolidated",
+	"risk", "control", "fraud", "inventory", "revenue", "payroll",
+	"treasury", "procurement", "entity", "group",
+}
+
+// auditAcronyms map acronyms to their expansions — the PDCA problem of the
+// paper's Example 2.
+var auditAcronyms = map[string]string{
+	"pdca": "plan do check act",
+	"icfr": "internal control financial reporting",
+	"sox":  "sarbanes oxley",
+	"coso": "committee sponsoring organizations",
+	"gaap": "generally accepted accounting principles",
+	"ifrs": "international financial reporting standards",
+	"aml":  "anti money laundering",
+	"kyc":  "know your customer",
+	"sod":  "segregation of duties",
+	"itgc": "information technology general controls",
+}
+
+// generalWords pad the general corpus so it behaves like one trained on
+// web-scale text: common nouns/verbs with stable co-occurrence patterns.
+var generalWords = []string{
+	"people", "time", "year", "way", "day", "man", "thing", "woman",
+	"life", "child", "world", "school", "state", "family", "student",
+	"group", "country", "problem", "hand", "part", "place", "case",
+	"week", "company", "system", "program", "question", "work",
+	"government", "number", "night", "point", "home", "water", "room",
+	"mother", "area", "money", "story", "fact", "month", "lot", "right",
+	"study", "book", "eye", "job", "word", "business", "issue", "side",
+	"kind", "head", "house", "service", "friend", "father", "power",
+	"hour", "game", "line", "end", "member", "law", "car", "city",
+	"community", "name", "president", "team", "minute", "idea", "kid",
+	"body", "information", "back", "parent", "face", "others", "level",
+	"office", "door", "health", "person", "art", "war", "history", "party",
+	"result", "change", "morning", "reason", "research", "girl", "guy",
+	"moment", "air", "teacher", "force", "education",
+}
+
+// stsTopics give each STS sentence a topic frame.
+var stsTopics = [][]string{
+	{"dog", "running", "park", "grass", "ball", "playing"},
+	{"man", "guitar", "playing", "stage", "music", "crowd"},
+	{"woman", "cooking", "kitchen", "food", "dinner", "recipe"},
+	{"children", "school", "classroom", "reading", "books", "teacher"},
+	{"plane", "airport", "landing", "runway", "flight", "passengers"},
+	{"train", "station", "platform", "passengers", "departure", "tracks"},
+	{"cat", "sleeping", "sofa", "window", "sunlight", "afternoon"},
+	{"chef", "restaurant", "plates", "serving", "customers", "meal"},
+	{"team", "soccer", "field", "goal", "match", "players"},
+	{"car", "road", "driving", "highway", "traffic", "speed"},
+	{"boat", "river", "sailing", "water", "fishing", "nets"},
+	{"birds", "sky", "flying", "flock", "clouds", "wind"},
+}

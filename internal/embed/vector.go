@@ -1,0 +1,146 @@
+// Package embed implements the embedding generation of the paper's §IV-A:
+// a from-scratch Word2Vec (Skip-gram and CBOW with negative sampling)
+// trained on random-walk sentences, plus the PV-DBOW document-embedding
+// variant used by the D2VEC baseline. Vectors are float32 throughout.
+package embed
+
+import "math"
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm.
+func Norm(a []float32) float32 {
+	return float32(math.Sqrt(float64(Dot(a, a))))
+}
+
+// Cosine returns the cosine similarity in [-1, 1]; zero vectors yield 0.
+func Cosine(a, b []float32) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return float64(Dot(a, b)) / (float64(na) * float64(nb))
+}
+
+// Normalize scales a to unit norm in place (no-op for zero vectors) and
+// returns it.
+func Normalize(a []float32) []float32 {
+	n := Norm(a)
+	if n == 0 {
+		return a
+	}
+	inv := 1 / n
+	for i := range a {
+		a[i] *= inv
+	}
+	return a
+}
+
+// Mean returns the element-wise mean of the given vectors, all of length
+// dim. Nil or empty input yields a zero vector.
+func Mean(vecs [][]float32, dim int) []float32 {
+	out := make([]float32, dim)
+	if len(vecs) == 0 {
+		return out
+	}
+	for _, v := range vecs {
+		for i := range out {
+			out[i] += v[i]
+		}
+	}
+	inv := 1 / float32(len(vecs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Add accumulates src into dst.
+func Add(dst, src []float32) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// sigmoid lookup table, the classic word2vec speed trick: precomputed
+// values of 1/(1+e^-x) over [-maxExp, maxExp].
+const (
+	expTableSize = 1000
+	maxExp       = 6.0
+)
+
+var expTable = func() [expTableSize]float32 {
+	var t [expTableSize]float32
+	for i := range t {
+		x := (float64(i)/expTableSize*2 - 1) * maxExp
+		e := math.Exp(x)
+		t[i] = float32(e / (e + 1))
+	}
+	return t
+}()
+
+// sigmoidFast approximates the logistic function; inputs outside
+// [-maxExp, maxExp] saturate to 0 or 1 exactly as in the reference
+// word2vec implementation (those pairs are skipped by callers).
+func sigmoidFast(x float32) float32 {
+	if x >= maxExp {
+		return 1
+	}
+	if x <= -maxExp {
+		return 0
+	}
+	idx := int((x + maxExp) / (2 * maxExp) * expTableSize)
+	if idx >= expTableSize {
+		idx = expTableSize - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return expTable[idx]
+}
+
+// splitmix64 is the seed-spreading hash used to derive independent RNG
+// streams per worker / per node so that parallel runs stay reproducible.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// xorshift is a tiny fast RNG for the training hot loop.
+type xorshift uint64
+
+func newXorshift(seed uint64) xorshift {
+	s := splitmix64(seed)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return xorshift(s)
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// intn returns a uniform value in [0, n).
+func (x *xorshift) intn(n int) int {
+	return int(x.next() % uint64(n))
+}
+
+// float returns a uniform value in [0, 1).
+func (x *xorshift) float() float32 {
+	return float32(x.next()>>40) / float32(1<<24)
+}

@@ -1,0 +1,138 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDotNormCosine(t *testing.T) {
+	a := []float32{1, 0, 0}
+	b := []float32{0, 1, 0}
+	c := []float32{2, 0, 0}
+	if Dot(a, b) != 0 {
+		t.Errorf("Dot orthogonal = %f", Dot(a, b))
+	}
+	if Norm(c) != 2 {
+		t.Errorf("Norm = %f", Norm(c))
+	}
+	if !almostEq(Cosine(a, c), 1, 1e-6) {
+		t.Errorf("Cosine parallel = %f", Cosine(a, c))
+	}
+	if !almostEq(Cosine(a, b), 0, 1e-6) {
+		t.Errorf("Cosine orthogonal = %f", Cosine(a, b))
+	}
+	neg := []float32{-1, 0, 0}
+	if !almostEq(Cosine(a, neg), -1, 1e-6) {
+		t.Errorf("Cosine antiparallel = %f", Cosine(a, neg))
+	}
+}
+
+func TestCosineZeroVector(t *testing.T) {
+	if Cosine([]float32{0, 0}, []float32{1, 1}) != 0 {
+		t.Error("zero vector cosine must be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	Normalize(v)
+	if !almostEq(float64(Norm(v)), 1, 1e-6) {
+		t.Errorf("normalized norm = %f", Norm(v))
+	}
+	z := []float32{0, 0}
+	Normalize(z) // must not panic or produce NaN
+	if z[0] != 0 || z[1] != 0 {
+		t.Error("zero vector changed by Normalize")
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([][]float32{{1, 2}, {3, 4}}, 2)
+	if m[0] != 2 || m[1] != 3 {
+		t.Errorf("Mean = %v", m)
+	}
+	empty := Mean(nil, 3)
+	if len(empty) != 3 || empty[0] != 0 {
+		t.Errorf("empty Mean = %v", empty)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	dst := []float32{1, 1}
+	Add(dst, []float32{2, 3})
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Errorf("Add = %v", dst)
+	}
+}
+
+func TestSigmoidFast(t *testing.T) {
+	if s := sigmoidFast(0); !almostEq(float64(s), 0.5, 0.01) {
+		t.Errorf("sigmoid(0) = %f", s)
+	}
+	if sigmoidFast(10) != 1 {
+		t.Error("sigmoid saturates high")
+	}
+	if sigmoidFast(-10) != 0 {
+		t.Error("sigmoid saturates low")
+	}
+	// Monotone over the table range.
+	prev := float32(-1)
+	for x := float32(-5.9); x < 5.9; x += 0.1 {
+		s := sigmoidFast(x)
+		if s < prev {
+			t.Fatalf("sigmoid not monotone at %f", x)
+		}
+		prev = s
+	}
+}
+
+func TestCosineSymmetryProperty(t *testing.T) {
+	f := func(a, b [4]int8) bool {
+		va := make([]float32, 4)
+		vb := make([]float32, 4)
+		for i := 0; i < 4; i++ {
+			va[i] = float32(a[i])
+			vb[i] = float32(b[i])
+		}
+		c1, c2 := Cosine(va, vb), Cosine(vb, va)
+		return almostEq(c1, c2, 1e-9) && c1 >= -1.0001 && c1 <= 1.0001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorshiftRange(t *testing.T) {
+	rng := newXorshift(42)
+	for i := 0; i < 1000; i++ {
+		if v := rng.intn(10); v < 0 || v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+		if f := rng.float(); f < 0 || f >= 1 {
+			t.Fatalf("float out of range: %f", f)
+		}
+	}
+}
+
+func TestXorshiftDeterminism(t *testing.T) {
+	a, b := newXorshift(7), newXorshift(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := newXorshift(8)
+	same := true
+	a2 := newXorshift(7)
+	for i := 0; i < 10; i++ {
+		if a2.next() != c.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}

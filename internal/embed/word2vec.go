@@ -1,0 +1,315 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Mode selects the Word2Vec training objective.
+type Mode uint8
+
+const (
+	// SkipGram predicts context tokens from the center token. The paper
+	// uses Skip-gram with window 3 for text-to-data matching (§V).
+	SkipGram Mode = iota
+	// CBOW predicts the center token from the averaged context. The paper
+	// uses CBOW with window 15 for text-oriented tasks (§V).
+	CBOW
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == CBOW {
+		return "cbow"
+	}
+	return "skipgram"
+}
+
+// Config parametrizes training. Zero fields fall back to defaults
+// (Dim 100, Window 5, Negative 5, Epochs 5, LR 0.025).
+type Config struct {
+	Dim      int
+	Window   int
+	Negative int
+	Epochs   int
+	// LR is the starting learning rate, decayed linearly to LR/10k over
+	// the token stream as in the reference implementation.
+	LR      float64
+	Mode    Mode
+	Seed    int64
+	Workers int
+	// Subsample, when > 0, is the threshold t of the frequent-token
+	// down-sampling probability 1 - sqrt(t/freq).
+	Subsample float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 100
+	}
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.Negative <= 0 {
+		c.Negative = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	if c.LR <= 0 {
+		c.LR = 0.025
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Model holds trained embeddings indexed by token ID.
+type Model struct {
+	Dim  int
+	Vecs [][]float32
+}
+
+// Vector returns the embedding of token id (nil when out of range).
+func (m *Model) Vector(id int32) []float32 {
+	if m == nil || id < 0 || int(id) >= len(m.Vecs) {
+		return nil
+	}
+	return m.Vecs[id]
+}
+
+// Similarity returns the cosine similarity of two token embeddings.
+func (m *Model) Similarity(a, b int32) float64 {
+	va, vb := m.Vector(a), m.Vector(b)
+	if va == nil || vb == nil {
+		return 0
+	}
+	return Cosine(va, vb)
+}
+
+const unigramTableSize = 1 << 20
+
+// unigramTable is the negative-sampling distribution: token frequency
+// raised to the 3/4 power, as in Mikolov et al.
+func unigramTable(counts []int64) []int32 {
+	table := make([]int32, unigramTableSize)
+	var total float64
+	pow := func(c int64) float64 {
+		return math.Pow(float64(c), 0.75)
+	}
+	for _, c := range counts {
+		if c > 0 {
+			total += pow(c)
+		}
+	}
+	if total == 0 {
+		for i := range table {
+			table[i] = int32(i % len(counts))
+		}
+		return table
+	}
+	i := 0
+	var cum float64
+	for tok, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		cum += pow(c) / total
+		limit := int(cum * unigramTableSize)
+		for ; i < limit && i < unigramTableSize; i++ {
+			table[i] = int32(tok)
+		}
+	}
+	for ; i < unigramTableSize; i++ {
+		table[i] = table[i-1]
+	}
+	return table
+}
+
+// Train learns token embeddings from sequences of token IDs in
+// [0, vocabSize). It returns an error for invalid input. Training is
+// hogwild-parallel across Workers goroutines (set Workers to 1 for fully
+// deterministic output).
+func Train(seqs [][]int32, vocabSize int, cfg Config) (*Model, error) {
+	if vocabSize <= 0 {
+		return nil, fmt.Errorf("embed: vocabSize must be positive, got %d", vocabSize)
+	}
+	cfg = cfg.withDefaults()
+
+	counts := make([]int64, vocabSize)
+	var totalTokens int64
+	for si, s := range seqs {
+		for _, t := range s {
+			if t < 0 || int(t) >= vocabSize {
+				return nil, fmt.Errorf("embed: token %d out of range in sequence %d", t, si)
+			}
+			counts[t]++
+			totalTokens++
+		}
+	}
+	if totalTokens == 0 {
+		return &Model{Dim: cfg.Dim, Vecs: make([][]float32, vocabSize)}, nil
+	}
+
+	// syn0: input vectors (the embeddings); syn1: output weights.
+	syn0 := make([][]float32, vocabSize)
+	syn1 := make([][]float32, vocabSize)
+	initRng := newXorshift(uint64(cfg.Seed) ^ 0xabcdef)
+	for i := range syn0 {
+		v0 := make([]float32, cfg.Dim)
+		for d := range v0 {
+			v0[d] = (initRng.float() - 0.5) / float32(cfg.Dim)
+		}
+		syn0[i] = v0
+		syn1[i] = make([]float32, cfg.Dim)
+	}
+
+	table := unigramTable(counts)
+	trainedTarget := float64(totalTokens) * float64(cfg.Epochs)
+
+	var wg sync.WaitGroup
+	workers := cfg.Workers
+	if workers > len(seqs) && len(seqs) > 0 {
+		workers = len(seqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := newXorshift(uint64(cfg.Seed)*0x9e37 + uint64(worker)*7919 + 1)
+			neu := make([]float32, cfg.Dim)
+			grad := make([]float32, cfg.Dim)
+			var processed int64
+			lr := float32(cfg.LR)
+			minLR := float32(cfg.LR / 10000)
+			updateLR := func() {
+				frac := float32(float64(processed*int64(workers)) / trainedTarget)
+				if frac > 1 {
+					frac = 1
+				}
+				lr = float32(cfg.LR) * (1 - frac)
+				if lr < minLR {
+					lr = minLR
+				}
+			}
+			for ep := 0; ep < cfg.Epochs; ep++ {
+				for si := worker; si < len(seqs); si += workers {
+					seq := seqs[si]
+					if cfg.Subsample > 0 {
+						seq = subsample(seq, counts, totalTokens, cfg.Subsample, &rng)
+					}
+					for pos, center := range seq {
+						if processed%10000 == 0 {
+							updateLR()
+						}
+						processed++
+						// Randomized effective window, as in word2vec.
+						win := 1 + rng.intn(cfg.Window)
+						lo, hi := pos-win, pos+win
+						if lo < 0 {
+							lo = 0
+						}
+						if hi >= len(seq) {
+							hi = len(seq) - 1
+						}
+						if cfg.Mode == SkipGram {
+							for c := lo; c <= hi; c++ {
+								if c == pos {
+									continue
+								}
+								trainPair(syn0[seq[c]], syn1, center, table, cfg.Negative, lr, grad, &rng)
+							}
+						} else {
+							// CBOW: average context into neu.
+							for d := range neu {
+								neu[d] = 0
+							}
+							n := 0
+							for c := lo; c <= hi; c++ {
+								if c == pos {
+									continue
+								}
+								Add(neu, syn0[seq[c]])
+								n++
+							}
+							if n == 0 {
+								continue
+							}
+							inv := 1 / float32(n)
+							for d := range neu {
+								neu[d] *= inv
+							}
+							trainPair(neu, syn1, center, table, cfg.Negative, lr, grad, &rng)
+							// grad now holds the input-side gradient;
+							// distribute to every context vector.
+							for c := lo; c <= hi; c++ {
+								if c == pos {
+									continue
+								}
+								Add(syn0[seq[c]], grad)
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return &Model{Dim: cfg.Dim, Vecs: syn0}, nil
+}
+
+// trainPair performs one positive + k negative updates for input vector in
+// against target token (and sampled negatives) through syn1. On return,
+// grad holds the accumulated input-side gradient; for Skip-gram it is
+// applied to in directly, for CBOW the caller distributes it.
+func trainPair(in []float32, syn1 [][]float32, target int32, table []int32, negative int, lr float32, grad []float32, rng *xorshift) {
+	for d := range grad {
+		grad[d] = 0
+	}
+	for k := 0; k <= negative; k++ {
+		var tok int32
+		var label float32
+		if k == 0 {
+			tok, label = target, 1
+		} else {
+			tok = table[rng.intn(len(table))]
+			if tok == target {
+				continue
+			}
+			label = 0
+		}
+		out := syn1[tok]
+		f := Dot(in, out)
+		g := (label - sigmoidFast(f)) * lr
+		for d := range grad {
+			grad[d] += g * out[d]
+		}
+		for d := range out {
+			out[d] += g * in[d]
+		}
+	}
+	Add(in, grad)
+}
+
+// subsample drops frequent tokens with probability 1 - sqrt(t/f(w)),
+// writing survivors into a fresh slice.
+func subsample(seq []int32, counts []int64, total int64, t float64, rng *xorshift) []int32 {
+	out := make([]int32, 0, len(seq))
+	for _, tok := range seq {
+		freq := float64(counts[tok]) / float64(total)
+		if freq > t {
+			keep := float32(math.Sqrt(t / freq))
+			if rng.float() > keep {
+				continue
+			}
+		}
+		out = append(out, tok)
+	}
+	return out
+}

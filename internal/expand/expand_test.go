@@ -1,0 +1,184 @@
+package expand
+
+import (
+	"testing"
+
+	"github.com/tdmatch/tdmatch/internal/graph"
+	"github.com/tdmatch/tdmatch/internal/kb"
+)
+
+// exampleGraph reproduces the paper's Figure 4 core: tuples t1/t2, review
+// p1, and shared data nodes.
+func exampleGraph(t *testing.T) (*graph.Graph, map[string]graph.NodeID) {
+	t.Helper()
+	g := graph.New(16)
+	ids := map[string]graph.NodeID{}
+	add := func(label string, kind graph.NodeKind, side graph.Side) {
+		if kind == graph.Data {
+			ids[label] = g.EnsureData(label)
+			return
+		}
+		id, err := g.AddMeta(label, kind, side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[label] = id
+	}
+	add("t1", graph.Tuple, graph.First)
+	add("t2", graph.Tuple, graph.First)
+	add("p1", graph.Snippet, graph.Second)
+	add("tarantino", graph.Data, graph.NoSide)
+	add("willis", graph.Data, graph.NoSide)
+	add("comedy", graph.Data, graph.NoSide)
+	add("shyamalan", graph.Data, graph.NoSide)
+	g.AddEdge(ids["t1"], ids["shyamalan"])
+	g.AddEdge(ids["t1"], ids["willis"])
+	g.AddEdge(ids["t2"], ids["tarantino"])
+	g.AddEdge(ids["t2"], ids["willis"])
+	g.AddEdge(ids["p1"], ids["willis"])
+	g.AddEdge(ids["p1"], ids["comedy"])
+	return g, ids
+}
+
+func TestExpandAddsKBPaths(t *testing.T) {
+	g, ids := exampleGraph(t)
+	res := kb.NewMemory()
+	// The DBpedia triple from §III-A: style(Tarantino, Comedy).
+	res.Add("tarantino", "style", "comedy")
+
+	before := g.ShortestPath(ids["p1"], ids["t2"])
+	st := Expand(g, res, Options{})
+	after := g.ShortestPath(ids["p1"], ids["t2"])
+
+	if st.EdgesAdded != 1 {
+		t.Errorf("EdgesAdded = %d, want 1", st.EdgesAdded)
+	}
+	if st.NodesAdded != 0 {
+		t.Errorf("NodesAdded = %d, want 0 (both endpoints exist)", st.NodesAdded)
+	}
+	if !g.HasEdge(ids["tarantino"], ids["comedy"]) {
+		t.Error("expansion edge tarantino-comedy missing")
+	}
+	// p1 -> comedy -> tarantino -> t2 is a new path; shortest stays 2 hops
+	// via willis but path count between them increased.
+	if len(after) > len(before) {
+		t.Errorf("shortest path grew: %d -> %d", len(before), len(after))
+	}
+	paths := g.AllShortestPaths(ids["p1"], ids["t2"], 16)
+	if len(paths) < 1 {
+		t.Error("no shortest paths after expansion")
+	}
+}
+
+func TestExpandRemovesSinks(t *testing.T) {
+	g, _ := exampleGraph(t)
+	res := kb.NewMemory()
+	// spouse(Shyamalan, Bhavna Vaswani): Vaswani connects only to Shyamalan
+	// and must be pruned (Algorithm 2 cleaning, the paper's own example).
+	res.Add("shyamalan", "spouse", "bhavna vaswani")
+	res.Add("tarantino", "style", "comedy")
+
+	st := Expand(g, res, Options{})
+	if _, ok := g.DataNode("bhavna vaswani"); ok {
+		t.Error("sink node bhavna vaswani not pruned")
+	}
+	if st.SinksRemoved == 0 {
+		t.Error("SinksRemoved = 0, want >= 1")
+	}
+}
+
+func TestExpandKeepSinks(t *testing.T) {
+	g, _ := exampleGraph(t)
+	res := kb.NewMemory()
+	res.Add("shyamalan", "spouse", "bhavna vaswani")
+	st := Expand(g, res, Options{KeepSinks: true})
+	if _, ok := g.DataNode("bhavna vaswani"); !ok {
+		t.Error("KeepSinks must retain the new node")
+	}
+	if st.SinksRemoved != 0 {
+		t.Errorf("SinksRemoved = %d with KeepSinks", st.SinksRemoved)
+	}
+}
+
+func TestExpandRelationCap(t *testing.T) {
+	g, _ := exampleGraph(t)
+	res := kb.NewMemory()
+	for i := 0; i < 20; i++ {
+		res.Add("tarantino", "rel", "obj"+string(rune('a'+i)))
+	}
+	st := Expand(g, res, Options{MaxRelationsPerNode: 5, KeepSinks: true})
+	if st.EdgesAdded != 5 {
+		t.Errorf("EdgesAdded = %d, want 5 (capped)", st.EdgesAdded)
+	}
+}
+
+func TestExpandNilResource(t *testing.T) {
+	g, _ := exampleGraph(t)
+	n, e := g.NumNodes(), g.NumEdges()
+	st := Expand(g, nil, Options{})
+	if st != (Stats{}) || g.NumNodes() != n || g.NumEdges() != e {
+		t.Error("nil resource must be a no-op")
+	}
+}
+
+func TestExpandDoesNotExpandExternalNodes(t *testing.T) {
+	g, _ := exampleGraph(t)
+	res := kb.NewMemory()
+	res.Add("tarantino", "knows", "jackson")
+	res.Add("jackson", "knows", "travolta") // must NOT be fetched
+	Expand(g, res, Options{KeepSinks: true})
+	if _, ok := g.DataNode("travolta"); ok {
+		t.Error("expansion recursed into newly added nodes")
+	}
+}
+
+func TestRemoveSinksCascades(t *testing.T) {
+	g := graph.New(8)
+	m, _ := g.AddMeta("m", graph.Snippet, graph.First)
+	a := g.EnsureData("a")
+	b := g.EnsureExternal("b")
+	c := g.EnsureExternal("c")
+	// m - a - b - c with b, c external: pruning c exposes b; a is a data
+	// node and survives in onlyExternal mode.
+	g.AddEdge(m, a)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	removed := RemoveSinks(g, true)
+	if removed != 2 {
+		t.Errorf("removed = %d, want 2 (external cascade)", removed)
+	}
+	if g.Removed(a) {
+		t.Error("data node pruned in onlyExternal mode")
+	}
+	if g.Removed(m) {
+		t.Error("metadata node must never be pruned")
+	}
+}
+
+func TestRemoveSinksAllKinds(t *testing.T) {
+	g := graph.New(8)
+	m, _ := g.AddMeta("m", graph.Snippet, graph.First)
+	a := g.EnsureData("a")
+	b := g.EnsureData("b")
+	g.AddEdge(m, a)
+	g.AddEdge(a, b)
+	// Without the external restriction the data chain is pruned entirely.
+	if removed := RemoveSinks(g, false); removed != 2 {
+		t.Errorf("removed = %d, want 2", removed)
+	}
+	if g.Removed(m) {
+		t.Error("metadata node must never be pruned")
+	}
+}
+
+func TestRemoveSinksKeepsCore(t *testing.T) {
+	g := graph.New(8)
+	m1, _ := g.AddMeta("m1", graph.Tuple, graph.First)
+	m2, _ := g.AddMeta("m2", graph.Snippet, graph.Second)
+	d := g.EnsureData("shared")
+	g.AddEdge(m1, d)
+	g.AddEdge(m2, d)
+	if got := RemoveSinks(g, false); got != 0 {
+		t.Errorf("removed = %d, want 0 (degree-2 data node)", got)
+	}
+}

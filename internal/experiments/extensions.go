@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/tdmatch/tdmatch/internal/baselines"
+	"github.com/tdmatch/tdmatch/internal/graph"
+	"github.com/tdmatch/tdmatch/internal/match"
+)
+
+// This file holds ablations for the §VII future-work extensions this
+// library implements beyond the paper: token blocking for matching and
+// kind-weighted (typed) walks.
+
+// blockedRanker wraps a GraphRanker with token blocking over the target
+// texts.
+type blockedRanker struct {
+	inner   *GraphRanker
+	blocker *match.Blocker
+	queries map[string]string
+}
+
+func newBlockedRanker(g *GraphRanker) *blockedRanker {
+	s := g.s
+	texts := make([]string, len(s.Targets))
+	for i, id := range s.Targets {
+		d, _ := s.First.Doc(id)
+		texts[i] = d.Text()
+	}
+	qt := make(map[string]string, len(s.Queries))
+	for _, q := range s.Queries {
+		d, _ := s.Second.Doc(q)
+		qt[q] = d.Text()
+	}
+	return &blockedRanker{inner: g, blocker: match.NewBlocker(texts), queries: qt}
+}
+
+// Name implements baselines.Ranker.
+func (b *blockedRanker) Name() string { return b.inner.Name() + "+blocking" }
+
+// Rank implements baselines.Ranker.
+func (b *blockedRanker) Rank(queryID string, k int) []match.Scored {
+	v := b.inner.QueryVector(queryID)
+	if v == nil {
+		return nil
+	}
+	return b.inner.Index().TopKBlocked(b.blocker, b.queries[queryID], v, k)
+}
+
+// Blocking measures the token-blocking trade-off: MRR, MAP@5 and total
+// test time for the full scan vs the blocked scan, on the two table
+// scenarios where candidate sets are largest.
+func Blocking(sc Scale) (*Table, error) {
+	t := &Table{ID: "blocking", Title: "Token-blocking ablation (library extension, paper §VII)",
+		Header: []string{"MRR", "MAP@5", "Test(s)"}}
+	for _, name := range []string{"imdb-wt", "corona-gen"} {
+		s, err := sc.Scenario(name)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := RunPipeline(s, sc, PipelineOpts{UseLexicon: true})
+		if err != nil {
+			return nil, err
+		}
+		full, err := pr.Ranker("W-RW")
+		if err != nil {
+			return nil, err
+		}
+		blocked := newBlockedRanker(full)
+		for _, r := range []baselines.Ranker{full, blocked} {
+			start := time.Now()
+			sum, _ := EvaluateRanker(s, r, []int{5})
+			elapsed := time.Since(start)
+			t.Add(name, r.Name(), sum.MRR, sum.MAPAt[5], elapsed.Seconds())
+		}
+	}
+	return t, nil
+}
+
+// WalkBias measures kind-weighted walks: down-weighting high-degree
+// attribute hubs changes what walks see. Weights 1 (uniform, the paper's
+// walk), 0.25 and 0 are compared on the table scenarios.
+func WalkBias(sc Scale) (*Table, error) {
+	t := &Table{ID: "walkbias", Title: "Kind-weighted walks ablation (library extension, paper §VII)",
+		Header: []string{"MRR", "MAP@5"}}
+	weights := []struct {
+		label string
+		w     float64
+	}{{"attr=1.0", 1}, {"attr=0.25", 0.25}, {"attr=0", 0}}
+	for _, name := range []string{"imdb-wt", "corona-gen"} {
+		s, err := sc.Scenario(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range weights {
+			pr, err := RunPipeline(s, sc, PipelineOpts{
+				UseLexicon:  true,
+				KindWeights: map[graph.NodeKind]float64{graph.Attribute: spec.w},
+			})
+			if err != nil {
+				return nil, err
+			}
+			r, err := pr.Ranker("W-RW")
+			if err != nil {
+				return nil, err
+			}
+			sum, _ := EvaluateRanker(s, r, []int{5})
+			t.Add(name, spec.label, sum.MRR, sum.MAPAt[5])
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/tdmatch/tdmatch/internal/baselines"
+	"github.com/tdmatch/tdmatch/internal/graph"
+	"github.com/tdmatch/tdmatch/internal/metrics"
+)
+
+// sweepValues are the x-axes of Figures 6 and 7.
+var sweepValues = []int{5, 10, 20, 30, 40, 50}
+
+// Fig6 reproduces Figure 6: Mean Average Precision as the walk length
+// grows, for all five scenarios.
+func Fig6(sc Scale) (*Table, error) {
+	return sweepFigure(sc, "fig6", "Match quality with increasing walk length (paper Fig. 6)",
+		func(o *PipelineOpts, v int) { o.WalkLength = v })
+}
+
+// Fig7 reproduces Figure 7: MAP as the number of walks per node grows.
+func Fig7(sc Scale) (*Table, error) {
+	return sweepFigure(sc, "fig7", "Match quality with increasing number of walks (paper Fig. 7)",
+		func(o *PipelineOpts, v int) { o.NumWalks = v })
+}
+
+func sweepFigure(sc Scale, id, title string, set func(*PipelineOpts, int)) (*Table, error) {
+	header := make([]string, len(sweepValues))
+	for i, v := range sweepValues {
+		header[i] = fmt.Sprintf("%d", v)
+	}
+	t := &Table{ID: id, Title: title, Header: header}
+	for _, name := range ScenarioNames {
+		s, err := sc.Scenario(name)
+		if err != nil {
+			return nil, err
+		}
+		values := make([]float64, 0, len(sweepValues))
+		for _, v := range sweepValues {
+			opts := PipelineOpts{UseLexicon: true}
+			set(&opts, v)
+			pr, err := RunPipeline(s, sc, opts)
+			if err != nil {
+				return nil, err
+			}
+			r, err := pr.Ranker("W-RW")
+			if err != nil {
+				return nil, err
+			}
+			sum, _ := EvaluateRanker(s, r, []int{MAPKey})
+			values = append(values, sum.MAPAt[MAPKey])
+		}
+		t.Add(name, "W-RW", values...)
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: total walk + training time as the graph grows.
+// Graphs of increasing size come from STS datasets of growing pair counts,
+// expanded with the concept KB, as in §V-F1.
+func Fig8(sc Scale) (*Table, error) {
+	t := &Table{ID: "fig8", Title: "Execution time with increasing graph size (paper Fig. 8)",
+		Header: []string{"nodes", "edges", "seconds"}}
+	base := sc.STSPairs
+	for _, mult := range []int{1, 2, 4, 8} {
+		scaled := sc
+		scaled.STSPairs = base * mult
+		s, err := scaled.Scenario("sts-k2")
+		if err != nil {
+			return nil, err
+		}
+		pr, err := RunPipeline(s, scaled, PipelineOpts{UseLexicon: true, Expand: true})
+		if err != nil {
+			return nil, err
+		}
+		t.Add("sts", fmt.Sprintf("x%d", mult),
+			float64(pr.Graph.NumNodes()), float64(pr.Graph.NumEdges()), pr.TrainTime.Seconds())
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: the impact of data-node filtering — no
+// filtering (Normal), per-document TF-IDF selection, and the paper's
+// Intersect technique — on MAP for every scenario. For TF-IDF the best of
+// the swept per-document budgets is reported, as in the paper.
+func Fig9(sc Scale) (*Table, error) {
+	t := &Table{ID: "fig9", Title: "Impact of data node filtering (paper Fig. 9)",
+		Header: []string{"Normal", "TFIDF", "Intersect"}}
+	tfidfKs := []int{5, 10, 20}
+	for _, name := range ScenarioNames {
+		s, err := sc.Scenario(name)
+		if err != nil {
+			return nil, err
+		}
+		mapFor := func(opts PipelineOpts) (float64, error) {
+			pr, err := RunPipeline(s, sc, opts)
+			if err != nil {
+				return 0, err
+			}
+			r, err := pr.Ranker("W-RW")
+			if err != nil {
+				return 0, err
+			}
+			sum, _ := EvaluateRanker(s, r, []int{MAPKey})
+			return sum.MAPAt[MAPKey], nil
+		}
+		normal, err := mapFor(PipelineOpts{UseLexicon: true, Filter: graph.FilterNone})
+		if err != nil {
+			return nil, err
+		}
+		bestTFIDF := 0.0
+		for _, k := range tfidfKs {
+			v, err := mapFor(PipelineOpts{UseLexicon: true, Filter: graph.FilterTFIDF, TFIDFTopK: k})
+			if err != nil {
+				return nil, err
+			}
+			if v > bestTFIDF {
+				bestTFIDF = v
+			}
+		}
+		intersect, err := mapFor(PipelineOpts{UseLexicon: true, Filter: graph.FilterIntersect})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(name, "W-RW", normal, bestTFIDF, intersect)
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: averaging our cosine scores with the
+// pre-trained sentence embedder improves over either alone.
+func Fig10(sc Scale) (*Table, error) {
+	t := &Table{ID: "fig10", Title: "Our method combined with SentenceBERT (paper Fig. 10)",
+		Header: []string{"W-RW", "W-RW&S-BE"}}
+	for _, name := range ScenarioNames {
+		s, err := sc.Scenario(name)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := sc.Pretrained(s)
+		if err != nil {
+			return nil, err
+		}
+		sbe, err := baselines.NewSBE(s, pm)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := RunPipeline(s, sc, PipelineOpts{UseLexicon: true})
+		if err != nil {
+			return nil, err
+		}
+		wrw, err := pr.Ranker("W-RW")
+		if err != nil {
+			return nil, err
+		}
+		combined := NewCombinedRanker(wrw, sbe)
+		sumW, _ := EvaluateRanker(s, wrw, []int{MAPKey})
+		sumC, _ := EvaluateRanker(s, combined, []int{MAPKey})
+		t.Add(name, "MAP@5", sumW.MAPAt[MAPKey], sumC.MAPAt[MAPKey])
+	}
+	return t, nil
+}
+
+// NGrams reproduces the §V-F1 token-count ablation: MAP as the maximum
+// number of tokens per term grows from 1 to 4.
+func NGrams(sc Scale) (*Table, error) {
+	ns := []int{1, 2, 3, 4}
+	header := make([]string, len(ns))
+	for i, n := range ns {
+		header[i] = fmt.Sprintf("n=%d", n)
+	}
+	t := &Table{ID: "ngrams", Title: "Match quality with increasing tokens per term (paper §V-F1)", Header: header}
+	for _, name := range ScenarioNames {
+		s, err := sc.Scenario(name)
+		if err != nil {
+			return nil, err
+		}
+		values := make([]float64, 0, len(ns))
+		for _, n := range ns {
+			pr, err := RunPipeline(s, sc, PipelineOpts{UseLexicon: true, MaxNGram: n})
+			if err != nil {
+				return nil, err
+			}
+			r, err := pr.Ranker("W-RW")
+			if err != nil {
+				return nil, err
+			}
+			sum, _ := EvaluateRanker(s, r, []int{MAPKey})
+			values = append(values, sum.MAPAt[MAPKey])
+		}
+		t.Add(name, "W-RW", values...)
+	}
+	return t, nil
+}
+
+// Merging reproduces the §V-F2 node-merging ablation: bucketing for the
+// numeric CoronaCheck data, lexicon merging for the entity-variant IMDb
+// data and the acronym-heavy Audit data.
+func Merging(sc Scale) (*Table, error) {
+	t := &Table{ID: "merging", Title: "Node merging ablation (paper §V-F2)",
+		Header: []string{"base", "merged"}}
+	cases := []struct {
+		scenario string
+		opts     PipelineOpts
+	}{
+		{"corona-gen", PipelineOpts{Bucketing: true}},
+		{"imdb-wt", PipelineOpts{UseLexicon: true}},
+		{"audit", PipelineOpts{UseLexicon: true}},
+	}
+	for _, c := range cases {
+		s, err := sc.Scenario(c.scenario)
+		if err != nil {
+			return nil, err
+		}
+		mapFor := func(opts PipelineOpts) (float64, error) {
+			pr, err := RunPipeline(s, sc, opts)
+			if err != nil {
+				return 0, err
+			}
+			r, err := pr.Ranker("W-RW")
+			if err != nil {
+				return 0, err
+			}
+			sum, _ := EvaluateRanker(s, r, []int{MAPKey})
+			return sum.MAPAt[MAPKey], nil
+		}
+		base, err := mapFor(PipelineOpts{})
+		if err != nil {
+			return nil, err
+		}
+		merged, err := mapFor(c.opts)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(c.scenario, "W-RW", base, merged)
+	}
+	return t, nil
+}
+
+// MetaEdges reproduces the §V-F2 metadata-edge ablation on the taxonomy:
+// Node F-score at the Table III cutoffs with and without edges between
+// hierarchically related concepts.
+func MetaEdges(sc Scale) (*Table, error) {
+	t := &Table{ID: "metaedges", Title: "Connecting metadata nodes ablation (paper §V-F2)",
+		Header: []string{"NodeF@1", "NodeF@3", "NodeF@5", "NodeF@10"}}
+	s, err := sc.Scenario("audit")
+	if err != nil {
+		return nil, err
+	}
+	paths := s.First.Paths()
+	truthPaths := map[string][][]string{}
+	for q, ts := range s.Truth {
+		for _, id := range ts {
+			truthPaths[q] = append(truthPaths[q], paths[id])
+		}
+	}
+	for _, disable := range []bool{false, true} {
+		pr, err := RunPipeline(s, sc, PipelineOpts{UseLexicon: true, DisableMetaEdges: disable})
+		if err != nil {
+			return nil, err
+		}
+		r, err := pr.Ranker("W-RW")
+		if err != nil {
+			return nil, err
+		}
+		ranked := baselines.RankAll(r, s.Queries, 10)
+		values := make([]float64, 0, 4)
+		for _, k := range taxonomyKs {
+			pred := map[string][][]string{}
+			for q, ids := range ranked {
+				top := ids
+				if len(top) > k {
+					top = top[:k]
+				}
+				for _, id := range top {
+					pred[q] = append(pred[q], paths[id])
+				}
+			}
+			sum := metrics.EvaluateTaxonomy(pred, truthPaths)
+			values = append(values, sum.Node.F)
+		}
+		method := "with-edges"
+		if disable {
+			method = "no-edges"
+		}
+		t.Add("audit", method, values...)
+	}
+	return t, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// Runner regenerates one paper artefact at the given scale.
+type Runner func(Scale) (*Table, error)
+
+// Registry maps experiment IDs to runners, in the DESIGN.md index.
+var Registry = map[string]Runner{
+	"table1":    Table1,
+	"table2":    Table2,
+	"table3":    Table3,
+	"table4":    Table4,
+	"table5":    Table5,
+	"table6":    Table6,
+	"table7":    Table7,
+	"table8":    Table8,
+	"fig6":      Fig6,
+	"fig7":      Fig7,
+	"fig8":      Fig8,
+	"fig9":      Fig9,
+	"fig10":     Fig10,
+	"ngrams":    NGrams,
+	"merging":   Merging,
+	"metaedges": MetaEdges,
+	"blocking":  Blocking,
+	"walkbias":  WalkBias,
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	return sortedKeys(Registry)
+}
+
+// Run executes an experiment by ID.
+func Run(id string, sc Scale) (*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(sc)
+}

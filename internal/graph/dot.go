@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for inspection: data
+// nodes as ellipses, metadata nodes as boxes colored per kind, external
+// (expansion-added) nodes dashed. Intended for the small graphs of worked
+// examples; rendering a full scenario graph is possible but unwieldy.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "tdmatch"
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n  node [fontsize=10];\n", name); err != nil {
+		return err
+	}
+	var err error
+	write := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	g.Nodes(func(id NodeID) {
+		label := strings.ReplaceAll(g.Label(id), `"`, `\"`)
+		switch g.Kind(id) {
+		case Data:
+			write("  n%d [label=\"%s\"];\n", id, label)
+		case External:
+			write("  n%d [label=\"%s\", style=dashed];\n", id, label)
+		case Attribute:
+			write("  n%d [label=\"%s\", shape=box, style=filled, fillcolor=lightgray];\n", id, label)
+		case Tuple:
+			write("  n%d [label=\"%s\", shape=box, style=filled, fillcolor=lightblue];\n", id, label)
+		case Snippet:
+			write("  n%d [label=\"%s\", shape=box, style=filled, fillcolor=lightyellow];\n", id, label)
+		case Concept:
+			write("  n%d [label=\"%s\", shape=box, style=filled, fillcolor=lightgreen];\n", id, label)
+		}
+	})
+	g.Edges(func(a, b NodeID) {
+		write("  n%d -- n%d;\n", a, b)
+	})
+	write("}\n")
+	return err
+}

@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New(8)
+	tuple, _ := g.AddMeta("movies:t0", Tuple, First)
+	snip, _ := g.AddMeta("reviews:p0", Snippet, Second)
+	attr, _ := g.AddMeta("movies/genre", Attribute, First)
+	concept, _ := g.AddMeta("tax:c1", Concept, First)
+	d := g.EnsureData(`term "quoted"`)
+	ext := g.EnsureExternal("wiki entity")
+	g.AddEdge(tuple, d)
+	g.AddEdge(snip, d)
+	g.AddEdge(attr, d)
+	g.AddEdge(d, ext)
+	g.AddEdge(concept, d)
+
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graph "demo" {`,
+		"lightblue",    // tuple
+		"lightyellow",  // snippet
+		"lightgray",    // attribute
+		"lightgreen",   // concept
+		"style=dashed", // external
+		`\"quoted\"`,   // quote escaping
+		"--",           // undirected edges
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, " -- "); got != 5 {
+		t.Errorf("edges rendered = %d, want 5", got)
+	}
+}
+
+func TestWriteDOTDefaultName(t *testing.T) {
+	g := New(2)
+	g.EnsureData("x")
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `graph "tdmatch"`) {
+		t.Error("default name not applied")
+	}
+}

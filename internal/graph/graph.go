@@ -1,0 +1,364 @@
+// Package graph implements the heterogeneous-corpora graph at the core of
+// the paper (§II): an undirected, unweighted graph whose data nodes are
+// pre-processed terms and whose metadata nodes represent tuples, table
+// attributes, text snippets and taxonomy concepts. It also provides the
+// node-merging machinery of §II-C (bucketing, lexicon and embedding-based
+// synonym merging) and the shortest-path primitives used by compression.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeKind distinguishes data nodes from the metadata node flavours.
+type NodeKind uint8
+
+const (
+	// Data nodes represent terms (1..n-gram of processed tokens).
+	Data NodeKind = iota
+	// Tuple metadata nodes represent table rows.
+	Tuple
+	// Attribute metadata nodes represent table columns; they add 2-hop
+	// paths across the active domain of an attribute.
+	Attribute
+	// Snippet metadata nodes represent free-text documents.
+	Snippet
+	// Concept metadata nodes represent structured-text (taxonomy) nodes.
+	Concept
+	// External nodes are added by graph expansion from a knowledge base.
+	External
+)
+
+// String returns a short lower-case name for the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Tuple:
+		return "tuple"
+	case Attribute:
+		return "attribute"
+	case Snippet:
+		return "snippet"
+	case Concept:
+		return "concept"
+	case External:
+		return "external"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsMetadata reports whether nodes of this kind represent documents to be
+// matched (tuples, snippets, concepts). Attribute nodes are structural
+// metadata but are never matched, and are not treated as match endpoints.
+func (k NodeKind) IsMetadata() bool {
+	return k == Tuple || k == Snippet || k == Concept
+}
+
+// Side tells which input corpus a metadata node belongs to.
+type Side uint8
+
+const (
+	// NoSide marks data, attribute and external nodes.
+	NoSide Side = iota
+	// First marks metadata of the first corpus.
+	First
+	// Second marks metadata of the second corpus.
+	Second
+)
+
+// NodeID indexes a node. IDs are dense and stable for the graph's lifetime;
+// removed nodes keep their ID but are skipped by all iteration helpers.
+type NodeID int32
+
+// Graph is an undirected, unweighted multigraph-free graph.
+// The zero value is not usable; call New.
+type Graph struct {
+	labels  []string
+	kinds   []NodeKind
+	sides   []Side
+	adj     [][]NodeID
+	removed []bool
+
+	dataIndex map[string]NodeID // canonical term -> data/external node
+	metaIndex map[string]NodeID // label -> metadata/attribute node
+
+	edges    map[uint64]struct{}
+	nRemoved int
+}
+
+// New returns an empty graph with capacity hints.
+func New(nodeHint int) *Graph {
+	return &Graph{
+		labels:    make([]string, 0, nodeHint),
+		kinds:     make([]NodeKind, 0, nodeHint),
+		sides:     make([]Side, 0, nodeHint),
+		adj:       make([][]NodeID, 0, nodeHint),
+		removed:   make([]bool, 0, nodeHint),
+		dataIndex: make(map[string]NodeID, nodeHint),
+		metaIndex: make(map[string]NodeID),
+		edges:     make(map[uint64]struct{}, nodeHint*4),
+	}
+}
+
+func (g *Graph) addNode(label string, kind NodeKind, side Side) NodeID {
+	id := NodeID(len(g.labels))
+	g.labels = append(g.labels, label)
+	g.kinds = append(g.kinds, kind)
+	g.sides = append(g.sides, side)
+	g.adj = append(g.adj, nil)
+	g.removed = append(g.removed, false)
+	return id
+}
+
+// EnsureData returns the data node for term, creating it if needed.
+func (g *Graph) EnsureData(term string) NodeID {
+	if id, ok := g.dataIndex[term]; ok {
+		return id
+	}
+	id := g.addNode(term, Data, NoSide)
+	g.dataIndex[term] = id
+	return id
+}
+
+// EnsureExternal returns the node for an entity added by expansion,
+// creating it as an External node if no data node with that label exists.
+func (g *Graph) EnsureExternal(label string) NodeID {
+	if id, ok := g.dataIndex[label]; ok {
+		return id
+	}
+	id := g.addNode(label, External, NoSide)
+	g.dataIndex[label] = id
+	return id
+}
+
+// AddMeta creates a metadata (or attribute) node with a unique label.
+// It returns an error if the label is already taken.
+func (g *Graph) AddMeta(label string, kind NodeKind, side Side) (NodeID, error) {
+	if kind == Data || kind == External {
+		return 0, fmt.Errorf("graph: AddMeta called with kind %v", kind)
+	}
+	if _, ok := g.metaIndex[label]; ok {
+		return 0, fmt.Errorf("graph: duplicate metadata label %q", label)
+	}
+	id := g.addNode(label, kind, side)
+	g.metaIndex[label] = id
+	return id, nil
+}
+
+// DataNode returns the node for a canonical term.
+func (g *Graph) DataNode(term string) (NodeID, bool) {
+	id, ok := g.dataIndex[term]
+	if ok && g.removed[id] {
+		return 0, false
+	}
+	return id, ok
+}
+
+// MetaNode returns the metadata node with the given label.
+func (g *Graph) MetaNode(label string) (NodeID, bool) {
+	id, ok := g.metaIndex[label]
+	if ok && g.removed[id] {
+		return 0, false
+	}
+	return id, ok
+}
+
+func edgeKey(a, b NodeID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// AddEdge inserts the undirected edge {a,b} if not present. Self loops are
+// ignored: they add nothing to walks or shortest paths.
+func (g *Graph) AddEdge(a, b NodeID) {
+	if a == b || g.removed[a] || g.removed[b] {
+		return
+	}
+	k := edgeKey(a, b)
+	if _, ok := g.edges[k]; ok {
+		return
+	}
+	g.edges[k] = struct{}{}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// HasEdge reports whether the undirected edge {a,b} exists.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	_, ok := g.edges[edgeKey(a, b)]
+	return ok
+}
+
+// removeEdgeHalf removes b from a's adjacency list.
+func (g *Graph) removeEdgeHalf(a, b NodeID) {
+	lst := g.adj[a]
+	for i, n := range lst {
+		if n == b {
+			lst[i] = lst[len(lst)-1]
+			g.adj[a] = lst[:len(lst)-1]
+			return
+		}
+	}
+}
+
+// RemoveEdge deletes the undirected edge {a,b} if present.
+func (g *Graph) RemoveEdge(a, b NodeID) {
+	k := edgeKey(a, b)
+	if _, ok := g.edges[k]; !ok {
+		return
+	}
+	delete(g.edges, k)
+	g.removeEdgeHalf(a, b)
+	g.removeEdgeHalf(b, a)
+}
+
+// RemoveNode deletes the node and all incident edges. The NodeID stays
+// allocated (iteration helpers skip it).
+func (g *Graph) RemoveNode(id NodeID) {
+	if g.removed[id] {
+		return
+	}
+	for _, n := range g.adj[id] {
+		delete(g.edges, edgeKey(id, n))
+		g.removeEdgeHalf(n, id)
+	}
+	g.adj[id] = nil
+	g.removed[id] = true
+	g.nRemoved++
+	switch g.kinds[id] {
+	case Data, External:
+		if g.dataIndex[g.labels[id]] == id {
+			delete(g.dataIndex, g.labels[id])
+		}
+	default:
+		delete(g.metaIndex, g.labels[id])
+	}
+}
+
+// MergeData rewires every edge of drop onto keep and removes drop. Future
+// lookups of drop's label resolve to keep. Both must be data/external nodes.
+func (g *Graph) MergeData(keep, drop NodeID) error {
+	if keep == drop {
+		return nil
+	}
+	for _, id := range []NodeID{keep, drop} {
+		if k := g.kinds[id]; k != Data && k != External {
+			return fmt.Errorf("graph: MergeData on %v node %q", k, g.labels[id])
+		}
+	}
+	neighbors := append([]NodeID(nil), g.adj[drop]...)
+	g.RemoveNode(drop)
+	for _, n := range neighbors {
+		g.AddEdge(keep, n)
+	}
+	g.dataIndex[g.labels[drop]] = keep
+	return nil
+}
+
+// Label returns the node label (term text for data nodes, document/column
+// ID for metadata).
+func (g *Graph) Label(id NodeID) string { return g.labels[id] }
+
+// Kind returns the node kind.
+func (g *Graph) Kind(id NodeID) NodeKind { return g.kinds[id] }
+
+// CorpusSide returns which corpus a metadata node belongs to.
+func (g *Graph) CorpusSide(id NodeID) Side { return g.sides[id] }
+
+// Removed reports whether the node has been deleted.
+func (g *Graph) Removed(id NodeID) bool { return g.removed[id] }
+
+// Neighbors returns the adjacency list of id. The caller must not mutate it.
+func (g *Graph) Neighbors(id NodeID) []NodeID { return g.adj[id] }
+
+// Degree returns the number of incident edges.
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+
+// NumNodes returns the number of live nodes.
+func (g *Graph) NumNodes() int { return len(g.labels) - g.nRemoved }
+
+// NumEdges returns the number of live edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Cap returns the upper bound of node IDs ever allocated (including removed
+// ones); useful to size arrays indexed by NodeID.
+func (g *Graph) Cap() int { return len(g.labels) }
+
+// Nodes calls fn for every live node in ID order.
+func (g *Graph) Nodes(fn func(NodeID)) {
+	for i := range g.labels {
+		if !g.removed[i] {
+			fn(NodeID(i))
+		}
+	}
+}
+
+// MetadataNodes returns the live matchable metadata nodes of the given
+// side, in ID order. Side NoSide returns metadata nodes of both sides.
+func (g *Graph) MetadataNodes(side Side) []NodeID {
+	var out []NodeID
+	g.Nodes(func(id NodeID) {
+		if !g.kinds[id].IsMetadata() {
+			return
+		}
+		if side == NoSide || g.sides[id] == side {
+			out = append(out, id)
+		}
+	})
+	return out
+}
+
+// DataNodes returns the live data and external nodes in ID order.
+func (g *Graph) DataNodes() []NodeID {
+	var out []NodeID
+	g.Nodes(func(id NodeID) {
+		if g.kinds[id] == Data || g.kinds[id] == External {
+			out = append(out, id)
+		}
+	})
+	return out
+}
+
+// Edges calls fn once per live undirected edge with a < b ordering.
+func (g *Graph) Edges(fn func(a, b NodeID)) {
+	keys := make([]uint64, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		fn(NodeID(k>>32), NodeID(uint32(k)))
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		labels:    append([]string(nil), g.labels...),
+		kinds:     append([]NodeKind(nil), g.kinds...),
+		sides:     append([]Side(nil), g.sides...),
+		adj:       make([][]NodeID, len(g.adj)),
+		removed:   append([]bool(nil), g.removed...),
+		dataIndex: make(map[string]NodeID, len(g.dataIndex)),
+		metaIndex: make(map[string]NodeID, len(g.metaIndex)),
+		edges:     make(map[uint64]struct{}, len(g.edges)),
+		nRemoved:  g.nRemoved,
+	}
+	for i, a := range g.adj {
+		ng.adj[i] = append([]NodeID(nil), a...)
+	}
+	for k, v := range g.dataIndex {
+		ng.dataIndex[k] = v
+	}
+	for k, v := range g.metaIndex {
+		ng.metaIndex[k] = v
+	}
+	for k := range g.edges {
+		ng.edges[k] = struct{}{}
+	}
+	return ng
+}

@@ -1,0 +1,77 @@
+package graph
+
+// Merger decides which terms should share one data node (§II-C). Mergers
+// return a term → canonical-term map; terms absent from the map stay as
+// they are. Implementations include numeric bucketing (Bucketer in this
+// package), lexicon merging (kb.Lexicon) for synonyms/acronyms/typos, and
+// embedding-similarity merging above a threshold γ (pretrained.Merger).
+type Merger interface {
+	Merge(terms []string) map[string]string
+}
+
+// Canonicalizer resolves a term through a chain of mergers, following
+// canonical chains to a fixpoint (a lexicon may map "b willis" to
+// "bruce willis" and a bucketer may then leave it alone).
+type Canonicalizer struct {
+	mapping map[string]string
+}
+
+// NewCanonicalizer applies each merger to the term universe in order and
+// composes the resulting mappings.
+func NewCanonicalizer(terms []string, mergers ...Merger) *Canonicalizer {
+	c := &Canonicalizer{mapping: make(map[string]string)}
+	current := terms
+	for _, m := range mergers {
+		if m == nil {
+			continue
+		}
+		step := m.Merge(current)
+		if len(step) == 0 {
+			continue
+		}
+		next := make([]string, 0, len(current))
+		seen := make(map[string]struct{}, len(current))
+		for _, t := range current {
+			ct := t
+			if to, ok := step[t]; ok && to != t {
+				ct = to
+				c.addMapping(t, ct)
+			}
+			if _, ok := seen[ct]; !ok {
+				seen[ct] = struct{}{}
+				next = append(next, ct)
+			}
+		}
+		current = next
+	}
+	return c
+}
+
+func (c *Canonicalizer) addMapping(from, to string) {
+	// Redirect anything already pointing at from.
+	for k, v := range c.mapping {
+		if v == from {
+			c.mapping[k] = to
+		}
+	}
+	c.mapping[from] = to
+}
+
+// Canonical resolves a term to its canonical form (itself when unmapped).
+func (c *Canonicalizer) Canonical(term string) string {
+	if c == nil {
+		return term
+	}
+	if to, ok := c.mapping[term]; ok {
+		return to
+	}
+	return term
+}
+
+// Mappings returns the number of non-identity mappings.
+func (c *Canonicalizer) Mappings() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.mapping)
+}

@@ -1,0 +1,160 @@
+// Package match implements the unsupervised matching step of the paper's
+// §IV-B: given embeddings for metadata nodes, rank the documents of the
+// second corpus by cosine similarity for every document of the first
+// corpus, returning the top-k. It also provides the score-averaging
+// combination with a second embedder evaluated in Fig. 10.
+package match
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/tdmatch/tdmatch/internal/embed"
+)
+
+// Scored is one ranked candidate.
+type Scored struct {
+	ID    string
+	Score float64
+}
+
+// Index holds the match targets: document IDs with their (normalized)
+// embedding vectors. Build once, query many times.
+type Index struct {
+	ids  []string
+	vecs [][]float32
+	dim  int
+}
+
+// NewIndex builds an index over target documents. Vectors are copied and
+// normalized so queries reduce to dot products; nil vectors become zero
+// vectors (they score 0 against everything).
+func NewIndex(ids []string, vecs [][]float32, dim int) (*Index, error) {
+	if len(ids) != len(vecs) {
+		return nil, fmt.Errorf("match: %d ids for %d vectors", len(ids), len(vecs))
+	}
+	idx := &Index{ids: append([]string(nil), ids...), dim: dim}
+	idx.vecs = make([][]float32, len(vecs))
+	for i, v := range vecs {
+		nv := make([]float32, dim)
+		copy(nv, v)
+		embed.Normalize(nv)
+		idx.vecs[i] = nv
+	}
+	return idx, nil
+}
+
+// Len returns the number of indexed documents.
+func (x *Index) Len() int { return len(x.ids) }
+
+// IDs returns the indexed document IDs in index order.
+func (x *Index) IDs() []string { return x.ids }
+
+// Score returns the cosine similarity between the (not necessarily
+// normalized) query vector and target i.
+func (x *Index) Score(query []float32, i int) float64 {
+	qn := embed.Norm(query)
+	if qn == 0 {
+		return 0
+	}
+	return float64(embed.Dot(query, x.vecs[i])) / float64(qn)
+}
+
+// TopK returns the k targets most similar to query, best first. Ties break
+// by ID for determinism.
+func (x *Index) TopK(query []float32, k int) []Scored {
+	q := make([]float32, x.dim)
+	copy(q, query)
+	embed.Normalize(q)
+	return TopKFunc(x.ids, func(i int) float64 {
+		return float64(embed.Dot(q, x.vecs[i]))
+	}, k)
+}
+
+// TopKCombined ranks targets by the weighted mean of this index's score for
+// queryA and other's score for queryB — the Fig. 10 combination of graph
+// embeddings with a pre-trained sentence embedder. Both indexes must be
+// built over the same ID sequence.
+func (x *Index) TopKCombined(other *Index, queryA, queryB []float32, wA, wB float64, k int) ([]Scored, error) {
+	if other == nil || other.Len() != x.Len() {
+		return nil, fmt.Errorf("match: combined indexes differ in size")
+	}
+	for i := range x.ids {
+		if x.ids[i] != other.ids[i] {
+			return nil, fmt.Errorf("match: combined indexes disagree at position %d: %s vs %s", i, x.ids[i], other.ids[i])
+		}
+	}
+	qa := make([]float32, x.dim)
+	copy(qa, queryA)
+	embed.Normalize(qa)
+	qb := make([]float32, other.dim)
+	copy(qb, queryB)
+	embed.Normalize(qb)
+	total := wA + wB
+	if total == 0 {
+		total = 1
+	}
+	return TopKFunc(x.ids, func(i int) float64 {
+		sa := float64(embed.Dot(qa, x.vecs[i]))
+		sb := float64(embed.Dot(qb, other.vecs[i]))
+		return (wA*sa + wB*sb) / total
+	}, k), nil
+}
+
+// scoredHeap is a min-heap on Score (worst candidate on top).
+type scoredHeap []Scored
+
+func (h scoredHeap) Len() int { return len(h) }
+func (h scoredHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].ID > h[j].ID
+}
+func (h scoredHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *scoredHeap) Push(x any)   { *h = append(*h, x.(Scored)) }
+func (h *scoredHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// TopKFunc selects the k highest-scoring ids, best first, with ID
+// tie-breaking, using a size-k heap (O(n log k)).
+func TopKFunc(ids []string, score func(i int) float64, k int) []Scored {
+	if k <= 0 || len(ids) == 0 {
+		return nil
+	}
+	if k > len(ids) {
+		k = len(ids)
+	}
+	h := make(scoredHeap, 0, k)
+	heap.Init(&h)
+	for i := range ids {
+		s := Scored{ID: ids[i], Score: score(i)}
+		if len(h) < k {
+			heap.Push(&h, s)
+			continue
+		}
+		worst := h[0]
+		if s.Score > worst.Score || (s.Score == worst.Score && s.ID < worst.ID) {
+			h[0] = s
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Scored, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// IDsOf projects the candidate IDs of a ranking.
+func IDsOf(ranked []Scored) []string {
+	out := make([]string, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.ID
+	}
+	return out
+}

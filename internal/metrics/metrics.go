@@ -1,0 +1,109 @@
+// Package metrics implements the evaluation measures of the paper's §V:
+// Mean Reciprocal Rank, MAP@k and HasPositive@k for ranking tasks
+// (Tables I, II, IV, V, VI), and the Exact / Node precision-recall-F
+// scores over taxonomy paths for the structured-text task (Table III,
+// Equation 1).
+package metrics
+
+import "sort"
+
+// ReciprocalRank returns 1/rank of the first relevant candidate, 0 when
+// none appears.
+func ReciprocalRank(ranked []string, relevant map[string]bool) float64 {
+	for i, id := range ranked {
+		if relevant[id] {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// AveragePrecisionAt returns AP truncated at rank k: the sum of precision
+// values at each relevant hit within the top k, normalized by
+// min(|relevant|, k).
+func AveragePrecisionAt(ranked []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 || len(relevant) == 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	hits, sum := 0, 0.0
+	for i := 0; i < k; i++ {
+		if relevant[ranked[i]] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	denom := len(relevant)
+	if k < denom {
+		denom = k
+	}
+	if denom == 0 {
+		return 0
+	}
+	return sum / float64(denom)
+}
+
+// HasPositiveAt returns 1 when a relevant candidate appears in the top k.
+func HasPositiveAt(ranked []string, relevant map[string]bool, k int) float64 {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	for i := 0; i < k; i++ {
+		if relevant[ranked[i]] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// RankSummary aggregates ranking quality over a query set, in the format
+// of the paper's quality tables.
+type RankSummary struct {
+	// MRR is the mean reciprocal rank.
+	MRR float64
+	// MAPAt maps k to mean AP@k.
+	MAPAt map[int]float64
+	// HasPosAt maps k to the fraction of queries with a hit in the top k.
+	HasPosAt map[int]float64
+	// Queries is the number of evaluated queries (those with ground truth).
+	Queries int
+}
+
+// EvaluateRanking scores ranked result lists against ground truth for the
+// given cutoffs. Queries without ground-truth entries are skipped, like
+// unannotated documents in the paper's datasets.
+func EvaluateRanking(results map[string][]string, truth map[string][]string, ks []int) RankSummary {
+	s := RankSummary{MAPAt: map[int]float64{}, HasPosAt: map[int]float64{}}
+	// Deterministic iteration order for float accumulation.
+	qids := make([]string, 0, len(results))
+	for q := range results {
+		if len(truth[q]) > 0 {
+			qids = append(qids, q)
+		}
+	}
+	sort.Strings(qids)
+	for _, q := range qids {
+		rel := make(map[string]bool, len(truth[q]))
+		for _, id := range truth[q] {
+			rel[id] = true
+		}
+		ranked := results[q]
+		s.MRR += ReciprocalRank(ranked, rel)
+		for _, k := range ks {
+			s.MAPAt[k] += AveragePrecisionAt(ranked, rel, k)
+			s.HasPosAt[k] += HasPositiveAt(ranked, rel, k)
+		}
+		s.Queries++
+	}
+	if s.Queries > 0 {
+		n := float64(s.Queries)
+		s.MRR /= n
+		for _, k := range ks {
+			s.MAPAt[k] /= n
+			s.HasPosAt[k] /= n
+		}
+	}
+	return s
+}

@@ -1,0 +1,262 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func rel(ids ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestReciprocalRank(t *testing.T) {
+	ranked := []string{"a", "b", "c"}
+	if rr := ReciprocalRank(ranked, rel("a")); !almostEq(rr, 1) {
+		t.Errorf("RR first = %f", rr)
+	}
+	if rr := ReciprocalRank(ranked, rel("c")); !almostEq(rr, 1.0/3) {
+		t.Errorf("RR third = %f", rr)
+	}
+	if rr := ReciprocalRank(ranked, rel("zzz")); rr != 0 {
+		t.Errorf("RR missing = %f", rr)
+	}
+	if rr := ReciprocalRank(nil, rel("a")); rr != 0 {
+		t.Errorf("RR empty = %f", rr)
+	}
+}
+
+func TestAveragePrecisionAt(t *testing.T) {
+	ranked := []string{"a", "x", "b", "y", "c"}
+	truth := rel("a", "b", "c")
+	// P@1 = 1, P@3 = 2/3, P@5 = 3/5; AP@5 = (1 + 2/3 + 3/5) / 3.
+	want := (1.0 + 2.0/3 + 3.0/5) / 3
+	if ap := AveragePrecisionAt(ranked, truth, 5); !almostEq(ap, want) {
+		t.Errorf("AP@5 = %f, want %f", ap, want)
+	}
+	// AP@1 = 1/min(3,1) = 1.
+	if ap := AveragePrecisionAt(ranked, truth, 1); !almostEq(ap, 1) {
+		t.Errorf("AP@1 = %f", ap)
+	}
+	// AP@2: only "a" relevant in top2; denom = min(3,2)=2 → 0.5.
+	if ap := AveragePrecisionAt(ranked, truth, 2); !almostEq(ap, 0.5) {
+		t.Errorf("AP@2 = %f", ap)
+	}
+	if ap := AveragePrecisionAt(ranked, rel(), 5); ap != 0 {
+		t.Errorf("AP no truth = %f", ap)
+	}
+	if ap := AveragePrecisionAt(ranked, truth, 0); ap != 0 {
+		t.Errorf("AP k=0 = %f", ap)
+	}
+}
+
+func TestHasPositiveAt(t *testing.T) {
+	ranked := []string{"x", "y", "b"}
+	truth := rel("b")
+	if h := HasPositiveAt(ranked, truth, 1); h != 0 {
+		t.Errorf("HasPos@1 = %f", h)
+	}
+	if h := HasPositiveAt(ranked, truth, 3); h != 1 {
+		t.Errorf("HasPos@3 = %f", h)
+	}
+	if h := HasPositiveAt(ranked, truth, 10); h != 1 {
+		t.Errorf("HasPos@10 (overlong k) = %f", h)
+	}
+}
+
+func TestEvaluateRanking(t *testing.T) {
+	results := map[string][]string{
+		"q1": {"a", "b"},
+		"q2": {"x", "t"},
+		"q3": {"m"}, // no truth: skipped
+	}
+	truth := map[string][]string{
+		"q1": {"a"},
+		"q2": {"t"},
+	}
+	s := EvaluateRanking(results, truth, []int{1, 2})
+	if s.Queries != 2 {
+		t.Fatalf("Queries = %d", s.Queries)
+	}
+	if !almostEq(s.MRR, (1.0+0.5)/2) {
+		t.Errorf("MRR = %f", s.MRR)
+	}
+	if !almostEq(s.HasPosAt[1], 0.5) {
+		t.Errorf("HasPos@1 = %f", s.HasPosAt[1])
+	}
+	if !almostEq(s.HasPosAt[2], 1) {
+		t.Errorf("HasPos@2 = %f", s.HasPosAt[2])
+	}
+	if !almostEq(s.MAPAt[1], 0.5) {
+		t.Errorf("MAP@1 = %f", s.MAPAt[1])
+	}
+}
+
+func TestEvaluateRankingEmpty(t *testing.T) {
+	s := EvaluateRanking(nil, nil, []int{1})
+	if s.Queries != 0 || s.MRR != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+// Property: metrics are bounded in [0,1] and MRR >= MAP@1 never... actually
+// MRR >= AP@1 does not hold in general; check bounds and monotonicity of
+// HasPositive in k.
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(rankSeed []uint8, truthMask uint8) bool {
+		ranked := make([]string, 0, len(rankSeed))
+		seen := map[string]bool{}
+		for _, r := range rankSeed {
+			id := string(rune('a' + r%16))
+			if !seen[id] {
+				seen[id] = true
+				ranked = append(ranked, id)
+			}
+		}
+		truth := map[string]bool{}
+		for i := 0; i < 8; i++ {
+			if truthMask&(1<<i) != 0 {
+				truth[string(rune('a'+i))] = true
+			}
+		}
+		if len(truth) == 0 {
+			return true
+		}
+		rr := ReciprocalRank(ranked, truth)
+		if rr < 0 || rr > 1 {
+			return false
+		}
+		prev := 0.0
+		for k := 1; k <= 20; k++ {
+			h := HasPositiveAt(ranked, truth, k)
+			ap := AveragePrecisionAt(ranked, truth, k)
+			if h < prev { // HasPositive is monotone in k
+				return false
+			}
+			if ap < 0 || ap > 1 || h < 0 || h > 1 {
+				return false
+			}
+			prev = h
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeScore(t *testing.T) {
+	// Example from the paper: r1: a->b->c and r2: a->b->c->d.
+	// After stripping two levels: r1' = [c], r2' = [c, d]; score = 1/2.
+	r1 := []string{"a", "b", "c"}
+	r2 := []string{"a", "b", "c", "d"}
+	if s := NodeScore(r1, r2); !almostEq(s, 0.5) {
+		t.Errorf("NodeScore = %f, want 0.5", s)
+	}
+	// Identical paths score 1.
+	if s := NodeScore(r2, r2); !almostEq(s, 1) {
+		t.Errorf("identical = %f", s)
+	}
+	// Paths of length <= 2 strip to nothing: score 0.
+	if s := NodeScore([]string{"a", "b"}, []string{"a", "b"}); s != 0 {
+		t.Errorf("short paths = %f", s)
+	}
+	// Disjoint tails.
+	if s := NodeScore([]string{"a", "b", "x"}, []string{"a", "b", "y"}); s != 0 {
+		t.Errorf("disjoint = %f", s)
+	}
+}
+
+func TestNodeScoreSymmetric(t *testing.T) {
+	p1 := []string{"r", "l1", "c", "d"}
+	p2 := []string{"r", "l1", "c", "e", "f"}
+	if !almostEq(NodeScore(p1, p2), NodeScore(p2, p1)) {
+		t.Error("NodeScore must be symmetric")
+	}
+}
+
+func TestExactPRF(t *testing.T) {
+	pred := [][]string{{"r", "a", "b"}, {"r", "a", "x"}}
+	truth := [][]string{{"r", "a", "b"}}
+	got := ExactPRF(pred, truth)
+	if !almostEq(got.P, 0.5) || !almostEq(got.R, 1) {
+		t.Errorf("Exact = %+v", got)
+	}
+	wantF := 2 * 0.5 * 1 / 1.5
+	if !almostEq(got.F, wantF) {
+		t.Errorf("F = %f, want %f", got.F, wantF)
+	}
+	if got := ExactPRF(nil, truth); got != (PRF{}) {
+		t.Errorf("empty pred = %+v", got)
+	}
+	if got := ExactPRF(pred, nil); got != (PRF{}) {
+		t.Errorf("empty truth = %+v", got)
+	}
+}
+
+func TestExactPRFDuplicatePredictions(t *testing.T) {
+	pred := [][]string{{"r", "a", "b"}, {"r", "a", "b"}}
+	truth := [][]string{{"r", "a", "b"}}
+	got := ExactPRF(pred, truth)
+	// Duplicate predictions only count once in the numerator.
+	if !almostEq(got.P, 0.5) || !almostEq(got.R, 1) {
+		t.Errorf("dup pred = %+v", got)
+	}
+}
+
+func TestNodePRF(t *testing.T) {
+	pred := [][]string{{"r", "l", "c", "d"}}
+	truth := [][]string{{"r", "l", "c"}}
+	got := NodePRF(pred, truth)
+	// stripped pred = [c d], truth = [c]; score = 1/2 both ways.
+	if !almostEq(got.P, 0.5) || !almostEq(got.R, 0.5) {
+		t.Errorf("Node = %+v", got)
+	}
+}
+
+func TestEvaluateTaxonomy(t *testing.T) {
+	pred := map[string][][]string{
+		"d1": {{"r", "l", "c"}},
+		"d2": {{"r", "l", "c", "x"}},
+		"d3": {{"r", "l", "zzz"}}, // no truth, skipped
+	}
+	truth := map[string][][]string{
+		"d1": {{"r", "l", "c"}},
+		"d2": {{"r", "l", "c", "x"}},
+	}
+	s := EvaluateTaxonomy(pred, truth)
+	if s.Documents != 2 {
+		t.Fatalf("Documents = %d", s.Documents)
+	}
+	if !almostEq(s.Exact.P, 1) || !almostEq(s.Exact.R, 1) || !almostEq(s.Exact.F, 1) {
+		t.Errorf("Exact = %+v", s.Exact)
+	}
+	if !almostEq(s.Node.P, 1) {
+		t.Errorf("Node = %+v", s.Node)
+	}
+}
+
+func TestEvaluateTaxonomyEmpty(t *testing.T) {
+	s := EvaluateTaxonomy(nil, nil)
+	if s.Documents != 0 {
+		t.Errorf("empty = %+v", s)
+	}
+}
+
+func TestPathKey(t *testing.T) {
+	a := PathKey([]string{"x", "y"})
+	b := PathKey([]string{"x", "y"})
+	c := PathKey([]string{"xy"})
+	if a != b {
+		t.Error("equal paths must share keys")
+	}
+	if a == c {
+		t.Error("different paths must differ")
+	}
+}

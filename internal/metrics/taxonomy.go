@@ -1,0 +1,172 @@
+package metrics
+
+import "sort"
+
+// Taxonomy-path measures for the structured-text task (paper §V-B).
+//
+// Every matched concept is identified by its root-to-node path. With Exact
+// scores a predicted path counts only when equal to a ground-truth path;
+// Node scores give partial credit for overlapping paths per Equation (1),
+// after stripping the two most general levels (root and first level).
+
+// PathKey canonicalizes a path for equality comparison.
+func PathKey(path []string) string {
+	out := ""
+	for i, p := range path {
+		if i > 0 {
+			out += "\x00"
+		}
+		out += p
+	}
+	return out
+}
+
+// NodeScore implements Equation (1): the intersection size of the two
+// paths' node sets divided by the larger set size, computed after dropping
+// the first two levels of each path. Two empty stripped paths score 0.
+func NodeScore(p1, p2 []string) float64 {
+	s1 := strip(p1)
+	s2 := strip(p2)
+	if len(s1) == 0 && len(s2) == 0 {
+		return 0
+	}
+	set := make(map[string]struct{}, len(s1))
+	for _, n := range s1 {
+		set[n] = struct{}{}
+	}
+	inter := 0
+	for _, n := range s2 {
+		if _, ok := set[n]; ok {
+			inter++
+		}
+	}
+	max := len(s1)
+	if len(s2) > max {
+		max = len(s2)
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(inter) / float64(max)
+}
+
+// strip removes the two most general levels (root and its child).
+func strip(path []string) []string {
+	if len(path) <= 2 {
+		return nil
+	}
+	return path[2:]
+}
+
+// PRF is a precision / recall / F-score triple.
+type PRF struct {
+	P, R, F float64
+}
+
+func f1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// ExactPRF scores predicted paths against ground-truth paths by exact path
+// equality: precision is the fraction of predictions that are true paths,
+// recall the fraction of true paths predicted.
+func ExactPRF(pred, truth [][]string) PRF {
+	if len(pred) == 0 || len(truth) == 0 {
+		return PRF{}
+	}
+	truthSet := make(map[string]struct{}, len(truth))
+	for _, t := range truth {
+		truthSet[PathKey(t)] = struct{}{}
+	}
+	hit := 0
+	seen := map[string]struct{}{}
+	for _, p := range pred {
+		k := PathKey(p)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		if _, ok := truthSet[k]; ok {
+			hit++
+		}
+	}
+	p := float64(hit) / float64(len(pred))
+	r := float64(hit) / float64(len(truth))
+	return PRF{P: p, R: r, F: f1(p, r)}
+}
+
+// NodePRF scores with partial credit: each predicted path earns its best
+// NodeScore against any truth path (precision side), and each truth path
+// its best score against any prediction (recall side).
+func NodePRF(pred, truth [][]string) PRF {
+	if len(pred) == 0 || len(truth) == 0 {
+		return PRF{}
+	}
+	var pSum float64
+	for _, p := range pred {
+		best := 0.0
+		for _, t := range truth {
+			if s := NodeScore(p, t); s > best {
+				best = s
+			}
+		}
+		pSum += best
+	}
+	var rSum float64
+	for _, t := range truth {
+		best := 0.0
+		for _, p := range pred {
+			if s := NodeScore(p, t); s > best {
+				best = s
+			}
+		}
+		rSum += best
+	}
+	p := pSum / float64(len(pred))
+	r := rSum / float64(len(truth))
+	return PRF{P: p, R: r, F: f1(p, r)}
+}
+
+// TaxonomySummary averages Exact and Node PRF over a document set.
+type TaxonomySummary struct {
+	Exact, Node PRF
+	Documents   int
+}
+
+// EvaluateTaxonomy scores per-document predicted paths against truth paths
+// and averages. Documents without truth entries are skipped.
+func EvaluateTaxonomy(pred map[string][][]string, truth map[string][][]string) TaxonomySummary {
+	var s TaxonomySummary
+	ids := make([]string, 0, len(pred))
+	for id := range pred {
+		if len(truth[id]) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return s
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e := ExactPRF(pred[id], truth[id])
+		n := NodePRF(pred[id], truth[id])
+		s.Exact.P += e.P
+		s.Exact.R += e.R
+		s.Exact.F += e.F
+		s.Node.P += n.P
+		s.Node.R += n.R
+		s.Node.F += n.F
+		s.Documents++
+	}
+	d := float64(s.Documents)
+	s.Exact.P /= d
+	s.Exact.R /= d
+	s.Exact.F /= d
+	s.Node.P /= d
+	s.Node.R /= d
+	s.Node.F /= d
+	return s
+}

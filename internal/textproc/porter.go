@@ -1,0 +1,274 @@
+package textproc
+
+// Stem applies the classic Porter (1980) stemming algorithm to a single
+// lower-case word. It is used to merge different surface forms of a word
+// into one data node (paper §II-C: "Stemming merges different forms of a
+// word", e.g. "planning" with "Plan").
+//
+// This is a faithful self-contained implementation of the five-step Porter
+// algorithm; no external library is involved.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	s := stemmer{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type stemmer struct {
+	b []byte
+	// j marks the end of the stem when matching suffixes.
+	j int
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense:
+// letters other than aeiou, and 'y' preceded by a consonant.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// m measures the number of consonant-vowel sequences in b[0..j].
+// [C](VC)^m[V] per the original paper.
+func (s *stemmer) m() int {
+	n, i := 0, 0
+	for {
+		if i > s.j {
+			return n
+		}
+		if !s.isConsonant(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > s.j {
+				return n
+			}
+			if s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > s.j {
+				return n
+			}
+			if !s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports whether b[0..j] contains a vowel.
+func (s *stemmer) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleConsonant reports whether b[i-1..i] is a double consonant.
+func (s *stemmer) doubleConsonant(i int) bool {
+	if i < 1 {
+		return false
+	}
+	if s.b[i] != s.b[i-1] {
+		return false
+	}
+	return s.isConsonant(i)
+}
+
+// cvc reports whether b[i-2..i] is consonant-vowel-consonant where the final
+// consonant is not w, x or y. Used to restore a trailing 'e' (hop -> hope).
+func (s *stemmer) cvc(i int) bool {
+	if i < 2 || !s.isConsonant(i) || s.isConsonant(i-1) || !s.isConsonant(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends checks whether the word ends with suffix and, if so, sets j to the
+// character before the suffix.
+func (s *stemmer) ends(suffix string) bool {
+	n := len(suffix)
+	if n > len(s.b) {
+		return false
+	}
+	if string(s.b[len(s.b)-n:]) != suffix {
+		return false
+	}
+	s.j = len(s.b) - n - 1
+	return true
+}
+
+// setTo replaces the current suffix (after ends) with rep.
+func (s *stemmer) setTo(rep string) {
+	s.b = append(s.b[:s.j+1], rep...)
+}
+
+// replace applies setTo when m() > 0.
+func (s *stemmer) replace(rep string) {
+	if s.m() > 0 {
+		s.setTo(rep)
+	}
+}
+
+// step1a handles plurals: sses->ss, ies->i, ss->ss, s->"".
+func (s *stemmer) step1a() {
+	if len(s.b) == 0 || s.b[len(s.b)-1] != 's' {
+		return
+	}
+	switch {
+	case s.ends("sses"):
+		s.b = s.b[:len(s.b)-2]
+	case s.ends("ies"):
+		s.setTo("i")
+	case len(s.b) >= 2 && s.b[len(s.b)-2] != 's':
+		s.b = s.b[:len(s.b)-1]
+	}
+}
+
+// step1b handles -ed and -ing, restoring e where needed.
+func (s *stemmer) step1b() {
+	if s.ends("eed") {
+		if s.m() > 0 {
+			s.b = s.b[:len(s.b)-1]
+		}
+		return
+	}
+	if (s.ends("ed") || s.ends("ing")) && s.vowelInStem() {
+		s.b = s.b[:s.j+1]
+		switch {
+		case s.ends("at"):
+			s.setTo("ate")
+		case s.ends("bl"):
+			s.setTo("ble")
+		case s.ends("iz"):
+			s.setTo("ize")
+		case s.doubleConsonant(len(s.b) - 1):
+			last := s.b[len(s.b)-1]
+			if last != 'l' && last != 's' && last != 'z' {
+				s.b = s.b[:len(s.b)-1]
+			}
+		default:
+			s.j = len(s.b) - 1
+			if s.m() == 1 && s.cvc(len(s.b)-1) {
+				s.b = append(s.b, 'e')
+			}
+		}
+	}
+}
+
+// step1c turns terminal y to i when there is a vowel in the stem.
+func (s *stemmer) step1c() {
+	if s.ends("y") && s.vowelInStem() {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+var step2Suffixes = []struct{ suf, rep string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func (s *stemmer) step2() {
+	for _, e := range step2Suffixes {
+		if s.ends(e.suf) {
+			s.replace(e.rep)
+			return
+		}
+	}
+}
+
+var step3Suffixes = []struct{ suf, rep string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func (s *stemmer) step3() {
+	for _, e := range step3Suffixes {
+		if s.ends(e.suf) {
+			s.replace(e.rep)
+			return
+		}
+	}
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func (s *stemmer) step4() {
+	if s.ends("ion") {
+		if s.j >= 0 && (s.b[s.j] == 's' || s.b[s.j] == 't') && s.m() > 1 {
+			s.b = s.b[:s.j+1]
+		}
+		return
+	}
+	for _, suf := range step4Suffixes {
+		if s.ends(suf) {
+			if s.m() > 1 {
+				s.b = s.b[:s.j+1]
+			}
+			return
+		}
+	}
+}
+
+// step5a removes a terminal e when m > 1, or when m == 1 and the stem does
+// not end cvc.
+func (s *stemmer) step5a() {
+	if len(s.b) == 0 || s.b[len(s.b)-1] != 'e' {
+		return
+	}
+	s.j = len(s.b) - 2
+	m := s.m()
+	if m > 1 || (m == 1 && !s.cvc(len(s.b)-2)) {
+		s.b = s.b[:len(s.b)-1]
+	}
+}
+
+// step5b maps -ll to -l when m > 1.
+func (s *stemmer) step5b() {
+	n := len(s.b)
+	if n >= 2 && s.b[n-1] == 'l' && s.b[n-2] == 'l' {
+		s.j = n - 1
+		if s.m() > 1 {
+			s.b = s.b[:n-1]
+		}
+	}
+}

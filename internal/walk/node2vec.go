@@ -1,0 +1,122 @@
+package walk
+
+import "github.com/tdmatch/tdmatch/internal/graph"
+
+// Node2Vec-style second-order walks (Grover & Leskovec, the paper's cited
+// alternative walk strategy [37]): the step distribution depends on the
+// previous node through the return parameter p and the in-out parameter q.
+// Relative to a uniform step, returning to the previous node is weighted
+// 1/p, moving to a common neighbor of the previous node is weighted 1, and
+// moving outward is weighted 1/q. p = q = 1 recovers the paper's default
+// uniform walk (DeepWalk).
+
+// SecondOrder holds the node2vec bias parameters.
+type SecondOrder struct {
+	// P is the return parameter: large P discourages immediate backtracking.
+	P float64
+	// Q is the in-out parameter: Q > 1 keeps walks local (BFS-like),
+	// Q < 1 pushes them outward (DFS-like).
+	Q float64
+}
+
+func (s SecondOrder) valid() bool { return s.P > 0 && s.Q > 0 }
+
+// GenerateSecondOrder produces node2vec walks with the given bias. Kind
+// weights (cfg.KindWeights) compose multiplicatively with the second-order
+// bias when set.
+func GenerateSecondOrder(g *graph.Graph, cfg Config, bias SecondOrder) [][]graph.NodeID {
+	if !bias.valid() || (bias.P == 1 && bias.Q == 1 && cfg.KindWeights == nil) {
+		return Generate(g, cfg)
+	}
+	cfg = cfg.withDefaults()
+	var starts []graph.NodeID
+	g.Nodes(func(id graph.NodeID) { starts = append(starts, id) })
+
+	out := make([][]graph.NodeID, len(starts)*cfg.NumWalks)
+	run := func(si int) {
+		node := starts[si]
+		for k := 0; k < cfg.NumWalks; k++ {
+			rng := newRand(uint64(cfg.Seed), uint64(node), uint64(k))
+			out[si*cfg.NumWalks+k] = secondOrderWalk(g, node, cfg, bias, rng)
+		}
+	}
+	parallelFor(len(starts), cfg.Workers, run)
+	return out
+}
+
+// parallelFor runs fn(i) for i in [0,n) across workers goroutines; results
+// are deterministic because fn only writes to disjoint slots.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > n && n > 0 {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			for i := worker; i < n; i += workers {
+				fn(i)
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+func secondOrderWalk(g *graph.Graph, start graph.NodeID, cfg Config, bias SecondOrder, rng *splitRand) []graph.NodeID {
+	kindWeight := func(id graph.NodeID) float64 {
+		if cfg.KindWeights == nil {
+			return 1
+		}
+		if w, ok := cfg.KindWeights[g.Kind(id)]; ok {
+			return w
+		}
+		return 1
+	}
+	walk := make([]graph.NodeID, 0, cfg.Length)
+	walk = append(walk, start)
+	var prev graph.NodeID = -1
+	cur := start
+	for len(walk) < cfg.Length {
+		nbs := g.Neighbors(cur)
+		if len(nbs) == 0 {
+			break
+		}
+		var total float64
+		for _, nb := range nbs {
+			total += stepWeight(g, prev, nb, bias) * kindWeight(nb)
+		}
+		if total <= 0 {
+			break
+		}
+		r := float64(rng.intn(1<<20)) / float64(1<<20) * total
+		next := nbs[len(nbs)-1]
+		for _, nb := range nbs {
+			r -= stepWeight(g, prev, nb, bias) * kindWeight(nb)
+			if r < 0 {
+				next = nb
+				break
+			}
+		}
+		prev, cur = cur, next
+		walk = append(walk, cur)
+	}
+	return walk
+}
+
+func stepWeight(g *graph.Graph, prev, next graph.NodeID, bias SecondOrder) float64 {
+	if prev < 0 {
+		return 1 // first step has no second-order context
+	}
+	if next == prev {
+		return 1 / bias.P
+	}
+	if g.HasEdge(prev, next) {
+		return 1
+	}
+	return 1 / bias.Q
+}

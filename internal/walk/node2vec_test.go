@@ -1,0 +1,118 @@
+package walk
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tdmatch/tdmatch/internal/graph"
+)
+
+// pathGraph builds the line 0-1-2-...-n.
+func pathGraph(t *testing.T, n int) (*graph.Graph, []graph.NodeID) {
+	t.Helper()
+	g := graph.New(n)
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = g.EnsureData(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(ids[i], ids[i+1])
+	}
+	return g, ids
+}
+
+func TestSecondOrderUniformEqualsFirstOrder(t *testing.T) {
+	g, _ := pathGraph(t, 12)
+	cfg := Config{NumWalks: 3, Length: 8, Seed: 5}
+	a := Generate(g, cfg)
+	b := GenerateSecondOrder(g, cfg, SecondOrder{P: 1, Q: 1})
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("p=q=1 must reduce to the uniform walk")
+			}
+		}
+	}
+}
+
+func TestSecondOrderHighPReducesBacktracking(t *testing.T) {
+	g, _ := pathGraph(t, 30)
+	count := func(walks [][]graph.NodeID) int {
+		backtracks := 0
+		for _, w := range walks {
+			for i := 2; i < len(w); i++ {
+				if w[i] == w[i-2] {
+					backtracks++
+				}
+			}
+		}
+		return backtracks
+	}
+	cfg := Config{NumWalks: 10, Length: 20, Seed: 2}
+	uniform := count(GenerateSecondOrder(g, cfg, SecondOrder{P: 1, Q: 1.000001}))
+	noReturn := count(GenerateSecondOrder(g, cfg, SecondOrder{P: 1000, Q: 1}))
+	if noReturn >= uniform {
+		t.Errorf("high p backtracks %d >= uniform %d", noReturn, uniform)
+	}
+}
+
+func TestSecondOrderWalksFollowEdges(t *testing.T) {
+	g, _ := pathGraph(t, 10)
+	walks := GenerateSecondOrder(g, Config{NumWalks: 4, Length: 10, Seed: 3},
+		SecondOrder{P: 0.5, Q: 2})
+	for _, w := range walks {
+		for i := 0; i+1 < len(w); i++ {
+			if !g.HasEdge(w[i], w[i+1]) {
+				t.Fatalf("invalid step %d-%d", w[i], w[i+1])
+			}
+		}
+	}
+}
+
+func TestSecondOrderInvalidBiasFallsBack(t *testing.T) {
+	g, _ := pathGraph(t, 6)
+	cfg := Config{NumWalks: 2, Length: 5, Seed: 1}
+	a := Generate(g, cfg)
+	b := GenerateSecondOrder(g, cfg, SecondOrder{P: 0, Q: -1})
+	if len(a) != len(b) {
+		t.Fatal("invalid bias must fall back to uniform generation")
+	}
+}
+
+func TestSecondOrderDeterministic(t *testing.T) {
+	g, _ := pathGraph(t, 15)
+	cfg := Config{NumWalks: 3, Length: 12, Seed: 9, Workers: 4}
+	a := GenerateSecondOrder(g, cfg, SecondOrder{P: 2, Q: 0.5})
+	b := GenerateSecondOrder(g, cfg, SecondOrder{P: 2, Q: 0.5})
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("second-order walks nondeterministic")
+			}
+		}
+	}
+}
+
+func TestSecondOrderComposesWithKindWeights(t *testing.T) {
+	g := graph.New(6)
+	m, _ := g.AddMeta("m", graph.Tuple, graph.First)
+	attr, _ := g.AddMeta("a", graph.Attribute, graph.First)
+	d1 := g.EnsureData("x")
+	d2 := g.EnsureData("y")
+	g.AddEdge(m, d1)
+	g.AddEdge(m, attr)
+	g.AddEdge(attr, d1)
+	g.AddEdge(attr, d2)
+	g.AddEdge(d1, d2)
+	walks := GenerateSecondOrder(g, Config{
+		NumWalks: 5, Length: 10, Seed: 4,
+		KindWeights: map[graph.NodeKind]float64{graph.Attribute: 0},
+	}, SecondOrder{P: 2, Q: 0.5})
+	for _, w := range walks {
+		for i, n := range w {
+			if i > 0 && n == attr {
+				t.Fatal("kind weight 0 violated in second-order walk")
+			}
+		}
+	}
+}

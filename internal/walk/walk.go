@@ -1,0 +1,197 @@
+// Package walk implements the random-walk corpus generation of Algorithm 4
+// (paper §IV-A): n walks of length l start from every live graph node; the
+// node sequence of each walk becomes one training sentence for Word2Vec.
+// Related metadata nodes co-occur in walks more often, so their embeddings
+// end up closer.
+package walk
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/tdmatch/tdmatch/internal/graph"
+)
+
+// Config parametrizes walk generation. The paper's default is 100 walks of
+// length 30 per node; the ablations of Figures 6 and 7 sweep both.
+type Config struct {
+	// NumWalks is the number of walks started per node (default 10).
+	NumWalks int
+	// Length is the number of nodes visited per walk (default 30).
+	Length int
+	// Seed makes walk generation reproducible; each (node, walk) pair gets
+	// an independent RNG stream so results do not depend on scheduling.
+	Seed int64
+	// Workers bounds the parallelism (default GOMAXPROCS).
+	Workers int
+	// KindWeights biases the next-step choice by the neighbor's node kind,
+	// implementing the typed-walk extension the paper lists as future work
+	// (§VII). A weight of 0 removes that kind from walks entirely; kinds
+	// absent from the map default to weight 1. Nil keeps the paper's
+	// uniform random walk.
+	KindWeights map[graph.NodeKind]float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumWalks <= 0 {
+		c.NumWalks = 10
+	}
+	if c.Length <= 0 {
+		c.Length = 30
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Generate produces walks as sequences of NodeIDs, NumWalks per live node.
+// A walk starts at its seed node and repeatedly steps to a uniformly random
+// neighbor; it ends early at isolated nodes. Nodes with no neighbors yield
+// single-node walks (their metadata must still receive an embedding).
+func Generate(g *graph.Graph, cfg Config) [][]graph.NodeID {
+	cfg = cfg.withDefaults()
+	var starts []graph.NodeID
+	g.Nodes(func(id graph.NodeID) { starts = append(starts, id) })
+
+	out := make([][]graph.NodeID, len(starts)*cfg.NumWalks)
+	var wg sync.WaitGroup
+	workers := cfg.Workers
+	if workers > len(starts) && len(starts) > 0 {
+		workers = len(starts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for si := worker; si < len(starts); si += workers {
+				node := starts[si]
+				for k := 0; k < cfg.NumWalks; k++ {
+					rng := newRand(uint64(cfg.Seed), uint64(node), uint64(k))
+					if cfg.KindWeights == nil {
+						out[si*cfg.NumWalks+k] = walkFrom(g, node, cfg.Length, rng)
+					} else {
+						out[si*cfg.NumWalks+k] = weightedWalkFrom(g, node, cfg.Length, cfg.KindWeights, rng)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+func walkFrom(g *graph.Graph, start graph.NodeID, length int, rng *splitRand) []graph.NodeID {
+	walk := make([]graph.NodeID, 0, length)
+	walk = append(walk, start)
+	cur := start
+	for len(walk) < length {
+		nbs := g.Neighbors(cur)
+		if len(nbs) == 0 {
+			break
+		}
+		cur = nbs[rng.intn(len(nbs))]
+		walk = append(walk, cur)
+	}
+	return walk
+}
+
+// weightedWalkFrom steps to neighbors with probability proportional to the
+// weight of their node kind. When all neighbors carry zero weight the walk
+// ends (a typed dead end).
+func weightedWalkFrom(g *graph.Graph, start graph.NodeID, length int, weights map[graph.NodeKind]float64, rng *splitRand) []graph.NodeID {
+	weightOf := func(id graph.NodeID) float64 {
+		if w, ok := weights[g.Kind(id)]; ok {
+			return w
+		}
+		return 1
+	}
+	walk := make([]graph.NodeID, 0, length)
+	walk = append(walk, start)
+	cur := start
+	for len(walk) < length {
+		nbs := g.Neighbors(cur)
+		if len(nbs) == 0 {
+			break
+		}
+		var total float64
+		for _, nb := range nbs {
+			total += weightOf(nb)
+		}
+		if total <= 0 {
+			break
+		}
+		// Quantized inverse-CDF sampling keeps the deterministic integer
+		// RNG stream (one draw per step, like the uniform walk).
+		r := float64(rng.intn(1<<20)) / float64(1<<20) * total
+		next := nbs[len(nbs)-1]
+		for _, nb := range nbs {
+			r -= weightOf(nb)
+			if r < 0 {
+				next = nb
+				break
+			}
+		}
+		cur = next
+		walk = append(walk, cur)
+	}
+	return walk
+}
+
+// splitRand is a splitmix64-seeded xorshift dedicated to one walk.
+type splitRand struct{ state uint64 }
+
+func newRand(seed, node, walk uint64) *splitRand {
+	x := seed ^ (node * 0x9e3779b97f4a7c15) ^ (walk * 0xbf58476d1ce4e5b9)
+	// splitmix64 finalizer to decorrelate nearby (node, walk) pairs.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return &splitRand{state: x}
+}
+
+func (r *splitRand) intn(n int) int {
+	x := r.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.state = x
+	return int(x % uint64(n))
+}
+
+// ToSequences converts walks of NodeIDs into int32 token sequences for the
+// embedder. Node IDs are used directly as token IDs; vocabSize is the
+// graph's ID capacity (g.Cap()).
+func ToSequences(walks [][]graph.NodeID) [][]int32 {
+	out := make([][]int32, len(walks))
+	for i, w := range walks {
+		s := make([]int32, len(w))
+		for j, n := range w {
+			s[j] = int32(n)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ToSentences renders walks as node-label sentences, matching the paper's
+// description of deriving textual sentences from walks. Used by tooling and
+// debugging; the pipeline trains on ToSequences output directly.
+func ToSentences(g *graph.Graph, walks [][]graph.NodeID) [][]string {
+	out := make([][]string, len(walks))
+	for i, w := range walks {
+		s := make([]string, len(w))
+		for j, n := range w {
+			s[j] = g.Label(n)
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package walk
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tdmatch/tdmatch/internal/graph"
+)
+
+func ringGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	ids := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.EnsureData(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(ids[i], ids[(i+1)%n])
+	}
+	return g
+}
+
+func TestGenerateCounts(t *testing.T) {
+	g := ringGraph(t, 10)
+	walks := Generate(g, Config{NumWalks: 3, Length: 7, Seed: 1})
+	if len(walks) != 30 {
+		t.Fatalf("walks = %d, want 30", len(walks))
+	}
+	for _, w := range walks {
+		if len(w) != 7 {
+			t.Errorf("walk length = %d, want 7", len(w))
+		}
+	}
+}
+
+func TestGenerateWalksFollowEdges(t *testing.T) {
+	g := ringGraph(t, 8)
+	walks := Generate(g, Config{NumWalks: 2, Length: 10, Seed: 2})
+	for _, w := range walks {
+		for i := 0; i+1 < len(w); i++ {
+			if !g.HasEdge(w[i], w[i+1]) {
+				t.Fatalf("walk step %d-%d is not an edge", w[i], w[i+1])
+			}
+		}
+	}
+}
+
+func TestGenerateStartsEveryNode(t *testing.T) {
+	g := ringGraph(t, 5)
+	walks := Generate(g, Config{NumWalks: 2, Length: 3, Seed: 3})
+	startCount := map[graph.NodeID]int{}
+	for _, w := range walks {
+		startCount[w[0]]++
+	}
+	g.Nodes(func(id graph.NodeID) {
+		if startCount[id] != 2 {
+			t.Errorf("node %d started %d walks, want 2", id, startCount[id])
+		}
+	})
+}
+
+func TestGenerateIsolatedNode(t *testing.T) {
+	g := graph.New(2)
+	g.EnsureData("alone")
+	walks := Generate(g, Config{NumWalks: 2, Length: 5, Seed: 4})
+	if len(walks) != 2 {
+		t.Fatalf("walks = %d", len(walks))
+	}
+	for _, w := range walks {
+		if len(w) != 1 {
+			t.Errorf("isolated walk = %v, want single node", w)
+		}
+	}
+}
+
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	g := ringGraph(t, 20)
+	w1 := Generate(g, Config{NumWalks: 4, Length: 9, Seed: 7, Workers: 1})
+	w8 := Generate(g, Config{NumWalks: 4, Length: 9, Seed: 7, Workers: 8})
+	if len(w1) != len(w8) {
+		t.Fatalf("walk counts differ: %d vs %d", len(w1), len(w8))
+	}
+	for i := range w1 {
+		if len(w1[i]) != len(w8[i]) {
+			t.Fatalf("walk %d lengths differ", i)
+		}
+		for j := range w1[i] {
+			if w1[i][j] != w8[i][j] {
+				t.Fatalf("walk %d diverges at step %d with different worker counts", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedChangesWalks(t *testing.T) {
+	g := ringGraph(t, 20)
+	a := Generate(g, Config{NumWalks: 2, Length: 9, Seed: 1})
+	b := Generate(g, Config{NumWalks: 2, Length: 9, Seed: 2})
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical walks")
+	}
+}
+
+func TestGenerateSkipsRemovedNodes(t *testing.T) {
+	g := ringGraph(t, 6)
+	var victim graph.NodeID
+	g.Nodes(func(id graph.NodeID) { victim = id })
+	g.RemoveNode(victim)
+	walks := Generate(g, Config{NumWalks: 1, Length: 5, Seed: 5})
+	if len(walks) != 5 {
+		t.Fatalf("walks = %d, want 5 (one per live node)", len(walks))
+	}
+	for _, w := range walks {
+		for _, n := range w {
+			if n == victim {
+				t.Fatal("walk visited removed node")
+			}
+		}
+	}
+}
+
+func TestToSequences(t *testing.T) {
+	walks := [][]graph.NodeID{{1, 2, 3}, {4}}
+	seqs := ToSequences(walks)
+	if len(seqs) != 2 || seqs[0][2] != 3 || seqs[1][0] != 4 {
+		t.Errorf("ToSequences = %v", seqs)
+	}
+}
+
+func TestToSentences(t *testing.T) {
+	g := graph.New(3)
+	a := g.EnsureData("alpha")
+	b := g.EnsureData("beta")
+	g.AddEdge(a, b)
+	sents := ToSentences(g, [][]graph.NodeID{{a, b, a}})
+	if len(sents) != 1 || sents[0][0] != "alpha" || sents[0][1] != "beta" {
+		t.Errorf("ToSentences = %v", sents)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.NumWalks <= 0 || c.Length <= 0 || c.Workers <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}

@@ -1,0 +1,93 @@
+package tdmatch
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// savedModel is the gob-encoded form of a trained model: the learned
+// document vectors plus enough metadata to validate a reload. The graph
+// itself is not persisted — it is only needed for training.
+type savedModel struct {
+	Version    int
+	Dim        int
+	FirstName  string
+	SecondName string
+	Vectors    map[string][]float32
+}
+
+const savedModelVersion = 1
+
+// Save writes the trained document embeddings to w. The graph is not
+// saved; a loaded model can match but not retrain.
+func (m *Model) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	return enc.Encode(savedModel{
+		Version:    savedModelVersion,
+		Dim:        m.dim,
+		FirstName:  m.first.Name(),
+		SecondName: m.second.Name(),
+		Vectors:    m.vectors,
+	})
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadModel reads embeddings written by Save and reconstructs a matcher
+// over the same two corpora. The corpora must be the ones the model was
+// trained on (names are checked; document IDs missing a stored vector are
+// matched as zero vectors, exactly as after training).
+func LoadModel(r io.Reader, first, second *Corpus) (*Model, error) {
+	if first == nil || second == nil {
+		return nil, fmt.Errorf("tdmatch: LoadModel requires two corpora")
+	}
+	var sm savedModel
+	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
+		return nil, fmt.Errorf("tdmatch: decoding model: %w", err)
+	}
+	if sm.Version != savedModelVersion {
+		return nil, fmt.Errorf("tdmatch: unsupported model version %d", sm.Version)
+	}
+	if sm.FirstName != first.Name() || sm.SecondName != second.Name() {
+		return nil, fmt.Errorf("tdmatch: model was trained on corpora %q/%q, got %q/%q",
+			sm.FirstName, sm.SecondName, first.Name(), second.Name())
+	}
+	m := &Model{
+		cfg:     Defaults(),
+		first:   first,
+		second:  second,
+		dim:     sm.Dim,
+		vectors: sm.Vectors,
+	}
+	var err error
+	if m.firstIdx, err = m.buildIndex(first.c); err != nil {
+		return nil, err
+	}
+	if m.secondIdx, err = m.buildIndex(second.c); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadModelFile reads a model from a file written by SaveFile.
+func LoadModelFile(path string, first, second *Corpus) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f, first, second)
+}

@@ -1,0 +1,100 @@
+package tdmatch
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	model, err := Build(movies, reviews, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf, movies, reviews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rankings must be identical.
+	for _, q := range reviews.IDs() {
+		orig, err := model.TopK(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.TopK(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(orig) != len(got) {
+			t.Fatalf("lengths differ for %s", q)
+		}
+		for i := range orig {
+			if orig[i].ID != got[i].ID {
+				t.Errorf("%s rank %d: %s vs %s", q, i, orig[i].ID, got[i].ID)
+			}
+		}
+	}
+	// Vectors survive byte-exact.
+	v1 := model.Vector("reviews:p0")
+	v2 := loaded.Vector("reviews:p0")
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("vector changed in round trip")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	model, err := Build(movies, reviews, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModelFile(path, movies, reviews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Vector("movies:t0") == nil {
+		t.Error("loaded model lost tuple vector")
+	}
+	if _, err := LoadModelFile(filepath.Join(t.TempDir(), "missing.gob"), movies, reviews); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestLoadModelValidation(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	model, err := Build(movies, reviews, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong corpus names are rejected.
+	other, err := NewText("different", []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(bytes.NewReader(buf.Bytes()), other, reviews); err == nil {
+		t.Error("want error for mismatched corpora")
+	}
+	// Nil corpora are rejected.
+	if _, err := LoadModel(bytes.NewReader(buf.Bytes()), nil, nil); err == nil {
+		t.Error("want error for nil corpora")
+	}
+	// Corrupt payload is rejected.
+	if _, err := LoadModel(bytes.NewReader([]byte("not a gob")), movies, reviews); err == nil {
+		t.Error("want error for corrupt payload")
+	}
+}

@@ -1,0 +1,399 @@
+package tdmatch
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/tdmatch/tdmatch/internal/compress"
+	"github.com/tdmatch/tdmatch/internal/corpus"
+	"github.com/tdmatch/tdmatch/internal/embed"
+	"github.com/tdmatch/tdmatch/internal/expand"
+	"github.com/tdmatch/tdmatch/internal/graph"
+	"github.com/tdmatch/tdmatch/internal/match"
+	"github.com/tdmatch/tdmatch/internal/textproc"
+	"github.com/tdmatch/tdmatch/internal/walk"
+)
+
+// Stats reports what the pipeline did, for logging and experiments.
+type Stats struct {
+	// GraphNodes / GraphEdges are the sizes after graph creation.
+	GraphNodes, GraphEdges int
+	// ExpandedNodes / ExpandedEdges are the sizes after expansion
+	// (equal to the above when no resource is configured).
+	ExpandedNodes, ExpandedEdges int
+	// CompressedNodes / CompressedEdges are the sizes after compression
+	// (equal to the expanded sizes when compression is off).
+	CompressedNodes, CompressedEdges int
+	// FilteredTerms counts second-corpus terms dropped by filtering.
+	FilteredTerms int
+	// MergedTerms counts term→canonical mappings applied.
+	MergedTerms int
+	// Walks is the number of generated random walks.
+	Walks int
+	// TrainTime is the wall time of walks + embedding training.
+	TrainTime time.Duration
+	// BuildTime is the wall time of the whole Build call.
+	BuildTime time.Duration
+}
+
+// Model is a trained matcher over two corpora.
+type Model struct {
+	cfg    Config
+	first  *Corpus
+	second *Corpus
+
+	g         *graph.Graph
+	docNode   map[string]graph.NodeID
+	vectors   map[string][]float32
+	dim       int
+	firstIdx  *match.Index
+	secondIdx *match.Index
+	firstBlk  *match.Blocker
+	secondBlk *match.Blocker
+	stats     Stats
+}
+
+// Build runs the full pipeline over two corpora and returns a ready model.
+func Build(first, second *Corpus, cfg Config) (*Model, error) {
+	if first == nil || second == nil {
+		return nil, fmt.Errorf("tdmatch: Build requires two corpora")
+	}
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	// 1. Graph creation (§II).
+	bc := graph.BuildConfig{
+		Pre: textproc.Preprocessor{
+			RemoveStopwords: true,
+			Stem:            true,
+			MaxNGram:        cfg.MaxNGram,
+		},
+		ConnectMetadata:      true,
+		DisableMetadataEdges: cfg.DisableMetadataEdges,
+		Bucketing:            cfg.Bucketing,
+		BucketWidth:          cfg.BucketWidth,
+		TFIDFTopK:            cfg.TFIDFTopK,
+	}
+	switch cfg.Filter {
+	case FilterNone:
+		bc.Filter = graph.FilterNone
+	case FilterTFIDF:
+		bc.Filter = graph.FilterTFIDF
+	default:
+		bc.Filter = graph.FilterIntersect
+	}
+	if lex := buildLexicon(cfg.SynonymGroups); lex != nil {
+		bc.Mergers = append(bc.Mergers, lex)
+	}
+	res, err := graph.Build(first.c, second.c, bc)
+	if err != nil {
+		return nil, err
+	}
+	g := res.Graph
+	m := &Model{cfg: cfg, first: first, second: second, g: g, docNode: res.DocNode}
+	m.stats.GraphNodes = g.NumNodes()
+	m.stats.GraphEdges = g.NumEdges()
+	m.stats.FilteredTerms = res.FilteredTerms
+	m.stats.MergedTerms = res.Canon.Mappings()
+
+	// 2. Expansion (§III-A).
+	if cfg.Resource != nil {
+		expand.Expand(g, resourceAdapter{cfg.Resource}, expand.Options{
+			MaxRelationsPerNode: cfg.MaxRelationsPerNode,
+		})
+	}
+	m.stats.ExpandedNodes = g.NumNodes()
+	m.stats.ExpandedEdges = g.NumEdges()
+
+	// 3. Compression (§III-B).
+	if cfg.Compression == CompressMSP {
+		g = compress.MSP(g, compress.Options{Ratio: cfg.CompressionRatio, Seed: cfg.Seed})
+		m.g = g
+		// Metadata node IDs changed: rebuild the doc-node map by label.
+		rebuilt := make(map[string]graph.NodeID, len(m.docNode))
+		for docID := range m.docNode {
+			if id, ok := g.MetaNode(docID); ok {
+				rebuilt[docID] = id
+			}
+		}
+		m.docNode = rebuilt
+	}
+	m.stats.CompressedNodes = g.NumNodes()
+	m.stats.CompressedEdges = g.NumEdges()
+
+	// 4. Walks + embeddings (§IV-A).
+	trainStart := time.Now()
+	wcfg := walk.Config{
+		NumWalks:    cfg.NumWalks,
+		Length:      cfg.WalkLength,
+		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
+		KindWeights: kindWeights(cfg.WalkBias),
+	}
+	var walks [][]graph.NodeID
+	if cfg.ReturnParam > 0 || cfg.InOutParam > 0 {
+		p, q := cfg.ReturnParam, cfg.InOutParam
+		if p <= 0 {
+			p = 1
+		}
+		if q <= 0 {
+			q = 1
+		}
+		walks = walk.GenerateSecondOrder(g, wcfg, walk.SecondOrder{P: p, Q: q})
+	} else {
+		walks = walk.Generate(g, wcfg)
+	}
+	m.stats.Walks = len(walks)
+
+	mode, window := m.objective()
+	em, err := embed.Train(walk.ToSequences(walks), g.Cap(), embed.Config{
+		Dim:       cfg.Dim,
+		Window:    window,
+		Negative:  cfg.Negative,
+		Epochs:    cfg.Epochs,
+		Mode:      mode,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		Subsample: cfg.Subsample,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.stats.TrainTime = time.Since(trainStart)
+	m.dim = cfg.Dim
+
+	// 5. Metadata vectors and per-side indexes (§IV-B).
+	m.vectors = make(map[string][]float32, len(m.docNode))
+	for docID, node := range m.docNode {
+		if v := em.Vector(int32(node)); v != nil {
+			m.vectors[docID] = v
+		}
+	}
+	if m.firstIdx, err = m.buildIndex(first.c); err != nil {
+		return nil, err
+	}
+	if m.secondIdx, err = m.buildIndex(second.c); err != nil {
+		return nil, err
+	}
+	m.stats.BuildTime = time.Since(start)
+	return m, nil
+}
+
+// objective picks Skip-gram window 3 when a table is involved and CBOW
+// window 15 for text-only tasks, as in §V — unless overridden.
+func (m *Model) objective() (embed.Mode, int) {
+	mode := embed.SkipGram
+	window := m.cfg.Window
+	if m.cfg.ChooseObjective {
+		tableInvolved := m.first.c.Kind == corpus.Table || m.second.c.Kind == corpus.Table
+		if !tableInvolved {
+			mode = embed.CBOW
+			if window <= 0 {
+				window = 15
+			}
+		} else if window <= 0 {
+			window = 3
+		}
+	} else {
+		if m.cfg.CBOW {
+			mode = embed.CBOW
+		}
+		if window <= 0 {
+			window = 5
+		}
+	}
+	return mode, window
+}
+
+func (m *Model) buildIndex(c *corpus.Corpus) (*match.Index, error) {
+	ids := c.IDs()
+	vecs := make([][]float32, len(ids))
+	for i, id := range ids {
+		vecs[i] = m.vectors[id]
+	}
+	return match.NewIndex(ids, vecs, m.dim)
+}
+
+// Stats returns pipeline statistics.
+func (m *Model) Stats() Stats { return m.stats }
+
+// Vector returns the learned embedding of a document's metadata node, nil
+// when the document is unknown or was pruned.
+func (m *Model) Vector(docID string) []float32 { return m.vectors[docID] }
+
+// Vectors returns the embeddings of all metadata documents, keyed by ID.
+// Callers must not mutate the returned slices.
+func (m *Model) Vectors() map[string][]float32 { return m.vectors }
+
+// sideOf reports which corpus a document belongs to: 1, 2, or 0 (unknown).
+func (m *Model) sideOf(docID string) int {
+	if _, ok := m.first.c.Doc(docID); ok {
+		return 1
+	}
+	if _, ok := m.second.c.Doc(docID); ok {
+		return 2
+	}
+	return 0
+}
+
+// TopK returns the k documents of the *other* corpus most similar to the
+// given document (§IV-B). The query may come from either corpus.
+func (m *Model) TopK(docID string, k int) ([]Match, error) {
+	var idx *match.Index
+	switch m.sideOf(docID) {
+	case 1:
+		idx = m.secondIdx
+	case 2:
+		idx = m.firstIdx
+	default:
+		return nil, fmt.Errorf("tdmatch: unknown document %q", docID)
+	}
+	q := m.vectors[docID]
+	if q == nil {
+		return nil, fmt.Errorf("tdmatch: document %q has no embedding (pruned or isolated)", docID)
+	}
+	return toMatches(idx.TopK(q, k)), nil
+}
+
+// TopKCombined averages the model's cosine scores with an external scorer's
+// vectors (e.g. a pre-trained sentence embedder), reproducing the Fig. 10
+// combination. extVectors must map document IDs of both corpora to vectors
+// of consistent dimension extDim; weight balances model vs external (0.5 =
+// plain average).
+func (m *Model) TopKCombined(docID string, k int, extVectors map[string][]float32, extDim int, weight float64) ([]Match, error) {
+	var side *corpus.Corpus
+	var idx *match.Index
+	switch m.sideOf(docID) {
+	case 1:
+		side, idx = m.second.c, m.secondIdx
+	case 2:
+		side, idx = m.first.c, m.firstIdx
+	default:
+		return nil, fmt.Errorf("tdmatch: unknown document %q", docID)
+	}
+	q := m.vectors[docID]
+	if q == nil {
+		return nil, fmt.Errorf("tdmatch: document %q has no embedding", docID)
+	}
+	extQ := extVectors[docID]
+	if extQ == nil {
+		return toMatches(idx.TopK(q, k)), nil
+	}
+	ids := side.IDs()
+	extVecs := make([][]float32, len(ids))
+	for i, id := range ids {
+		extVecs[i] = extVectors[id]
+	}
+	extIdx, err := match.NewIndex(ids, extVecs, extDim)
+	if err != nil {
+		return nil, err
+	}
+	scored, err := idx.TopKCombined(extIdx, q, extQ, 1-weight, weight, k)
+	if err != nil {
+		return nil, err
+	}
+	return toMatches(scored), nil
+}
+
+// MatchAll ranks, for every document of the query corpus, the top-k
+// documents of the other corpus. fromSecond selects the query side (the
+// paper defaults to the larger corpus; pick the side natural for the
+// application, e.g. claims in fact checking).
+func (m *Model) MatchAll(fromSecond bool, k int) map[string][]Match {
+	c := m.first.c
+	if fromSecond {
+		c = m.second.c
+	}
+	out := make(map[string][]Match, c.Len())
+	for _, id := range c.IDs() {
+		if matches, err := m.TopK(id, k); err == nil {
+			out[id] = matches
+		}
+	}
+	return out
+}
+
+// GraphSize returns the live node and edge counts of the trained graph.
+// Models restored with LoadModel carry no graph and report zeros.
+func (m *Model) GraphSize() (nodes, edges int) {
+	if m.g == nil {
+		return 0, 0
+	}
+	return m.g.NumNodes(), m.g.NumEdges()
+}
+
+// WriteGraphDOT renders the trained graph in Graphviz DOT format for
+// inspection. It fails for models restored with LoadModel, which do not
+// retain the graph.
+func (m *Model) WriteGraphDOT(w io.Writer, name string) error {
+	if m.g == nil {
+		return fmt.Errorf("tdmatch: model has no graph (restored from a save?)")
+	}
+	return m.g.WriteDOT(w, name)
+}
+
+func toMatches(scored []match.Scored) []Match {
+	out := make([]Match, len(scored))
+	for i, s := range scored {
+		out[i] = Match{ID: s.ID, Score: s.Score}
+	}
+	return out
+}
+
+// kindWeights translates the public WalkBias into internal kind weights.
+func kindWeights(b *WalkBias) map[graph.NodeKind]float64 {
+	if b == nil {
+		return nil
+	}
+	w := map[graph.NodeKind]float64{}
+	set := func(v float64, kinds ...graph.NodeKind) {
+		if v == 0 {
+			return // unspecified: keep default weight 1
+		}
+		for _, k := range kinds {
+			w[k] = v
+		}
+	}
+	set(b.Attribute, graph.Attribute)
+	set(b.Metadata, graph.Tuple, graph.Snippet, graph.Concept)
+	set(b.External, graph.External)
+	return w
+}
+
+// TopKBlocked is TopK restricted to candidates that share at least one
+// processed token with the query document — the blocking speed-up the
+// paper plans as future work (§VII). When no candidate shares a token the
+// full ranking is returned.
+func (m *Model) TopKBlocked(docID string, k int) ([]Match, error) {
+	var idx *match.Index
+	var side *corpus.Corpus
+	var blocker **match.Blocker
+	switch m.sideOf(docID) {
+	case 1:
+		idx, side, blocker = m.secondIdx, m.second.c, &m.secondBlk
+	case 2:
+		idx, side, blocker = m.firstIdx, m.first.c, &m.firstBlk
+	default:
+		return nil, fmt.Errorf("tdmatch: unknown document %q", docID)
+	}
+	q := m.vectors[docID]
+	if q == nil {
+		return nil, fmt.Errorf("tdmatch: document %q has no embedding", docID)
+	}
+	if *blocker == nil {
+		texts := make([]string, side.Len())
+		for i, id := range side.IDs() {
+			d, _ := side.Doc(id)
+			texts[i] = d.Text()
+		}
+		*blocker = match.NewBlocker(texts)
+	}
+	var queryText string
+	if d, ok := m.first.c.Doc(docID); ok {
+		queryText = d.Text()
+	} else if d, ok := m.second.c.Doc(docID); ok {
+		queryText = d.Text()
+	}
+	return toMatches(idx.TopKBlocked(*blocker, queryText, q, k)), nil
+}
