@@ -11,6 +11,7 @@ package tdmatch_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/tdmatch/tdmatch"
@@ -223,6 +224,135 @@ func BenchmarkTopKMatch(b *testing.B) {
 			b.Fatal("short result")
 		}
 	}
+}
+
+// BenchmarkTopKIVF measures single-query ANN ranking at 10k targets with
+// the default adaptive probe — the counterpart of BenchmarkTopKMatch.
+func BenchmarkTopKIVF(b *testing.B) {
+	const n, dim = 10000, 96
+	ids := make([]string, n)
+	vecs := make([][]float32, n)
+	rng := uint64(12345)
+	next := func() float32 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float32(rng%1000)/500 - 1
+	}
+	for i := range ids {
+		ids[i] = fmt.Sprintf("t%d", i)
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = next()
+		}
+		vecs[i] = v
+	}
+	flat, err := match.NewIndex(ids, vecs, dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ivf := match.NewIVF(flat, match.IVFOptions{Seed: 1})
+	query := vecs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ivf.TopK(query, 20); len(got) != 20 {
+			b.Fatal("short result")
+		}
+	}
+}
+
+// --- MatchAll throughput: exact vs ANN, serial vs parallel. ---
+//
+// The corpus has >= 2000 documents per side; one benchmark op is a full
+// MatchAll sweep (every query ranked against every target), so ns/op
+// ratios between the variants are throughput ratios. The serial-flat
+// variant reproduces the seed's scan; the acceptance bar is parallel
+// MatchAll at Workers = GOMAXPROCS beating it by >= 4x on multicore
+// hardware.
+
+const matchAllDocs = 2000
+
+var matchAllModels = map[tdmatch.IndexKind]*tdmatch.Model{}
+
+// matchAllModel builds (once per index kind) a model over two synthetic
+// 2k-document corpora with overlapping vocabulary. Training is minimal:
+// these benchmarks measure serving, not Build.
+func matchAllModel(b *testing.B, kind tdmatch.IndexKind) *tdmatch.Model {
+	b.Helper()
+	if m := matchAllModels[kind]; m != nil {
+		return m
+	}
+	rng := uint64(99)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	word := func() string { return fmt.Sprintf("term%d", next(400)) }
+	rows := make([][]string, matchAllDocs)
+	texts := make([]string, matchAllDocs)
+	for i := range rows {
+		w1, w2, w3 := word(), word(), word()
+		rows[i] = []string{fmt.Sprintf("entity%d %s", i, w1), w2 + " " + w3}
+		texts[i] = fmt.Sprintf("report on entity%d covering %s %s and %s", i, w1, w2, w3)
+	}
+	table, err := tdmatch.NewTable("items", []string{"name", "tags"}, rows, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs, err := tdmatch.NewText("reports", texts, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := tdmatch.Defaults()
+	cfg.Seed = 5
+	cfg.NumWalks = 2
+	cfg.WalkLength = 8
+	cfg.Dim = 64
+	cfg.Epochs = 1
+	cfg.Index = kind
+	model, err := tdmatch.Build(table, docs, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	matchAllModels[kind] = model
+	return model
+}
+
+func benchMatchAll(b *testing.B, kind tdmatch.IndexKind, workers int) {
+	model := matchAllModel(b, kind)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all := model.MatchAllWorkers(true, 10, workers)
+		if len(all) < matchAllDocs/2 {
+			b.Fatalf("MatchAll covered only %d queries", len(all))
+		}
+	}
+}
+
+// BenchmarkMatchAllSerialFlat is the seed's serving path: one goroutine,
+// exact flat scan.
+func BenchmarkMatchAllSerialFlat(b *testing.B) {
+	benchMatchAll(b, tdmatch.IndexFlat, 1)
+}
+
+// BenchmarkMatchAllParallelFlat fans the exact scan out over GOMAXPROCS
+// workers.
+func BenchmarkMatchAllParallelFlat(b *testing.B) {
+	benchMatchAll(b, tdmatch.IndexFlat, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkMatchAllSerialIVF serves from the clustered ANN index on one
+// goroutine.
+func BenchmarkMatchAllSerialIVF(b *testing.B) {
+	benchMatchAll(b, tdmatch.IndexIVF, 1)
+}
+
+// BenchmarkMatchAllParallelIVF combines ANN pruning with the worker pool —
+// the production serving configuration.
+func BenchmarkMatchAllParallelIVF(b *testing.B) {
+	benchMatchAll(b, tdmatch.IndexIVF, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkEndToEndPipeline measures the full public-API Build call.

@@ -9,6 +9,7 @@
 //
 //	tdmatch -first movies.csv -second reviews.txt -k 5
 //	tdmatch -first tax.json -second docs.txt -kb triples.tsv -expand
+//	tdmatch -first movies.csv -second reviews.txt -index ivf -nprobe 4
 //
 // The optional -kb file holds tab-separated (subject, predicate, object)
 // triples used for graph expansion; -synonyms holds comma-separated
@@ -43,6 +44,10 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		fromFirst  = flag.Bool("from-first", false, "query from the first corpus instead of the second")
 		dotPath    = flag.String("dot", "", "write the built graph in Graphviz DOT format to this file")
+		indexKind  = flag.String("index", "flat", "serving index: flat (exact scan) or ivf (clustered ANN)")
+		clusters   = flag.Int("clusters", 0, "IVF partitions (0 = sqrt of corpus size)")
+		nprobe     = flag.Int("nprobe", 0, "IVF partitions probed per query (0 = adaptive half)")
+		exact      = flag.Bool("exact-recall", false, "force IVF to probe every partition (flat-identical rankings)")
 	)
 	flag.Parse()
 	if *firstPath == "" || *secondPath == "" {
@@ -60,6 +65,15 @@ func main() {
 	cfg.NumWalks = *walks
 	cfg.WalkLength = *length
 	cfg.Dim = *dim
+	kind, err := parseIndexKind(*indexKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdmatch:", err)
+		os.Exit(2)
+	}
+	cfg.Index = kind
+	cfg.IVFClusters = *clusters
+	cfg.IVFNProbe = *nprobe
+	cfg.ExactRecall = *exact
 	if *compress {
 		cfg.Compression = tdmatch.CompressMSP
 	}
@@ -97,6 +111,17 @@ func main() {
 			parts[i] = m.String()
 		}
 		fmt.Printf("%s\t%s\n", q, strings.Join(parts, "\t"))
+	}
+}
+
+func parseIndexKind(s string) (tdmatch.IndexKind, error) {
+	switch s {
+	case "flat", "":
+		return tdmatch.IndexFlat, nil
+	case "ivf":
+		return tdmatch.IndexIVF, nil
+	default:
+		return 0, fmt.Errorf("unknown -index %q (want flat or ivf)", s)
 	}
 }
 

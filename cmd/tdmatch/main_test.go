@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/tdmatch/tdmatch"
 )
 
 func writeFile(t *testing.T, name, content string) string {
@@ -13,6 +15,20 @@ func writeFile(t *testing.T, name, content string) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+func TestParseIndexKind(t *testing.T) {
+	for s, want := range map[string]tdmatch.IndexKind{
+		"flat": tdmatch.IndexFlat, "": tdmatch.IndexFlat, "ivf": tdmatch.IndexIVF,
+	} {
+		got, err := parseIndexKind(s)
+		if err != nil || got != want {
+			t.Errorf("parseIndexKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseIndexKind("annoy"); err == nil {
+		t.Error("want error for unknown index kind")
+	}
 }
 
 func TestLoadTriples(t *testing.T) {

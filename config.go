@@ -29,6 +29,20 @@ const (
 	CompressMSP
 )
 
+// IndexKind selects the vector index serving TopK and MatchAll queries.
+type IndexKind uint8
+
+const (
+	// IndexFlat is the exact ranking of the paper (§IV-B): a full cosine
+	// scan over one contiguous vector arena. The default.
+	IndexFlat IndexKind = iota
+	// IndexIVF is a clustering-based approximate index: targets are
+	// partitioned by k-means and queries probe only the nearest
+	// IVFNProbe partitions — the cluster-pruning serving architecture of
+	// the product-matching literature.
+	IndexIVF
+)
+
 // Config parametrizes the pipeline. Zero values select paper defaults via
 // Defaults(); construct from Defaults() and override selectively.
 type Config struct {
@@ -98,6 +112,24 @@ type Config struct {
 	// Workers bounds parallelism (default GOMAXPROCS). Training is
 	// hogwild-parallel; set 1 for bit-reproducible output.
 	Workers int
+
+	// Index selects the serving index for TopK and MatchAll (default
+	// IndexFlat, the paper's exact scan). TopKCombined and TopKBlocked
+	// always use the exact index regardless.
+	Index IndexKind
+	// IVFClusters is the number of k-means partitions of an IVF index
+	// (0 = ~sqrt of the corpus size).
+	IVFClusters int
+	// IVFNProbe is the number of partitions scanned per IVF query,
+	// honored strictly when set. 0 selects half the partitions and
+	// extends each query's probe set to cover at least 8×k candidates,
+	// which keeps recall@10 >= 0.95 on the paper's corpora; raise toward
+	// IVFClusters for higher recall.
+	IVFNProbe int
+	// ExactRecall forces approximate indexes to probe every partition,
+	// guaranteeing rankings identical to IndexFlat — the parity knob for
+	// validating an IVF deployment before lowering IVFNProbe.
+	ExactRecall bool
 
 	// WalkBias enables kind-weighted walks, the typed-walk extension of
 	// the paper's future work (§VII). Nil keeps uniform random walks.

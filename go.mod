@@ -1,0 +1,3 @@
+module github.com/tdmatch/tdmatch
+
+go 1.24

@@ -1,0 +1,220 @@
+package tdmatch
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/tdmatch/tdmatch/internal/datasets"
+)
+
+// Tests for the flat-vs-IVF serving parity guarantee on the seed IMDb
+// dataset: with ExactRecall the IVF index must reproduce the flat ranking
+// bit-for-bit, and with the default nprobe it must reach recall@10 >= 0.95
+// against the exact scan.
+
+func buildIMDbModel(t *testing.T, mutate func(*Config)) *Model {
+	t.Helper()
+	s, err := datasets.IMDb(datasets.IMDbConfig{
+		Seed: 3, Movies: 60, WithTitle: true, GeneralSentences: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &Corpus{c: s.First}
+	second := &Corpus{c: s.Second}
+	cfg := smallConfig()
+	cfg.Workers = 1
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	model, err := Build(first, second, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// flatBaseline returns the exact ranking for a query against the other
+// side's flat index.
+func (m *Model) flatBaseline(t *testing.T, docID string, k int) []Match {
+	t.Helper()
+	idx := m.secondFlat
+	if m.sideOf(docID) == 2 {
+		idx = m.firstFlat
+	}
+	q := m.vectors[docID]
+	if q == nil {
+		t.Fatalf("query %s has no vector", docID)
+	}
+	return toMatches(idx.TopK(q, k))
+}
+
+func TestIVFExactRecallParityOnIMDb(t *testing.T) {
+	model := buildIMDbModel(t, func(cfg *Config) {
+		cfg.Index = IndexIVF
+		cfg.ExactRecall = true
+	})
+	queries := append(append([]string(nil), model.first.IDs()...), model.second.IDs()...)
+	checked := 0
+	for _, q := range queries {
+		if model.vectors[q] == nil {
+			continue
+		}
+		got, err := model.TopK(q, 10)
+		if err != nil {
+			t.Fatalf("TopK(%s): %v", q, err)
+		}
+		want := model.flatBaseline(t, q, 10)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ExactRecall IVF diverged from flat for %s:\nivf:  %v\nflat: %v", q, got, want)
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d queries checked — fixture too small to be meaningful", checked)
+	}
+	if model.Stats().IndexClusters[0] == 0 || model.Stats().IndexClusters[1] == 0 {
+		t.Error("IVF serving must report cluster counts in Stats")
+	}
+}
+
+func TestIVFDefaultNProbeRecallOnIMDb(t *testing.T) {
+	model := buildIMDbModel(t, func(cfg *Config) {
+		cfg.Index = IndexIVF
+	})
+	hits, total := 0, 0
+	for _, q := range model.second.IDs() {
+		if model.vectors[q] == nil {
+			continue
+		}
+		exact := map[string]struct{}{}
+		for _, m := range model.flatBaseline(t, q, 10) {
+			exact[m.ID] = struct{}{}
+		}
+		approx, err := model.TopK(q, 10)
+		if err != nil {
+			t.Fatalf("TopK(%s): %v", q, err)
+		}
+		for _, m := range approx {
+			if _, ok := exact[m.ID]; ok {
+				hits++
+			}
+		}
+		total += len(exact)
+	}
+	if total == 0 {
+		t.Fatal("no queries produced rankings")
+	}
+	recall := float64(hits) / float64(total)
+	t.Logf("IVF recall@10 on IMDb = %.3f over %d ranked slots", recall, total)
+	if recall < 0.95 {
+		t.Errorf("default-nprobe recall@10 = %.3f, want >= 0.95", recall)
+	}
+}
+
+func TestMatchAllWorkersEquivalence(t *testing.T) {
+	model := buildIMDbModel(t, nil)
+	serial := model.MatchAllWorkers(true, 5, 1)
+	parallel := model.MatchAllWorkers(true, 5, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("worker counts change coverage: %d vs %d", len(serial), len(parallel))
+	}
+	for q, want := range serial {
+		if !reflect.DeepEqual(parallel[q], want) {
+			t.Fatalf("parallel MatchAll diverged for %s:\nserial:   %v\nparallel: %v", q, want, parallel[q])
+		}
+	}
+}
+
+func TestBuildStagesPopulateStats(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	model, err := Build(movies, reviews, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := model.Stats()
+	// Without expansion or compression, each later stage must report the
+	// graph-creation sizes unchanged — the seed's contract.
+	if st.ExpandedNodes != st.GraphNodes || st.ExpandedEdges != st.GraphEdges {
+		t.Errorf("expansion stage changed sizes without a resource: %+v", st)
+	}
+	if st.CompressedNodes != st.ExpandedNodes || st.CompressedEdges != st.ExpandedEdges {
+		t.Errorf("compression stage changed sizes while off: %+v", st)
+	}
+	if st.IndexClusters != [2]int{} {
+		t.Errorf("flat serving must not report clusters: %+v", st.IndexClusters)
+	}
+	if st.Walks == 0 || st.TrainTime <= 0 || st.BuildTime < st.TrainTime {
+		t.Errorf("stage timings wrong: %+v", st)
+	}
+}
+
+func TestConcurrentServingPaths(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	cfg := smallConfig()
+	cfg.Workers = 1 // serial training; the serving calls below are the concurrent part
+	model, err := Build(movies, reviews, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := map[string][]float32{}
+	for _, id := range append(movies.IDs(), reviews.IDs()...) {
+		ext[id] = []float32{1, 0}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, q := range reviews.IDs() {
+				if _, err := model.TopK(q, 2); err != nil {
+					t.Error(err)
+				}
+				if _, err := model.TopKBlocked(q, 2); err != nil {
+					t.Error(err)
+				}
+				if _, err := model.TopKCombined(q, 2, ext, 2, 0.5); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTopKCombinedCachesExternalIndex(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	model, err := Build(movies, reviews, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := map[string][]float32{}
+	for _, id := range append(movies.IDs(), reviews.IDs()...) {
+		ext[id] = []float32{1, 0}
+	}
+	if _, err := model.TopKCombined("reviews:p0", 2, ext, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	cached := model.extCache[0].idx
+	if cached == nil {
+		t.Fatal("first TopKCombined call must populate the side cache")
+	}
+	if _, err := model.TopKCombined("reviews:p1", 2, ext, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if model.extCache[0].idx != cached {
+		t.Error("same extVectors map must reuse the cached index")
+	}
+	// A different map (same content) must rebuild.
+	ext2 := map[string][]float32{}
+	for id, v := range ext {
+		ext2[id] = v
+	}
+	if _, err := model.TopKCombined("reviews:p0", 2, ext2, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if model.extCache[0].idx == cached {
+		t.Error("different extVectors map must rebuild the index")
+	}
+}

@@ -82,11 +82,5 @@ func (x *Index) TopKBlocked(b *Blocker, queryText string, query []float32, k int
 	q := make([]float32, x.dim)
 	copy(q, query)
 	embed.Normalize(q)
-	ids := make([]string, len(cands))
-	for i, c := range cands {
-		ids[i] = x.ids[c]
-	}
-	return TopKFunc(ids, func(i int) float64 {
-		return float64(embed.Dot(q, x.vecs[cands[i]]))
-	}, k)
+	return x.topKPositions(q, cands, k)
 }

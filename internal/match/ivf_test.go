@@ -1,0 +1,166 @@
+package match
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// randomIndex builds a flat index over n deterministic pseudo-random
+// vectors of the given dimension.
+func randomIndex(t testing.TB, n, dim int, seed uint64) *Index {
+	t.Helper()
+	ids := make([]string, n)
+	vecs := make([][]float32, n)
+	state := seed
+	for i := range ids {
+		ids[i] = fmt.Sprintf("d%04d", i)
+		v := make([]float32, dim)
+		for d := range v {
+			state = splitmix(state)
+			v[d] = float32(state%2000)/1000 - 1
+		}
+		vecs[i] = v
+	}
+	idx, err := NewIndex(ids, vecs, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestIVFFullProbeMatchesFlatExactly(t *testing.T) {
+	flat := randomIndex(t, 300, 24, 11)
+	ivf := NewIVF(flat, IVFOptions{ExactRecall: true, Seed: 5})
+	if ivf.NProbe() != ivf.Clusters() {
+		t.Fatalf("exact-recall nprobe = %d, clusters = %d", ivf.NProbe(), ivf.Clusters())
+	}
+	for qi := 0; qi < 300; qi += 7 {
+		q := flat.Vector(qi)
+		want := flat.TopK(q, 10)
+		got := ivf.TopK(q, 10)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("query %d: full-probe IVF diverged from flat\nflat: %v\nivf:  %v", qi, want, got)
+		}
+	}
+}
+
+func TestIVFDefaultNProbeRecall(t *testing.T) {
+	flat := randomIndex(t, 500, 32, 3)
+	ivf := NewIVF(flat, IVFOptions{Seed: 9})
+	hits, total := 0, 0
+	for qi := 0; qi < 500; qi += 5 {
+		q := flat.Vector(qi)
+		exact := map[string]struct{}{}
+		for _, s := range flat.TopK(q, 10) {
+			exact[s.ID] = struct{}{}
+		}
+		for _, s := range ivf.TopK(q, 10) {
+			if _, ok := exact[s.ID]; ok {
+				hits++
+			}
+		}
+		total += 10
+	}
+	recall := float64(hits) / float64(total)
+	// Random vectors are the adversarial case for clustering; the seed
+	// datasets (embedding space with real structure) do better — see the
+	// top-level parity test. Require a sane floor here.
+	if recall < 0.5 {
+		t.Errorf("recall@10 = %.3f with default nprobe, want >= 0.5 on random vectors", recall)
+	}
+	t.Logf("recall@10 = %.3f (nlist=%d nprobe=%d)", recall, ivf.Clusters(), ivf.NProbe())
+}
+
+func TestIVFDeterministic(t *testing.T) {
+	flat := randomIndex(t, 200, 16, 21)
+	a := NewIVF(flat, IVFOptions{Seed: 4, Clusters: 12, NProbe: 3})
+	b := NewIVF(flat, IVFOptions{Seed: 4, Clusters: 12, NProbe: 3})
+	for qi := 0; qi < 200; qi += 13 {
+		q := flat.Vector(qi)
+		if !reflect.DeepEqual(a.TopK(q, 5), b.TopK(q, 5)) {
+			t.Fatalf("same-seed IVF indexes rank query %d differently", qi)
+		}
+	}
+}
+
+func TestIVFCoversAllTargets(t *testing.T) {
+	flat := randomIndex(t, 120, 8, 2)
+	ivf := NewIVF(flat, IVFOptions{Seed: 1})
+	seen := map[int32]int{}
+	for _, list := range ivf.lists {
+		for _, p := range list {
+			seen[p]++
+		}
+	}
+	if len(seen) != 120 {
+		t.Fatalf("inverted lists cover %d of 120 targets", len(seen))
+	}
+	for p, c := range seen {
+		if c != 1 {
+			t.Fatalf("target %d appears in %d lists", p, c)
+		}
+	}
+}
+
+func TestIVFSmallAndEdgeCases(t *testing.T) {
+	// Fewer targets than requested clusters.
+	flat := randomIndex(t, 3, 4, 7)
+	ivf := NewIVF(flat, IVFOptions{Clusters: 64, Seed: 1})
+	if ivf.Clusters() != 3 {
+		t.Errorf("clusters = %d, want clamped to 3", ivf.Clusters())
+	}
+	got := ivf.TopKProbe(flat.Vector(0), 10, ivf.Clusters())
+	if len(got) != 3 {
+		t.Errorf("full-probe TopK = %v, want all 3 targets", got)
+	}
+	if ivf.TopK(flat.Vector(0), 0) != nil {
+		t.Error("TopK(0) must be nil")
+	}
+
+	// Empty index.
+	empty, err := NewIndex(nil, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eivf := NewIVF(empty, IVFOptions{})
+	if eivf.TopK([]float32{1, 0, 0, 0}, 5) != nil {
+		t.Error("empty IVF must return nil")
+	}
+
+	// Single target.
+	one, err := NewIndex([]string{"only"}, [][]float32{{1, 0}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oivf := NewIVF(one, IVFOptions{Seed: 3})
+	if got := oivf.TopK([]float32{1, 0}, 1); len(got) != 1 || got[0].ID != "only" {
+		t.Errorf("single-target IVF = %v", got)
+	}
+}
+
+func TestIVFTopKProbeClamps(t *testing.T) {
+	flat := randomIndex(t, 100, 8, 13)
+	ivf := NewIVF(flat, IVFOptions{Clusters: 10, NProbe: 2, Seed: 6})
+	q := flat.Vector(17)
+	// nprobe above nlist falls back to the exact flat scan.
+	if !reflect.DeepEqual(ivf.TopKProbe(q, 5, 100), flat.TopK(q, 5)) {
+		t.Error("over-probing must equal the flat ranking")
+	}
+	// nprobe below 1 is clamped, not a panic.
+	if got := ivf.TopKProbe(q, 5, 0); len(got) == 0 {
+		t.Error("nprobe 0 must clamp to 1 and still return candidates")
+	}
+}
+
+func TestDefaultHeuristics(t *testing.T) {
+	if DefaultClusters(0) != 1 || DefaultClusters(1) != 1 {
+		t.Error("tiny corpora must get one cluster")
+	}
+	if c := DefaultClusters(10000); c != 100 {
+		t.Errorf("DefaultClusters(10000) = %d, want 100", c)
+	}
+	if DefaultNProbe(1) != 1 || DefaultNProbe(7) != 4 {
+		t.Error("nprobe heuristic wrong")
+	}
+}

@@ -3,6 +3,11 @@
 // second corpus by cosine similarity for every document of the first
 // corpus, returning the top-k. It also provides the score-averaging
 // combination with a second embedder evaluated in Fig. 10.
+//
+// Two index implementations serve the ranking: the exact Index, a flat
+// scan over one contiguous vector arena, and IVF, a clustering-based
+// approximate index that probes only the nearest k-means partitions.
+// Both satisfy VectorIndex, the pluggable serving interface.
 package match
 
 import (
@@ -19,37 +24,78 @@ type Scored struct {
 	Score float64
 }
 
-// Index holds the match targets: document IDs with their (normalized)
-// embedding vectors. Build once, query many times.
+// VectorIndex is the pluggable serving interface for top-k retrieval:
+// given a (not necessarily normalized) query vector, return the k most
+// cosine-similar indexed documents, best first, with deterministic ID
+// tie-breaking. Implementations are safe for concurrent queries once
+// built.
+type VectorIndex interface {
+	// Len returns the number of indexed documents.
+	Len() int
+	// IDs returns the indexed document IDs in index order.
+	IDs() []string
+	// Dim returns the vector dimensionality.
+	Dim() int
+	// TopK returns the k targets most similar to query, best first.
+	TopK(query []float32, k int) []Scored
+}
+
+var (
+	_ VectorIndex = (*Index)(nil)
+	_ VectorIndex = (*IVF)(nil)
+)
+
+// Index holds the match targets: document IDs with their normalized
+// embedding vectors, stored in one contiguous arena so the scan is a
+// sequential sweep over memory. Build once, query many times.
 type Index struct {
 	ids  []string
-	vecs [][]float32
+	data []float32 // row-major arena: vector i is data[i*dim : (i+1)*dim]
 	dim  int
 }
 
-// NewIndex builds an index over target documents. Vectors are copied and
-// normalized so queries reduce to dot products; nil vectors become zero
-// vectors (they score 0 against everything).
+// NewIndex builds an index over target documents. Vectors are copied into
+// the arena and normalized so queries reduce to dot products; nil vectors
+// become zero vectors (they score 0 against everything).
 func NewIndex(ids []string, vecs [][]float32, dim int) (*Index, error) {
 	if len(ids) != len(vecs) {
 		return nil, fmt.Errorf("match: %d ids for %d vectors", len(ids), len(vecs))
 	}
-	idx := &Index{ids: append([]string(nil), ids...), dim: dim}
-	idx.vecs = make([][]float32, len(vecs))
+	if dim <= 0 {
+		return nil, fmt.Errorf("match: non-positive dimension %d", dim)
+	}
+	idx := &Index{
+		ids:  append([]string(nil), ids...),
+		data: make([]float32, len(ids)*dim),
+		dim:  dim,
+	}
 	for i, v := range vecs {
-		nv := make([]float32, dim)
-		copy(nv, v)
-		embed.Normalize(nv)
-		idx.vecs[i] = nv
+		row := idx.row(i)
+		copy(row, v)
+		embed.Normalize(row)
 	}
 	return idx, nil
 }
+
+// row returns the mutable arena slice of vector i.
+func (x *Index) row(i int) []float32 { return x.data[i*x.dim : (i+1)*x.dim] }
+
+// Vector returns the normalized vector of target i. Callers must not
+// mutate it.
+func (x *Index) Vector(i int) []float32 { return x.row(i) }
+
+// Arena returns the contiguous normalized-vector storage in index order.
+// Callers must not mutate it.
+func (x *Index) Arena() []float32 { return x.data }
 
 // Len returns the number of indexed documents.
 func (x *Index) Len() int { return len(x.ids) }
 
 // IDs returns the indexed document IDs in index order.
 func (x *Index) IDs() []string { return x.ids }
+
+// Dim returns the vector dimensionality.
+func (x *Index) Dim() int { return x.dim }
 
 // Score returns the cosine similarity between the (not necessarily
 // normalized) query vector and target i.
@@ -58,7 +104,7 @@ func (x *Index) Score(query []float32, i int) float64 {
 	if qn == 0 {
 		return 0
 	}
-	return float64(embed.Dot(query, x.vecs[i])) / float64(qn)
+	return float64(embed.Dot(query, x.row(i))) / float64(qn)
 }
 
 // TopK returns the k targets most similar to query, best first. Ties break
@@ -68,7 +114,7 @@ func (x *Index) TopK(query []float32, k int) []Scored {
 	copy(q, query)
 	embed.Normalize(q)
 	return TopKFunc(x.ids, func(i int) float64 {
-		return float64(embed.Dot(q, x.vecs[i]))
+		return float64(embed.Dot(q, x.row(i)))
 	}, k)
 }
 
@@ -96,8 +142,8 @@ func (x *Index) TopKCombined(other *Index, queryA, queryB []float32, wA, wB floa
 		total = 1
 	}
 	return TopKFunc(x.ids, func(i int) float64 {
-		sa := float64(embed.Dot(qa, x.vecs[i]))
-		sb := float64(embed.Dot(qb, other.vecs[i]))
+		sa := float64(embed.Dot(qa, x.row(i)))
+		sb := float64(embed.Dot(qb, other.row(i)))
 		return (wA*sa + wB*sb) / total
 	}, k), nil
 }
@@ -139,6 +185,12 @@ func TopKFunc(ids []string, score func(i int) float64, k int) []Scored {
 			heap.Fix(&h, 0)
 		}
 	}
+	return sortScored(h)
+}
+
+// sortScored flattens a selection heap into best-first order with ID
+// tie-breaking.
+func sortScored(h scoredHeap) []Scored {
 	out := make([]Scored, len(h))
 	copy(out, h)
 	sort.Slice(out, func(i, j int) bool {
@@ -148,6 +200,32 @@ func TopKFunc(ids []string, score func(i int) float64, k int) []Scored {
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// topKPositions selects the k candidates (given as arena positions) most
+// similar to the normalized query, best first with ID tie-breaking. It
+// avoids materializing a candidate ID slice: IDs are resolved only for
+// the <= k heap residents.
+func (x *Index) topKPositions(q []float32, positions []int32, k int) []Scored {
+	if k <= 0 || len(positions) == 0 {
+		return nil
+	}
+	if k > len(positions) {
+		k = len(positions)
+	}
+	h := make(scoredHeap, 0, k)
+	for _, p := range positions {
+		s := float64(embed.Dot(q, x.row(int(p))))
+		if len(h) < k {
+			heap.Push(&h, Scored{ID: x.ids[p], Score: s})
+			continue
+		}
+		if s > h[0].Score || (s == h[0].Score && x.ids[p] < h[0].ID) {
+			h[0] = Scored{ID: x.ids[p], Score: s}
+			heap.Fix(&h, 0)
+		}
+	}
+	return sortScored(h)
 }
 
 // IDsOf projects the candidate IDs of a ranking.

@@ -5,31 +5,73 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // savedModel is the gob-encoded form of a trained model: the learned
-// document vectors plus enough metadata to validate a reload. The graph
-// itself is not persisted — it is only needed for training.
+// document vectors plus enough metadata to validate a reload and rebuild
+// the configured serving indexes. The graph itself is not persisted — it
+// is only needed for training.
+//
+// Version 2 stores the vectors as one contiguous arena (VectorIDs + Arena)
+// matching the in-memory index layout; version 1 payloads with the
+// per-document Vectors map are still readable.
 type savedModel struct {
 	Version    int
 	Dim        int
 	FirstName  string
 	SecondName string
-	Vectors    map[string][]float32
+
+	// Vectors is the version-1 per-document encoding (nil in v2 payloads).
+	Vectors map[string][]float32
+
+	// VectorIDs and Arena are the version-2 encoding: document i's vector
+	// is Arena[i*Dim : (i+1)*Dim], IDs sorted for determinism.
+	VectorIDs []string
+	Arena     []float32
+
+	// Serving-index choice, restored into the loaded model's Config. Seed
+	// is included so an approximate index is re-clustered exactly as the
+	// saved model's was.
+	Index       uint8
+	IVFClusters int
+	IVFNProbe   int
+	ExactRecall bool
+	Seed        int64
 }
 
-const savedModelVersion = 1
+const savedModelVersion = 2
 
-// Save writes the trained document embeddings to w. The graph is not
-// saved; a loaded model can match but not retrain.
+// Save writes the trained document embeddings (as one contiguous arena)
+// and the serving-index configuration to w. The graph is not saved; a
+// loaded model can match but not retrain.
 func (m *Model) Save(w io.Writer) error {
+	ids := make([]string, 0, len(m.vectors))
+	for id := range m.vectors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	arena := make([]float32, 0, len(ids)*m.dim)
+	for _, id := range ids {
+		v := m.vectors[id]
+		arena = append(arena, v...)
+		for pad := len(v); pad < m.dim; pad++ {
+			arena = append(arena, 0)
+		}
+	}
 	enc := gob.NewEncoder(w)
 	return enc.Encode(savedModel{
-		Version:    savedModelVersion,
-		Dim:        m.dim,
-		FirstName:  m.first.Name(),
-		SecondName: m.second.Name(),
-		Vectors:    m.vectors,
+		Version:     savedModelVersion,
+		Dim:         m.dim,
+		FirstName:   m.first.Name(),
+		SecondName:  m.second.Name(),
+		VectorIDs:   ids,
+		Arena:       arena,
+		Index:       uint8(m.cfg.Index),
+		IVFClusters: m.cfg.IVFClusters,
+		IVFNProbe:   m.cfg.IVFNProbe,
+		ExactRecall: m.cfg.ExactRecall,
+		Seed:        m.cfg.Seed,
 	})
 }
 
@@ -47,9 +89,10 @@ func (m *Model) SaveFile(path string) error {
 }
 
 // LoadModel reads embeddings written by Save and reconstructs a matcher
-// over the same two corpora. The corpora must be the ones the model was
-// trained on (names are checked; document IDs missing a stored vector are
-// matched as zero vectors, exactly as after training).
+// over the same two corpora, rebuilding the serving indexes the model was
+// saved with. The corpora must be the ones the model was trained on
+// (names are checked; document IDs missing a stored vector are matched as
+// zero vectors, exactly as after training).
 func LoadModel(r io.Reader, first, second *Corpus) (*Model, error) {
 	if first == nil || second == nil {
 		return nil, fmt.Errorf("tdmatch: LoadModel requires two corpora")
@@ -58,25 +101,38 @@ func LoadModel(r io.Reader, first, second *Corpus) (*Model, error) {
 	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
 		return nil, fmt.Errorf("tdmatch: decoding model: %w", err)
 	}
-	if sm.Version != savedModelVersion {
+	if sm.Version < 1 || sm.Version > savedModelVersion {
 		return nil, fmt.Errorf("tdmatch: unsupported model version %d", sm.Version)
 	}
 	if sm.FirstName != first.Name() || sm.SecondName != second.Name() {
 		return nil, fmt.Errorf("tdmatch: model was trained on corpora %q/%q, got %q/%q",
 			sm.FirstName, sm.SecondName, first.Name(), second.Name())
 	}
+	vectors := sm.Vectors
+	if sm.Version >= 2 {
+		if len(sm.Arena) != len(sm.VectorIDs)*sm.Dim {
+			return nil, fmt.Errorf("tdmatch: arena holds %d floats for %d vectors of dim %d",
+				len(sm.Arena), len(sm.VectorIDs), sm.Dim)
+		}
+		vectors = make(map[string][]float32, len(sm.VectorIDs))
+		for i, id := range sm.VectorIDs {
+			vectors[id] = sm.Arena[i*sm.Dim : (i+1)*sm.Dim : (i+1)*sm.Dim]
+		}
+	}
+	cfg := Defaults()
+	cfg.Index = IndexKind(sm.Index)
+	cfg.IVFClusters = sm.IVFClusters
+	cfg.IVFNProbe = sm.IVFNProbe
+	cfg.ExactRecall = sm.ExactRecall
+	cfg.Seed = sm.Seed
 	m := &Model{
-		cfg:     Defaults(),
+		cfg:     cfg,
 		first:   first,
 		second:  second,
 		dim:     sm.Dim,
-		vectors: sm.Vectors,
+		vectors: vectors,
 	}
-	var err error
-	if m.firstIdx, err = m.buildIndex(first.c); err != nil {
-		return nil, err
-	}
-	if m.secondIdx, err = m.buildIndex(second.c); err != nil {
+	if err := m.buildIndexes(); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -2,8 +2,11 @@ package tdmatch
 
 import (
 	"bytes"
+	"encoding/gob"
 	"path/filepath"
 	"testing"
+
+	"github.com/tdmatch/tdmatch/internal/match"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -68,6 +71,86 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadModelFile(filepath.Join(t.TempDir(), "missing.gob"), movies, reviews); err == nil {
 		t.Error("want error for missing file")
+	}
+}
+
+func TestSaveLoadRestoresIndexChoice(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	cfg := smallConfig()
+	cfg.Index = IndexIVF
+	cfg.IVFClusters = 2
+	// Deliberately NOT ExactRecall: approximate rankings depend on the
+	// k-means partitioning, so this only round-trips if the clustering
+	// seed is persisted too.
+	cfg.IVFNProbe = 1
+	model, err := Build(movies, reviews, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf, movies, reviews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.cfg.Index != IndexIVF || loaded.cfg.IVFClusters != 2 ||
+		loaded.cfg.IVFNProbe != 1 || loaded.cfg.Seed != cfg.Seed {
+		t.Errorf("index config not restored: %+v", loaded.cfg)
+	}
+	if _, ok := loaded.firstIdx.(*match.IVF); !ok {
+		t.Errorf("loaded serving index is %T, want *match.IVF", loaded.firstIdx)
+	}
+	// Approximate rankings must equal the trained model's: same seed,
+	// same partitioning, same probes.
+	for _, q := range reviews.IDs() {
+		orig, err := model.TopK(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.TopK(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if orig[i].ID != got[i].ID {
+				t.Errorf("%s rank %d: %s vs %s", q, i, orig[i].ID, got[i].ID)
+			}
+		}
+	}
+}
+
+func TestLoadModelArenaValidation(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(savedModel{
+		Version: 2, Dim: 8, FirstName: "movies", SecondName: "reviews",
+		VectorIDs: []string{"movies:t0"}, Arena: []float32{1, 2, 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(&buf, movies, reviews); err == nil {
+		t.Error("want error for arena/ids size mismatch")
+	}
+}
+
+func TestLoadModelVersion1(t *testing.T) {
+	// A v1 payload (per-document Vectors map) must still load.
+	movies, reviews := fixtureCorpora(t)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(savedModel{
+		Version: 1, Dim: 2, FirstName: "movies", SecondName: "reviews",
+		Vectors: map[string][]float32{"movies:t0": {1, 0}, "reviews:p0": {0, 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf, movies, reviews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := loaded.Vector("movies:t0"); len(v) != 2 || v[0] != 1 {
+		t.Errorf("v1 vector = %v", v)
 	}
 }
 

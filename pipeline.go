@@ -3,6 +3,8 @@ package tdmatch
 import (
 	"fmt"
 	"io"
+	"reflect"
+	"sync"
 	"time"
 
 	"github.com/tdmatch/tdmatch/internal/compress"
@@ -33,8 +35,21 @@ type Stats struct {
 	Walks int
 	// TrainTime is the wall time of walks + embedding training.
 	TrainTime time.Duration
+	// IndexClusters is the partition count of each side's IVF index
+	// (zero under IndexFlat).
+	IndexClusters [2]int
 	// BuildTime is the wall time of the whole Build call.
 	BuildTime time.Duration
+}
+
+// extIndexCache memoizes the external-scorer index TopKCombined builds
+// over one target side, keyed on the identity of the caller's vector map.
+// src retains the keyed map so its address cannot be recycled for a new
+// map while the cache entry is alive.
+type extIndexCache struct {
+	src map[string][]float32
+	dim int
+	idx *match.Index
 }
 
 // Model is a trained matcher over two corpora.
@@ -43,26 +58,55 @@ type Model struct {
 	first  *Corpus
 	second *Corpus
 
-	g         *graph.Graph
-	docNode   map[string]graph.NodeID
-	vectors   map[string][]float32
-	dim       int
-	firstIdx  *match.Index
-	secondIdx *match.Index
-	firstBlk  *match.Blocker
-	secondBlk *match.Blocker
-	stats     Stats
+	g       *graph.Graph
+	docNode map[string]graph.NodeID
+	vectors map[string][]float32
+	dim     int
+	// firstFlat/secondFlat are the exact arena-backed indexes; they always
+	// exist and back TopKCombined and TopKBlocked. firstIdx/secondIdx are
+	// the serving indexes selected by Config.Index (the flat ones under
+	// IndexFlat, IVF wrappers over them under IndexIVF).
+	firstFlat  *match.Index
+	secondFlat *match.Index
+	firstIdx   match.VectorIndex
+	secondIdx  match.VectorIndex
+	blkMu      sync.Mutex
+	firstBlk   *match.Blocker
+	secondBlk  *match.Blocker
+	extMu      sync.Mutex
+	extCache   [2]extIndexCache
+	stats      Stats
 }
 
 // Build runs the full pipeline over two corpora and returns a ready model.
+// It is a fixed sequence of explicit stages — graph creation (§II),
+// expansion (§III-A), compression (§III-B), embedding training (§IV-A)
+// and index construction (§IV-B) — each of which fills its slice of Stats.
 func Build(first, second *Corpus, cfg Config) (*Model, error) {
 	if first == nil || second == nil {
 		return nil, fmt.Errorf("tdmatch: Build requires two corpora")
 	}
-	cfg = cfg.withDefaults()
+	m := &Model{cfg: cfg.withDefaults(), first: first, second: second}
 	start := time.Now()
+	if err := m.buildGraph(); err != nil {
+		return nil, err
+	}
+	m.expandGraph()
+	m.compressGraph()
+	if err := m.trainEmbeddings(); err != nil {
+		return nil, err
+	}
+	if err := m.buildIndexes(); err != nil {
+		return nil, err
+	}
+	m.stats.BuildTime = time.Since(start)
+	return m, nil
+}
 
-	// 1. Graph creation (§II).
+// buildGraph runs graph creation (§II): tokenize both corpora, filter and
+// merge data nodes, and connect them to their metadata nodes.
+func (m *Model) buildGraph() error {
+	cfg := m.cfg
 	bc := graph.BuildConfig{
 		Pre: textproc.Preprocessor{
 			RemoveStopwords: true,
@@ -86,43 +130,53 @@ func Build(first, second *Corpus, cfg Config) (*Model, error) {
 	if lex := buildLexicon(cfg.SynonymGroups); lex != nil {
 		bc.Mergers = append(bc.Mergers, lex)
 	}
-	res, err := graph.Build(first.c, second.c, bc)
+	res, err := graph.Build(m.first.c, m.second.c, bc)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	g := res.Graph
-	m := &Model{cfg: cfg, first: first, second: second, g: g, docNode: res.DocNode}
-	m.stats.GraphNodes = g.NumNodes()
-	m.stats.GraphEdges = g.NumEdges()
+	m.g = res.Graph
+	m.docNode = res.DocNode
+	m.stats.GraphNodes = m.g.NumNodes()
+	m.stats.GraphEdges = m.g.NumEdges()
 	m.stats.FilteredTerms = res.FilteredTerms
 	m.stats.MergedTerms = res.Canon.Mappings()
+	return nil
+}
 
-	// 2. Expansion (§III-A).
-	if cfg.Resource != nil {
-		expand.Expand(g, resourceAdapter{cfg.Resource}, expand.Options{
-			MaxRelationsPerNode: cfg.MaxRelationsPerNode,
+// expandGraph adds external-resource relations to the graph (§III-A); a
+// no-op recording unchanged sizes when no resource is configured.
+func (m *Model) expandGraph() {
+	if m.cfg.Resource != nil {
+		expand.Expand(m.g, resourceAdapter{m.cfg.Resource}, expand.Options{
+			MaxRelationsPerNode: m.cfg.MaxRelationsPerNode,
 		})
 	}
-	m.stats.ExpandedNodes = g.NumNodes()
-	m.stats.ExpandedEdges = g.NumEdges()
+	m.stats.ExpandedNodes = m.g.NumNodes()
+	m.stats.ExpandedEdges = m.g.NumEdges()
+}
 
-	// 3. Compression (§III-B).
-	if cfg.Compression == CompressMSP {
-		g = compress.MSP(g, compress.Options{Ratio: cfg.CompressionRatio, Seed: cfg.Seed})
-		m.g = g
+// compressGraph applies the §III-B MSP compression when configured and
+// rebuilds the doc-node map over the surviving metadata nodes.
+func (m *Model) compressGraph() {
+	if m.cfg.Compression == CompressMSP {
+		m.g = compress.MSP(m.g, compress.Options{Ratio: m.cfg.CompressionRatio, Seed: m.cfg.Seed})
 		// Metadata node IDs changed: rebuild the doc-node map by label.
 		rebuilt := make(map[string]graph.NodeID, len(m.docNode))
 		for docID := range m.docNode {
-			if id, ok := g.MetaNode(docID); ok {
+			if id, ok := m.g.MetaNode(docID); ok {
 				rebuilt[docID] = id
 			}
 		}
 		m.docNode = rebuilt
 	}
-	m.stats.CompressedNodes = g.NumNodes()
-	m.stats.CompressedEdges = g.NumEdges()
+	m.stats.CompressedNodes = m.g.NumNodes()
+	m.stats.CompressedEdges = m.g.NumEdges()
+}
 
-	// 4. Walks + embeddings (§IV-A).
+// trainEmbeddings generates random walks, trains Word2Vec over them
+// (§IV-A) and extracts the metadata-node vectors the indexes serve.
+func (m *Model) trainEmbeddings() error {
+	cfg := m.cfg
 	trainStart := time.Now()
 	wcfg := walk.Config{
 		NumWalks:    cfg.NumWalks,
@@ -140,14 +194,14 @@ func Build(first, second *Corpus, cfg Config) (*Model, error) {
 		if q <= 0 {
 			q = 1
 		}
-		walks = walk.GenerateSecondOrder(g, wcfg, walk.SecondOrder{P: p, Q: q})
+		walks = walk.GenerateSecondOrder(m.g, wcfg, walk.SecondOrder{P: p, Q: q})
 	} else {
-		walks = walk.Generate(g, wcfg)
+		walks = walk.Generate(m.g, wcfg)
 	}
 	m.stats.Walks = len(walks)
 
 	mode, window := m.objective()
-	em, err := embed.Train(walk.ToSequences(walks), g.Cap(), embed.Config{
+	em, err := embed.Train(walk.ToSequences(walks), m.g.Cap(), embed.Config{
 		Dim:       cfg.Dim,
 		Window:    window,
 		Negative:  cfg.Negative,
@@ -158,26 +212,60 @@ func Build(first, second *Corpus, cfg Config) (*Model, error) {
 		Subsample: cfg.Subsample,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	m.stats.TrainTime = time.Since(trainStart)
 	m.dim = cfg.Dim
-
-	// 5. Metadata vectors and per-side indexes (§IV-B).
 	m.vectors = make(map[string][]float32, len(m.docNode))
 	for docID, node := range m.docNode {
 		if v := em.Vector(int32(node)); v != nil {
 			m.vectors[docID] = v
 		}
 	}
-	if m.firstIdx, err = m.buildIndex(first.c); err != nil {
-		return nil, err
+	m.stats.TrainTime = time.Since(trainStart)
+	return nil
+}
+
+// buildIndexes constructs the per-side serving indexes (§IV-B): always
+// the exact arena-backed flat indexes, plus IVF wrappers when Config
+// selects approximate serving. Also used by LoadModel to rebuild serving
+// state from persisted vectors.
+func (m *Model) buildIndexes() error {
+	var err error
+	if m.firstFlat, err = m.buildFlat(m.first.c); err != nil {
+		return err
 	}
-	if m.secondIdx, err = m.buildIndex(second.c); err != nil {
-		return nil, err
+	if m.secondFlat, err = m.buildFlat(m.second.c); err != nil {
+		return err
 	}
-	m.stats.BuildTime = time.Since(start)
-	return m, nil
+	m.firstIdx = m.serveIndex(m.firstFlat, 0)
+	m.secondIdx = m.serveIndex(m.secondFlat, 1)
+	return nil
+}
+
+func (m *Model) buildFlat(c *corpus.Corpus) (*match.Index, error) {
+	ids := c.IDs()
+	vecs := make([][]float32, len(ids))
+	for i, id := range ids {
+		vecs[i] = m.vectors[id]
+	}
+	return match.NewIndex(ids, vecs, m.dim)
+}
+
+// serveIndex wraps a flat index per Config.Index. side (0 or 1) offsets
+// the clustering seed so the two sides don't share centroid draws, and
+// addresses the Stats slot.
+func (m *Model) serveIndex(flat *match.Index, side int) match.VectorIndex {
+	if m.cfg.Index != IndexIVF {
+		return flat
+	}
+	ivf := match.NewIVF(flat, match.IVFOptions{
+		Clusters:    m.cfg.IVFClusters,
+		NProbe:      m.cfg.IVFNProbe,
+		ExactRecall: m.cfg.ExactRecall,
+		Seed:        m.cfg.Seed + int64(side) + 1,
+	})
+	m.stats.IndexClusters[side] = ivf.Clusters()
+	return ivf
 }
 
 // objective picks Skip-gram window 3 when a table is involved and CBOW
@@ -206,15 +294,6 @@ func (m *Model) objective() (embed.Mode, int) {
 	return mode, window
 }
 
-func (m *Model) buildIndex(c *corpus.Corpus) (*match.Index, error) {
-	ids := c.IDs()
-	vecs := make([][]float32, len(ids))
-	for i, id := range ids {
-		vecs[i] = m.vectors[id]
-	}
-	return match.NewIndex(ids, vecs, m.dim)
-}
-
 // Stats returns pipeline statistics.
 func (m *Model) Stats() Stats { return m.stats }
 
@@ -226,21 +305,29 @@ func (m *Model) Vector(docID string) []float32 { return m.vectors[docID] }
 // Callers must not mutate the returned slices.
 func (m *Model) Vectors() map[string][]float32 { return m.vectors }
 
+// docOf resolves a document ID to its side (1 or 2) and document; side 0
+// and ok false for unknown IDs.
+func (m *Model) docOf(docID string) (int, corpus.Document, bool) {
+	if d, ok := m.first.c.Doc(docID); ok {
+		return 1, d, true
+	}
+	if d, ok := m.second.c.Doc(docID); ok {
+		return 2, d, true
+	}
+	return 0, corpus.Document{}, false
+}
+
 // sideOf reports which corpus a document belongs to: 1, 2, or 0 (unknown).
 func (m *Model) sideOf(docID string) int {
-	if _, ok := m.first.c.Doc(docID); ok {
-		return 1
-	}
-	if _, ok := m.second.c.Doc(docID); ok {
-		return 2
-	}
-	return 0
+	side, _, _ := m.docOf(docID)
+	return side
 }
 
 // TopK returns the k documents of the *other* corpus most similar to the
-// given document (§IV-B). The query may come from either corpus.
+// given document (§IV-B), served by the configured index. The query may
+// come from either corpus.
 func (m *Model) TopK(docID string, k int) ([]Match, error) {
-	var idx *match.Index
+	var idx match.VectorIndex
 	switch m.sideOf(docID) {
 	case 1:
 		idx = m.secondIdx
@@ -256,19 +343,47 @@ func (m *Model) TopK(docID string, k int) ([]Match, error) {
 	return toMatches(idx.TopK(q, k)), nil
 }
 
+// extIndex returns the cached external-scorer index over the given target
+// side, rebuilding it only when the caller passes a different vector map
+// (identity, not content: mutating a cached map between calls is not
+// supported) or dimension. side is 1 for the first corpus, 2 for the
+// second.
+func (m *Model) extIndex(side int, c *corpus.Corpus, extVectors map[string][]float32, extDim int) (*match.Index, error) {
+	m.extMu.Lock()
+	defer m.extMu.Unlock()
+	cached := &m.extCache[side-1]
+	if cached.idx != nil && cached.dim == extDim &&
+		reflect.ValueOf(cached.src).Pointer() == reflect.ValueOf(extVectors).Pointer() {
+		return cached.idx, nil
+	}
+	ids := c.IDs()
+	extVecs := make([][]float32, len(ids))
+	for i, id := range ids {
+		extVecs[i] = extVectors[id]
+	}
+	idx, err := match.NewIndex(ids, extVecs, extDim)
+	if err != nil {
+		return nil, err
+	}
+	*cached = extIndexCache{src: extVectors, dim: extDim, idx: idx}
+	return idx, nil
+}
+
 // TopKCombined averages the model's cosine scores with an external scorer's
 // vectors (e.g. a pre-trained sentence embedder), reproducing the Fig. 10
 // combination. extVectors must map document IDs of both corpora to vectors
 // of consistent dimension extDim; weight balances model vs external (0.5 =
-// plain average).
+// plain average). The external index is cached per side on the identity of
+// extVectors, so repeated calls with the same map pay the build once.
 func (m *Model) TopKCombined(docID string, k int, extVectors map[string][]float32, extDim int, weight float64) ([]Match, error) {
 	var side *corpus.Corpus
+	var sideNo int
 	var idx *match.Index
 	switch m.sideOf(docID) {
 	case 1:
-		side, idx = m.second.c, m.secondIdx
+		side, sideNo, idx = m.second.c, 2, m.secondFlat
 	case 2:
-		side, idx = m.first.c, m.firstIdx
+		side, sideNo, idx = m.first.c, 1, m.firstFlat
 	default:
 		return nil, fmt.Errorf("tdmatch: unknown document %q", docID)
 	}
@@ -280,12 +395,7 @@ func (m *Model) TopKCombined(docID string, k int, extVectors map[string][]float3
 	if extQ == nil {
 		return toMatches(idx.TopK(q, k)), nil
 	}
-	ids := side.IDs()
-	extVecs := make([][]float32, len(ids))
-	for i, id := range ids {
-		extVecs[i] = extVectors[id]
-	}
-	extIdx, err := match.NewIndex(ids, extVecs, extDim)
+	extIdx, err := m.extIndex(sideNo, side, extVectors, extDim)
 	if err != nil {
 		return nil, err
 	}
@@ -297,18 +407,57 @@ func (m *Model) TopKCombined(docID string, k int, extVectors map[string][]float3
 }
 
 // MatchAll ranks, for every document of the query corpus, the top-k
-// documents of the other corpus. fromSecond selects the query side (the
-// paper defaults to the larger corpus; pick the side natural for the
+// documents of the other corpus, fanning the queries out over
+// Config.Workers goroutines. fromSecond selects the query side (the paper
+// defaults to the larger corpus; pick the side natural for the
 // application, e.g. claims in fact checking).
 func (m *Model) MatchAll(fromSecond bool, k int) map[string][]Match {
+	return m.MatchAllWorkers(fromSecond, k, m.cfg.Workers)
+}
+
+// MatchAllWorkers is MatchAll with an explicit worker count; 1 reproduces
+// the serial scan. Queries are independent reads of the serving index, so
+// results are identical at any worker count.
+func (m *Model) MatchAllWorkers(fromSecond bool, k, workers int) map[string][]Match {
 	c := m.first.c
 	if fromSecond {
 		c = m.second.c
 	}
-	out := make(map[string][]Match, c.Len())
-	for _, id := range c.IDs() {
-		if matches, err := m.TopK(id, k); err == nil {
-			out[id] = matches
+	ids := c.IDs()
+	results := make([][]Match, len(ids))
+	if workers <= 1 || len(ids) < 2 {
+		for i, id := range ids {
+			if matches, err := m.TopK(id, k); err == nil {
+				results[i] = matches
+			}
+		}
+	} else {
+		if workers > len(ids) {
+			workers = len(ids)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if matches, err := m.TopK(ids[i], k); err == nil {
+						results[i] = matches
+					}
+				}
+			}()
+		}
+		for i := range ids {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	out := make(map[string][]Match, len(ids))
+	for i, id := range ids {
+		if results[i] != nil {
+			out[id] = results[i]
 		}
 	}
 	return out
@@ -366,34 +515,32 @@ func kindWeights(b *WalkBias) map[graph.NodeKind]float64 {
 // paper plans as future work (§VII). When no candidate shares a token the
 // full ranking is returned.
 func (m *Model) TopKBlocked(docID string, k int) ([]Match, error) {
-	var idx *match.Index
-	var side *corpus.Corpus
-	var blocker **match.Blocker
-	switch m.sideOf(docID) {
-	case 1:
-		idx, side, blocker = m.secondIdx, m.second.c, &m.secondBlk
-	case 2:
-		idx, side, blocker = m.firstIdx, m.first.c, &m.firstBlk
-	default:
+	side, doc, ok := m.docOf(docID)
+	if !ok {
 		return nil, fmt.Errorf("tdmatch: unknown document %q", docID)
+	}
+	var idx *match.Index
+	var targets *corpus.Corpus
+	var blocker **match.Blocker
+	if side == 1 {
+		idx, targets, blocker = m.secondFlat, m.second.c, &m.secondBlk
+	} else {
+		idx, targets, blocker = m.firstFlat, m.first.c, &m.firstBlk
 	}
 	q := m.vectors[docID]
 	if q == nil {
 		return nil, fmt.Errorf("tdmatch: document %q has no embedding", docID)
 	}
+	m.blkMu.Lock()
 	if *blocker == nil {
-		texts := make([]string, side.Len())
-		for i, id := range side.IDs() {
-			d, _ := side.Doc(id)
+		texts := make([]string, targets.Len())
+		for i, id := range targets.IDs() {
+			d, _ := targets.Doc(id)
 			texts[i] = d.Text()
 		}
 		*blocker = match.NewBlocker(texts)
 	}
-	var queryText string
-	if d, ok := m.first.c.Doc(docID); ok {
-		queryText = d.Text()
-	} else if d, ok := m.second.c.Doc(docID); ok {
-		queryText = d.Text()
-	}
-	return toMatches(idx.TopKBlocked(*blocker, queryText, q, k)), nil
+	blk := *blocker
+	m.blkMu.Unlock()
+	return toMatches(idx.TopKBlocked(blk, doc.Text(), q, k)), nil
 }
