@@ -10,10 +10,12 @@
 //	tdmatch -first movies.csv -second reviews.txt -k 5
 //	tdmatch -first tax.json -second docs.txt -kb triples.tsv -expand
 //	tdmatch -first movies.csv -second reviews.txt -index ivf -nprobe 4
+//	tdmatch -first movies.csv -second reviews.txt -save model.gob
 //
 // The optional -kb file holds tab-separated (subject, predicate, object)
 // triples used for graph expansion; -synonyms holds comma-separated
-// synonym groups (first entry is canonical), one group per line.
+// synonym groups (first entry is canonical), one group per line. -save
+// writes the trained model snapshot for cmd/tdserved to serve.
 package main
 
 import (
@@ -44,6 +46,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		fromFirst  = flag.Bool("from-first", false, "query from the first corpus instead of the second")
 		dotPath    = flag.String("dot", "", "write the built graph in Graphviz DOT format to this file")
+		savePath   = flag.String("save", "", "write the trained model snapshot to this file (serve it with tdserved)")
 		indexKind  = flag.String("index", "flat", "serving index: flat (exact scan) or ivf (clustered ANN)")
 		clusters   = flag.Int("clusters", 0, "IVF partitions (0 = sqrt of corpus size)")
 		nprobe     = flag.Int("nprobe", 0, "IVF partitions probed per query (0 = adaptive half)")
@@ -67,7 +70,10 @@ func main() {
 	cfg.Dim = *dim
 	kind, err := parseIndexKind(*indexKind)
 	if err != nil {
+		// An unknown index kind is a usage error: say so loudly and show
+		// the flag set rather than silently serving from the flat scan.
 		fmt.Fprintln(os.Stderr, "tdmatch:", err)
+		flag.Usage()
 		os.Exit(2)
 	}
 	cfg.Index = kind
@@ -103,6 +109,11 @@ func main() {
 		fatal(err)
 		fatal(model.WriteGraphDOT(f, "tdmatch"))
 		fatal(f.Close())
+	}
+
+	if *savePath != "" {
+		fatal(model.SaveFile(*savePath))
+		fmt.Fprintf(os.Stderr, "saved model snapshot to %s\n", *savePath)
 	}
 
 	for q, matches := range model.MatchAll(!*fromFirst, *k) {

@@ -1,0 +1,382 @@
+// Command tdserved is the long-running serving daemon: it loads a model
+// snapshot persisted with SaveFile (see cmd/tdmatch's -save) plus the two
+// corpora it was trained on, and serves JSON-over-HTTP matching queries
+// behind a result cache and a micro-batching worker pool.
+//
+// Usage:
+//
+//	tdmatch  -first movies.csv -second reviews.txt -save model.gob
+//	tdserved -first movies.csv -second reviews.txt -model model.gob -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/topk    {"id": "second:p0", "k": 5}        → one ranking
+//	POST /v1/batch   {"ids": ["second:p0", ...], "k": 5} → many, fanned out
+//	POST /v1/reload  reload corpora + snapshot from disk, swap atomically
+//	GET  /v1/stats   serving counters, cache hit rate, model metadata
+//	GET  /healthz    liveness: 200 with the served model's identity
+//
+// SIGHUP triggers the same reload as POST /v1/reload: the daemon re-reads
+// the corpus and snapshot files and swaps the new model in behind the
+// in-flight queries. Retrain with cmd/tdmatch, overwrite the snapshot,
+// signal the daemon — zero downtime.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/tdmatch/tdmatch"
+)
+
+func main() {
+	var (
+		firstPath  = flag.String("first", "", "first corpus file (as passed to the training run)")
+		secondPath = flag.String("second", "", "second corpus file (as passed to the training run)")
+		modelPath  = flag.String("model", "", "model snapshot written by tdmatch -save / SaveFile")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		cacheSize  = flag.Int("cache", 0, "result-cache entries (0 = model default 4096, negative disables)")
+		batchWin   = flag.Duration("batch-window", 0, "micro-batch coalescing window (0 = model default 200µs, negative disables)")
+		workers    = flag.Int("workers", 0, "serving worker-pool size (0 = model default, GOMAXPROCS)")
+		defaultK   = flag.Int("k", 5, "matches returned when a request omits k")
+	)
+	flag.Parse()
+	if *firstPath == "" || *secondPath == "" || *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "tdserved: -first, -second and -model are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := newDaemon(*firstPath, *secondPath, *modelPath, tdmatch.ServeConfig{
+		CacheSize:   *cacheSize,
+		BatchWindow: *batchWin,
+		Workers:     *workers,
+	}, *defaultK)
+	if err != nil {
+		log.Fatalf("tdserved: %v", err)
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := d.reload(); err != nil {
+				log.Printf("tdserved: SIGHUP reload failed, keeping current model: %v", err)
+				continue
+			}
+			log.Printf("tdserved: SIGHUP reload ok (%d reloads)", d.server.Stats().Reloads)
+		}
+	}()
+
+	info := d.info()
+	log.Printf("tdserved: serving %s/%s (%d vectors, dim %d, index %s) on %s",
+		info.FirstName, info.SecondName, info.Docs, info.Dim, info.Index, *addr)
+	log.Fatal(http.ListenAndServe(*addr, newHandler(d)))
+}
+
+// daemon owns the serving state: the Server plus the on-disk paths a
+// reload re-reads. reloadMu serializes reloads (concurrent /v1/reload
+// posts and SIGHUPs get a consistent swap order); queries — including
+// /healthz and /v1/stats, which must stay responsive while a slow
+// reload rebuilds indexes — never take it (modelInf is an atomic).
+type daemon struct {
+	firstPath, secondPath, modelPath string
+	defaultK                         int
+	server                           *tdmatch.Server
+	started                          time.Time
+
+	reloadMu sync.Mutex
+	modelInf atomic.Pointer[tdmatch.ModelInfo]
+}
+
+// newDaemon loads the corpora and snapshot and wraps them in a Server.
+func newDaemon(firstPath, secondPath, modelPath string, sc tdmatch.ServeConfig, defaultK int) (*daemon, error) {
+	d := &daemon{
+		firstPath:  firstPath,
+		secondPath: secondPath,
+		modelPath:  modelPath,
+		defaultK:   defaultK,
+		started:    time.Now(),
+	}
+	model, info, err := d.load()
+	if err != nil {
+		return nil, err
+	}
+	d.modelInf.Store(&info)
+	d.server = tdmatch.NewServer(model, sc)
+	return d, nil
+}
+
+// load reads the corpus files and the model snapshot — the shared path
+// of startup and hot reload. The snapshot is decoded exactly once
+// (ReadSnapshot), so the served model and the reported ModelInfo can
+// never diverge even when a retraining job overwrites the file
+// mid-reload, and a large vector arena is not gob-decoded twice.
+func (d *daemon) load() (*tdmatch.Model, tdmatch.ModelInfo, error) {
+	f, err := os.Open(d.modelPath)
+	if err != nil {
+		return nil, tdmatch.ModelInfo{}, err
+	}
+	defer f.Close()
+	snap, err := tdmatch.ReadSnapshot(f)
+	if err != nil {
+		return nil, tdmatch.ModelInfo{}, err
+	}
+	info := snap.Info()
+	first, err := tdmatch.LoadCorpus(d.firstPath, info.FirstName)
+	if err != nil {
+		return nil, info, fmt.Errorf("loading first corpus: %w", err)
+	}
+	second, err := tdmatch.LoadCorpus(d.secondPath, info.SecondName)
+	if err != nil {
+		return nil, info, fmt.Errorf("loading second corpus: %w", err)
+	}
+	model, err := snap.Bind(first, second)
+	if err != nil {
+		return nil, info, err
+	}
+	if err := validateCoverage(model, info, first, second); err != nil {
+		return nil, info, err
+	}
+	return model, info, nil
+}
+
+// validateCoverage sanity-checks that the snapshot actually describes
+// the corpora on disk. The daemon names the corpora from the snapshot's
+// own metadata, so LoadModel's name check cannot catch an operator
+// pointing -first/-second at the wrong files — but wrong files show up
+// as stored vectors that resolve to no document, or documents with no
+// vector at all. Refusing to start beats silently serving errors (or,
+// worse, rankings from another dataset).
+func validateCoverage(model *tdmatch.Model, info tdmatch.ModelInfo, first, second *tdmatch.Corpus) error {
+	total := first.Len() + second.Len()
+	if info.Docs > total {
+		return fmt.Errorf("snapshot stores %d vectors but the corpora hold only %d documents — wrong -first/-second files?",
+			info.Docs, total)
+	}
+	for _, c := range []*tdmatch.Corpus{first, second} {
+		covered := 0
+		for _, id := range c.IDs() {
+			if model.Vector(id) != nil {
+				covered++
+			}
+		}
+		if covered == 0 {
+			return fmt.Errorf("no document of corpus %q has a stored vector — wrong corpus files for this snapshot?",
+				c.Name())
+		}
+	}
+	return nil
+}
+
+// reload re-reads everything from disk and swaps the model in atomically.
+// On any error the running model keeps serving.
+func (d *daemon) reload() error {
+	d.reloadMu.Lock()
+	defer d.reloadMu.Unlock()
+	model, info, err := d.load()
+	if err != nil {
+		return err
+	}
+	if err := d.server.Reload(model); err != nil {
+		return err
+	}
+	d.modelInf.Store(&info)
+	return nil
+}
+
+// info snapshots the served model's metadata without blocking on an
+// in-progress reload.
+func (d *daemon) info() tdmatch.ModelInfo {
+	return *d.modelInf.Load()
+}
+
+// newHandler wires the HTTP API around a daemon. Split from main so tests
+// drive it through httptest.
+func newHandler(d *daemon) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/topk", d.handleTopK)
+	mux.HandleFunc("POST /v1/batch", d.handleBatch)
+	mux.HandleFunc("POST /v1/reload", d.handleReload)
+	mux.HandleFunc("GET /v1/stats", d.handleStats)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	return mux
+}
+
+// topkRequest is the body of POST /v1/topk.
+type topkRequest struct {
+	ID string `json:"id"`
+	K  int    `json:"k"` // 0 = the daemon's -k default
+}
+
+// matchJSON is one ranked candidate on the wire.
+type matchJSON struct {
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// topkResponse is the body of a /v1/topk answer and one /v1/batch result.
+type topkResponse struct {
+	ID      string      `json:"id"`
+	Matches []matchJSON `json:"matches"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// batchRequest is the body of POST /v1/batch.
+type batchRequest struct {
+	IDs []string `json:"ids"`
+	K   int      `json:"k"` // 0 = the daemon's -k default
+}
+
+// batchResponse is the body of a /v1/batch answer; Results aligns with
+// the request's IDs, failed queries carry Error in place of Matches.
+type batchResponse struct {
+	Results []topkResponse `json:"results"`
+}
+
+// statsResponse is the body of GET /v1/stats.
+type statsResponse struct {
+	tdmatch.ServeStats
+	CacheHitRate  float64           `json:"cache_hit_rate"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Model         modelInfoResponse `json:"model"`
+}
+
+// modelInfoResponse is the served snapshot's metadata in /v1/stats and
+// /healthz.
+type modelInfoResponse struct {
+	First       string `json:"first"`
+	Second      string `json:"second"`
+	Docs        int    `json:"docs"`
+	Dim         int    `json:"dim"`
+	Index       string `json:"index"`
+	IVFClusters int    `json:"ivf_clusters,omitempty"`
+	IVFNProbe   int    `json:"ivf_nprobe,omitempty"`
+}
+
+func (d *daemon) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.ID == "" {
+		httpError(w, http.StatusBadRequest, errors.New(`"id" is required`))
+		return
+	}
+	if req.K <= 0 {
+		req.K = d.defaultK
+	}
+	matches, err := d.server.TopK(req.ID, req.K)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, topkResponse{ID: req.ID, Matches: toMatchJSON(matches)})
+}
+
+func (d *daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.IDs) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New(`"ids" is required`))
+		return
+	}
+	if req.K <= 0 {
+		req.K = d.defaultK
+	}
+	results := d.server.TopKBatch(req.IDs, req.K)
+	resp := batchResponse{Results: make([]topkResponse, len(results))}
+	for i, res := range results {
+		out := topkResponse{ID: res.ID}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+		} else {
+			out.Matches = toMatchJSON(res.Matches)
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (d *daemon) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := d.reload(); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"reloads": d.server.Stats().Reloads,
+	})
+}
+
+func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := d.server.Stats()
+	rate := 0.0
+	if probes := st.CacheHits + st.CacheMisses; probes > 0 {
+		rate = float64(st.CacheHits) / float64(probes)
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		ServeStats:    st,
+		CacheHitRate:  rate,
+		UptimeSeconds: time.Since(d.started).Seconds(),
+		Model:         d.modelInfoResponse(),
+	})
+}
+
+func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"model":  d.modelInfoResponse(),
+	})
+}
+
+// modelInfoResponse projects the current ModelInfo onto the wire shape.
+func (d *daemon) modelInfoResponse() modelInfoResponse {
+	info := d.info()
+	out := modelInfoResponse{
+		First:  info.FirstName,
+		Second: info.SecondName,
+		Docs:   info.Docs,
+		Dim:    info.Dim,
+		Index:  info.Index.String(),
+	}
+	if info.Index == tdmatch.IndexIVF {
+		out.IVFClusters = info.IVFClusters
+		out.IVFNProbe = info.IVFNProbe
+	}
+	return out
+}
+
+func toMatchJSON(matches []tdmatch.Match) []matchJSON {
+	out := make([]matchJSON, len(matches))
+	for i, m := range matches {
+		out[i] = matchJSON{ID: m.ID, Score: m.Score}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("tdserved: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,388 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/tdmatch/tdmatch"
+)
+
+// moviesCSV / reviewsTXT are the on-disk corpora the daemon loads — small
+// enough to train instantly, overlapping enough that every document gets
+// an embedding.
+const moviesCSV = `title,director,star,genre
+The Sixth Sense,Shyamalan,Bruce Willis,Thriller
+Pulp Fiction,Tarantino,Bruce Willis,Drama
+The Godfather,Coppola,Marlon Brando,Crime
+Jackie Brown,Tarantino,Pam Grier,Crime
+Die Hard,McTiernan,Bruce Willis,Action
+The Village,Shyamalan,Joaquin Phoenix,Thriller
+`
+
+const reviewsTXT = `Willis sees dead people in this tense Shyamalan thriller
+a hilarious Tarantino movie starring Willis
+Brando rules the crime family in a timeless Coppola masterpiece
+Grier carries this Tarantino crime homage
+Willis fights terrorists in a McTiernan action classic
+Phoenix wanders a Shyamalan village thriller
+`
+
+// trainFixture trains a model over the on-disk corpora with the given
+// config, saves the snapshot, and returns the file paths plus the
+// in-process model for parity checks.
+func trainFixture(t *testing.T, cfg tdmatch.Config) (firstPath, secondPath, modelPath string, model *tdmatch.Model) {
+	t.Helper()
+	dir := t.TempDir()
+	firstPath = filepath.Join(dir, "movies.csv")
+	secondPath = filepath.Join(dir, "reviews.txt")
+	modelPath = filepath.Join(dir, "model.gob")
+	if err := os.WriteFile(firstPath, []byte(moviesCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(secondPath, []byte(reviewsTXT), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	first, err := tdmatch.LoadCorpus(firstPath, "movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tdmatch.LoadCorpus(secondPath, "reviews")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err = tdmatch.Build(first, second, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.SaveFile(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	return firstPath, secondPath, modelPath, model
+}
+
+// fixtureConfig is the shared laptop-instant training configuration;
+// Workers is 1 because hogwild training is deliberately racy and this
+// package's tests run under -race in CI.
+func fixtureConfig(seed int64) tdmatch.Config {
+	cfg := tdmatch.Defaults()
+	cfg.Seed = seed
+	cfg.NumWalks = 6
+	cfg.WalkLength = 10
+	cfg.Dim = 24
+	cfg.Epochs = 1
+	cfg.Workers = 1
+	return cfg
+}
+
+// startDaemon wires a daemon over the fixture files behind httptest.
+func startDaemon(t *testing.T, firstPath, secondPath, modelPath string) (*daemon, *httptest.Server) {
+	t.Helper()
+	d, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{Workers: 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.server.Close)
+	ts := httptest.NewServer(newHandler(d))
+	t.Cleanup(ts.Close)
+	return d, ts
+}
+
+// postJSON posts v and decodes the response body into out, returning the
+// status code.
+func postJSON(t *testing.T, url string, v any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestRoundTripIVFSnapshotServesIdenticalTopK is the persistence
+// round-trip check: a v2 snapshot saved with IVF selected must reload
+// into the daemon and serve, over HTTP, exactly the rankings the
+// in-process model produces.
+func TestRoundTripIVFSnapshotServesIdenticalTopK(t *testing.T) {
+	cfg := fixtureConfig(1)
+	cfg.Index = tdmatch.IndexIVF
+	cfg.IVFClusters = 3
+	cfg.IVFNProbe = 2
+	firstPath, secondPath, modelPath, model := trainFixture(t, cfg)
+
+	info, err := tdmatch.ReadModelInfoFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.Index != tdmatch.IndexIVF {
+		t.Fatalf("snapshot info = %+v, want version 2 with IVF", info)
+	}
+
+	_, ts := startDaemon(t, firstPath, secondPath, modelPath)
+	for id := range model.Vectors() {
+		want, err := model.TopK(id, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got topkResponse
+		if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: id, K: 4}, &got); status != http.StatusOK {
+			t.Fatalf("topk(%s) status %d", id, status)
+		}
+		if got.ID != id || len(got.Matches) != len(want) {
+			t.Fatalf("topk(%s) = %+v, want %d matches", id, got, len(want))
+		}
+		for i, m := range want {
+			if got.Matches[i].ID != m.ID || got.Matches[i].Score != m.Score {
+				t.Errorf("topk(%s)[%d] = %+v, want %+v", id, i, got.Matches[i], m)
+			}
+		}
+	}
+}
+
+func TestBatchEndpointMatchesSingles(t *testing.T) {
+	firstPath, secondPath, modelPath, model := trainFixture(t, fixtureConfig(1))
+	_, ts := startDaemon(t, firstPath, secondPath, modelPath)
+
+	ids := []string{"reviews:p0", "reviews:p2", "nosuch:doc", "movies:t1"}
+	var got batchResponse
+	if status := postJSON(t, ts.URL+"/v1/batch", batchRequest{IDs: ids, K: 3}, &got); status != http.StatusOK {
+		t.Fatalf("batch status %d", status)
+	}
+	if len(got.Results) != len(ids) {
+		t.Fatalf("batch returned %d results for %d ids", len(got.Results), len(ids))
+	}
+	for i, res := range got.Results {
+		if res.ID != ids[i] {
+			t.Errorf("result %d is for %s, want %s", i, res.ID, ids[i])
+		}
+		if ids[i] == "nosuch:doc" {
+			if res.Error == "" {
+				t.Error("unknown document in batch did not report an error")
+			}
+			continue
+		}
+		want, err := model.TopK(ids[i], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Error != "" || len(res.Matches) != len(want) {
+			t.Fatalf("batch(%s) = %+v, want %d matches", ids[i], res, len(want))
+		}
+		for j, m := range want {
+			if res.Matches[j].ID != m.ID {
+				t.Errorf("batch(%s)[%d] = %s, want %s", ids[i], j, res.Matches[j].ID, m.ID)
+			}
+		}
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	firstPath, secondPath, modelPath, _ := trainFixture(t, fixtureConfig(1))
+	_, ts := startDaemon(t, firstPath, secondPath, modelPath)
+
+	// Same query twice: the second must be a cache hit.
+	for i := 0; i < 2; i++ {
+		if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: "reviews:p0"}, nil); status != http.StatusOK {
+			t.Fatalf("topk status %d", status)
+		}
+	}
+	var st statsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 2 || st.CacheHits == 0 || st.CacheHitRate <= 0 {
+		t.Errorf("stats = %+v, want 2 queries with a cache hit", st)
+	}
+	if st.Model.First != "movies" || st.Model.Second != "reviews" || st.Model.Index != "flat" {
+		t.Errorf("stats model = %+v", st.Model)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", hz.StatusCode)
+	}
+}
+
+// TestWrongCorpusFilesRefusedAtStartup: the daemon names corpora from
+// the snapshot's own metadata, so the name check in Bind cannot catch an
+// operator pointing -first/-second at the wrong files — coverage
+// validation must.
+func TestWrongCorpusFilesRefusedAtStartup(t *testing.T) {
+	firstPath, secondPath, modelPath, _ := trainFixture(t, fixtureConfig(1))
+
+	// Swapped format: a text file where the table was — document IDs get
+	// the p-prefix, matching none of the snapshot's t-prefixed vectors.
+	if _, err := newDaemon(secondPath, secondPath, modelPath, tdmatch.ServeConfig{}, 5); err == nil {
+		t.Error("daemon started over a text file in place of the trained table")
+	}
+
+	// Truncated corpora: fewer documents than stored vectors.
+	tiny := filepath.Join(t.TempDir(), "tiny.csv")
+	if err := os.WriteFile(tiny, []byte("title,director,star,genre\nOnly Movie,Nobody,Noone,None\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tinyTxt := filepath.Join(t.TempDir(), "tiny.txt")
+	if err := os.WriteFile(tinyTxt, []byte("one lonely review\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newDaemon(tiny, tinyTxt, modelPath, tdmatch.ServeConfig{}, 5); err == nil {
+		t.Error("daemon started with fewer documents than stored vectors")
+	}
+
+	// The matching files still work.
+	if _, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{}, 5); err != nil {
+		t.Errorf("daemon refused the correct corpora: %v", err)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	firstPath, secondPath, modelPath, _ := trainFixture(t, fixtureConfig(1))
+	_, ts := startDaemon(t, firstPath, secondPath, modelPath)
+
+	if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{}, nil); status != http.StatusBadRequest {
+		t.Errorf("topk without id: status %d, want 400", status)
+	}
+	if status := postJSON(t, ts.URL+"/v1/batch", batchRequest{}, nil); status != http.StatusBadRequest {
+		t.Errorf("batch without ids: status %d, want 400", status)
+	}
+	if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: "nosuch:doc"}, nil); status != http.StatusNotFound {
+		t.Errorf("topk unknown doc: status %d, want 404", status)
+	}
+	resp, err := http.Get(ts.URL + "/v1/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/topk: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestReloadSwapsUnderConcurrentTraffic hammers /v1/topk from several
+// goroutines while /v1/reload re-reads the (retrained) snapshot — every
+// request must succeed throughout the swaps. Run with -race in CI.
+func TestReloadSwapsUnderConcurrentTraffic(t *testing.T) {
+	firstPath, secondPath, modelPath, model := trainFixture(t, fixtureConfig(1))
+	d, ts := startDaemon(t, firstPath, secondPath, modelPath)
+
+	// Retrain under a different seed and overwrite the snapshot on disk,
+	// as an offline training job would.
+	first, err := tdmatch.LoadCorpus(firstPath, "movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tdmatch.LoadCorpus(secondPath, "reviews")
+	if err != nil {
+		t.Fatal(err)
+	}
+	retrained, err := tdmatch.Build(first, second, fixtureConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := retrained.SaveFile(modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := make([]string, 0, 6)
+	for id := range model.Vectors() {
+		ids = append(ids, id)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var got topkResponse
+				id := ids[(w+i)%len(ids)]
+				if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: id, K: 2}, &got); status != http.StatusOK {
+					select {
+					case errs <- fmt.Errorf("topk(%s) status %d during reload", id, status):
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	const reloads = 5
+	for i := 0; i < reloads; i++ {
+		if status := postJSON(t, ts.URL+"/v1/reload", struct{}{}, nil); status != http.StatusOK {
+			t.Fatalf("reload %d: status %d", i, status)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := d.server.Stats().Reloads; got != reloads {
+		t.Errorf("reloads = %d, want %d", got, reloads)
+	}
+	// The daemon now serves the retrained model's rankings.
+	want, err := retrained.TopK(ids[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got topkResponse
+	if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: ids[0], K: 2}, &got); status != http.StatusOK {
+		t.Fatalf("post-reload topk status %d", status)
+	}
+	wantIDs := make([]string, len(want))
+	for i, m := range want {
+		wantIDs[i] = m.ID
+	}
+	gotIDs := make([]string, len(got.Matches))
+	for i, m := range got.Matches {
+		gotIDs[i] = m.ID
+	}
+	if !reflect.DeepEqual(gotIDs, wantIDs) {
+		t.Errorf("post-reload ranking %v != retrained model's %v", gotIDs, wantIDs)
+	}
+
+	// A reload against a broken snapshot must fail loudly and keep the
+	// old model serving.
+	if err := os.WriteFile(modelPath, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if status := postJSON(t, ts.URL+"/v1/reload", struct{}{}, nil); status != http.StatusInternalServerError {
+		t.Errorf("reload of corrupt snapshot: status %d, want 500", status)
+	}
+	if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: ids[0], K: 2}, nil); status != http.StatusOK {
+		t.Errorf("serving broken after failed reload: status %d", status)
+	}
+}

@@ -1,6 +1,10 @@
 package tdmatch
 
-import "runtime"
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
 
 // FilterStrategy selects how data nodes are filtered at graph creation
 // (§II-B, Fig. 9).
@@ -42,6 +46,19 @@ const (
 	// the product-matching literature.
 	IndexIVF
 )
+
+// String returns the flag-style name of the index kind: "flat" or "ivf"
+// (or "indexkind(n)" for values outside the defined set).
+func (k IndexKind) String() string {
+	switch k {
+	case IndexFlat:
+		return "flat"
+	case IndexIVF:
+		return "ivf"
+	default:
+		return fmt.Sprintf("indexkind(%d)", uint8(k))
+	}
+}
 
 // Config parametrizes the pipeline. Zero values select paper defaults via
 // Defaults(); construct from Defaults() and override selectively.
@@ -131,6 +148,17 @@ type Config struct {
 	// validating an IVF deployment before lowering IVFNProbe.
 	ExactRecall bool
 
+	// ServeCacheSize bounds the Server result cache in entries, summed
+	// across its shards (default 4096). Negative disables result caching;
+	// 0 selects the default. Each entry holds one (document, k) ranking,
+	// so the default is ~4096 × k Match values of resident memory.
+	ServeCacheSize int
+	// ServeBatchWindow is how long Server.TopK holds an uncached query to
+	// coalesce it with concurrent ones into a single worker-pool pass
+	// (default 200µs — well under network latency, wide enough to gather
+	// a burst). Negative disables micro-batching; 0 selects the default.
+	ServeBatchWindow time.Duration
+
 	// WalkBias enables kind-weighted walks, the typed-walk extension of
 	// the paper's future work (§VII). Nil keeps uniform random walks.
 	WalkBias *WalkBias
@@ -172,6 +200,8 @@ func Defaults() Config {
 		Subsample:        1e-2,
 		ChooseObjective:  true,
 		Workers:          runtime.GOMAXPROCS(0),
+		ServeCacheSize:   4096,
+		ServeBatchWindow: 200 * time.Microsecond,
 	}
 }
 
@@ -205,6 +235,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = d.Workers
+	}
+	if c.ServeCacheSize == 0 {
+		c.ServeCacheSize = d.ServeCacheSize
+	}
+	if c.ServeBatchWindow == 0 {
+		c.ServeBatchWindow = d.ServeBatchWindow
 	}
 	return c
 }

@@ -1,0 +1,51 @@
+package match
+
+import "testing"
+
+// fpIndex builds a small flat index for fingerprint tests.
+func fpIndex(t *testing.T, n, dim int) *Index {
+	t.Helper()
+	ids := make([]string, n)
+	vecs := make([][]float32, n)
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+		v := make([]float32, dim)
+		v[i%dim] = 1
+		vecs[i] = v
+	}
+	idx, err := NewIndex(ids, vecs, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestFingerprintDistinguishesConfigurations(t *testing.T) {
+	flat := fpIndex(t, 8, 4)
+	if got, want := flat.Fingerprint(), fpIndex(t, 8, 4).Fingerprint(); got != want {
+		t.Errorf("equal flat configurations disagree: %#x vs %#x", got, want)
+	}
+	other := fpIndex(t, 9, 4)
+	if flat.Fingerprint() == other.Fingerprint() {
+		t.Error("flat fingerprint ignores corpus size")
+	}
+
+	ivf := NewIVF(flat, IVFOptions{Clusters: 4, NProbe: 2, Seed: 1})
+	if ivf.Fingerprint() == flat.Fingerprint() {
+		t.Error("IVF fingerprint equals the flat fingerprint")
+	}
+	same := NewIVF(flat, IVFOptions{Clusters: 4, NProbe: 2, Seed: 1})
+	if ivf.Fingerprint() != same.Fingerprint() {
+		t.Error("equal IVF configurations disagree")
+	}
+	for name, o := range map[string]IVFOptions{
+		"clusters": {Clusters: 2, NProbe: 2, Seed: 1},
+		"nprobe":   {Clusters: 4, NProbe: 3, Seed: 1},
+		"adaptive": {Clusters: 4, Seed: 1},
+		"seed":     {Clusters: 4, NProbe: 2, Seed: 2},
+	} {
+		if NewIVF(flat, o).Fingerprint() == ivf.Fingerprint() {
+			t.Errorf("IVF fingerprint ignores %s change", name)
+		}
+	}
+}

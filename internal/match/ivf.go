@@ -19,6 +19,7 @@ type IVF struct {
 	lists     [][]int32 // target positions per centroid, ascending
 	nlist     int
 	nprobe    int
+	seed      int64 // clustering seed, part of the serving fingerprint
 	// adaptive marks a heuristic (unset) NProbe: TopK then extends the
 	// probe set until the candidate pool holds at least minCandidateFactor
 	// × k targets, so recall stays high when k is large relative to the
@@ -101,7 +102,7 @@ func NewIVF(flat *Index, o IVFOptions) *IVF {
 		nprobe = nlist
 		adaptive = false
 	}
-	x := &IVF{flat: flat, nlist: nlist, nprobe: nprobe, adaptive: adaptive}
+	x := &IVF{flat: flat, nlist: nlist, nprobe: nprobe, seed: o.Seed, adaptive: adaptive}
 	if n == 0 {
 		return x
 	}
@@ -219,6 +220,20 @@ func (x *IVF) IDs() []string { return x.flat.IDs() }
 
 // Dim returns the vector dimensionality.
 func (x *IVF) Dim() int { return x.flat.Dim() }
+
+// Fingerprint returns the serving-configuration digest of the IVF index:
+// the underlying flat fingerprint mixed with the IVF kind tag, partition
+// count, probe setting (with its adaptive bit) and clustering seed, so
+// re-tuning any serving knob — or re-clustering under a new seed —
+// invalidates fingerprint-keyed result caches.
+func (x *IVF) Fingerprint() uint64 {
+	adaptive := uint64(0)
+	if x.adaptive {
+		adaptive = 1
+	}
+	return mixFingerprint(fingerprintIVF, x.flat.Fingerprint(),
+		uint64(x.nlist), uint64(x.nprobe), adaptive, uint64(x.seed))
+}
 
 // TopK returns the k targets most similar to query among the members of
 // the nprobe nearest partitions, best first with ID tie-breaking. Under a

@@ -38,6 +38,13 @@ type VectorIndex interface {
 	Dim() int
 	// TopK returns the k targets most similar to query, best first.
 	TopK(query []float32, k int) []Scored
+	// Fingerprint returns a stable 64-bit digest of the index's serving
+	// configuration: implementation kind, corpus size, dimensionality and
+	// (for approximate indexes) the partition parameters and clustering
+	// seed. Serving-layer result caches include it in their keys, so
+	// selecting a differently-configured index invalidates every cached
+	// ranking without an explicit flush.
+	Fingerprint() uint64
 }
 
 var (
@@ -96,6 +103,32 @@ func (x *Index) IDs() []string { return x.ids }
 
 // Dim returns the vector dimensionality.
 func (x *Index) Dim() int { return x.dim }
+
+// Fingerprint returns the serving-configuration digest of the flat index:
+// its kind tag, size and dimensionality. Two flat indexes over equally
+// many vectors of equal dimension share a fingerprint — callers caching
+// results across distinct models must mix in their own model identity.
+func (x *Index) Fingerprint() uint64 {
+	return mixFingerprint(fingerprintFlat, uint64(len(x.ids)), uint64(x.dim))
+}
+
+// Fingerprint kind tags keep flat and IVF digests disjoint even for equal
+// size/dimension parameters.
+const (
+	fingerprintFlat uint64 = 0xf1a7 // "flat"
+	fingerprintIVF  uint64 = 0x17f  // "ivf"
+)
+
+// mixFingerprint folds the parts into one 64-bit digest with the
+// splitmix64 finalizer, which diffuses single-bit parameter changes
+// (e.g. nprobe 4 → 5) across the whole word.
+func mixFingerprint(parts ...uint64) uint64 {
+	h := uint64(0x6d617463685f6670) // "match_fp"
+	for _, p := range parts {
+		h = splitmix(h ^ p)
+	}
+	return h
+}
 
 // Score returns the cosine similarity between the (not necessarily
 // normalized) query vector and target i.

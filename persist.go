@@ -92,11 +92,28 @@ func (m *Model) SaveFile(path string) error {
 // over the same two corpora, rebuilding the serving indexes the model was
 // saved with. The corpora must be the ones the model was trained on
 // (names are checked; document IDs missing a stored vector are matched as
-// zero vectors, exactly as after training).
+// zero vectors, exactly as after training). To inspect a snapshot before
+// committing to corpora — or to avoid decoding twice when both metadata
+// and model are needed — use ReadSnapshot.
 func LoadModel(r io.Reader, first, second *Corpus) (*Model, error) {
-	if first == nil || second == nil {
-		return nil, fmt.Errorf("tdmatch: LoadModel requires two corpora")
+	snap, err := ReadSnapshot(r)
+	if err != nil {
+		return nil, err
 	}
+	return snap.Bind(first, second)
+}
+
+// Snapshot is a decoded model payload not yet bound to its corpora: the
+// intermediate state of a serving daemon that must learn the corpus
+// names from the snapshot before it can load the corpora themselves.
+// Decode once with ReadSnapshot, inspect with Info, then Bind.
+type Snapshot struct {
+	sm savedModel
+}
+
+// ReadSnapshot decodes a payload written by Save without reconstructing
+// the serving indexes. Bind turns it into a servable Model.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	var sm savedModel
 	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
 		return nil, fmt.Errorf("tdmatch: decoding model: %w", err)
@@ -104,6 +121,36 @@ func LoadModel(r io.Reader, first, second *Corpus) (*Model, error) {
 	if sm.Version < 1 || sm.Version > savedModelVersion {
 		return nil, fmt.Errorf("tdmatch: unsupported model version %d", sm.Version)
 	}
+	return &Snapshot{sm: sm}, nil
+}
+
+// Info returns the snapshot's metadata.
+func (s *Snapshot) Info() ModelInfo {
+	docs := len(s.sm.VectorIDs)
+	if s.sm.Version < 2 {
+		docs = len(s.sm.Vectors)
+	}
+	return ModelInfo{
+		Version:     s.sm.Version,
+		Dim:         s.sm.Dim,
+		FirstName:   s.sm.FirstName,
+		SecondName:  s.sm.SecondName,
+		Docs:        docs,
+		Index:       IndexKind(s.sm.Index),
+		IVFClusters: s.sm.IVFClusters,
+		IVFNProbe:   s.sm.IVFNProbe,
+		ExactRecall: s.sm.ExactRecall,
+	}
+}
+
+// Bind reconstructs the matcher over its corpora, rebuilding the serving
+// indexes the model was saved with (the LoadModel back half). The corpora
+// must carry the names the model was trained under.
+func (s *Snapshot) Bind(first, second *Corpus) (*Model, error) {
+	if first == nil || second == nil {
+		return nil, fmt.Errorf("tdmatch: Bind requires two corpora")
+	}
+	sm := &s.sm
 	if sm.FirstName != first.Name() || sm.SecondName != second.Name() {
 		return nil, fmt.Errorf("tdmatch: model was trained on corpora %q/%q, got %q/%q",
 			sm.FirstName, sm.SecondName, first.Name(), second.Name())
@@ -146,4 +193,50 @@ func LoadModelFile(path string, first, second *Corpus) (*Model, error) {
 	}
 	defer f.Close()
 	return LoadModel(f, first, second)
+}
+
+// ModelInfo describes a saved model snapshot without reconstructing its
+// serving indexes — the metadata a serving daemon needs to validate a
+// snapshot against its corpora and report what it is serving.
+type ModelInfo struct {
+	// Version is the snapshot format version (1 or 2).
+	Version int
+	// Dim is the embedding dimensionality.
+	Dim int
+	// FirstName / SecondName are the corpus names the model was trained
+	// on; LoadModel refuses corpora under different names.
+	FirstName  string
+	SecondName string
+	// Docs is the number of stored document vectors (both sides).
+	Docs int
+	// Index is the persisted serving-index choice; IVFClusters,
+	// IVFNProbe and ExactRecall are its parameters (meaningful under
+	// IndexIVF).
+	Index       IndexKind
+	IVFClusters int
+	IVFNProbe   int
+	ExactRecall bool
+}
+
+// ReadModelInfo decodes only the snapshot metadata from a stream written
+// by Save. It reads (and discards) the full payload, but skips index
+// reconstruction; callers that will also load the model should decode
+// once via ReadSnapshot instead.
+func ReadModelInfo(r io.Reader) (ModelInfo, error) {
+	snap, err := ReadSnapshot(r)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return snap.Info(), nil
+}
+
+// ReadModelInfoFile reads the snapshot metadata from a file written by
+// SaveFile.
+func ReadModelInfoFile(path string) (ModelInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	defer f.Close()
+	return ReadModelInfo(f)
 }

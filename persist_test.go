@@ -154,6 +154,91 @@ func TestLoadModelVersion1(t *testing.T) {
 	}
 }
 
+func TestReadModelInfo(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	cfg := smallConfig()
+	cfg.Index = IndexIVF
+	cfg.IVFClusters = 2
+	cfg.IVFNProbe = 1
+	model, err := Build(movies, reviews, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := ReadModelInfoFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ModelInfo{
+		Version: 2, Dim: cfg.Dim, FirstName: "movies", SecondName: "reviews",
+		Docs: len(model.Vectors()), Index: IndexIVF, IVFClusters: 2, IVFNProbe: 1,
+	}
+	if info != want {
+		t.Errorf("info = %+v, want %+v", info, want)
+	}
+	if _, err := ReadModelInfoFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("want error for missing file")
+	}
+	if _, err := ReadModelInfo(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("want error for corrupt payload")
+	}
+}
+
+func TestSnapshotDecodeOnceBindMatchesLoadModel(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	model, err := Build(movies, reviews, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := snap.Info(); info.FirstName != "movies" || info.Docs != len(model.Vectors()) {
+		t.Errorf("snapshot info = %+v", info)
+	}
+	bound, err := snap.Bind(movies, reviews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()), movies, reviews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range reviews.IDs() {
+		a, err := bound.TopK(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.TopK(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s rank %d: Bind %v vs LoadModel %v", q, i, a[i], b[i])
+			}
+		}
+	}
+	if _, err := snap.Bind(nil, nil); err == nil {
+		t.Error("want error for nil corpora")
+	}
+	other, err := NewText("different", []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Bind(other, reviews); err == nil {
+		t.Error("want error for mismatched corpus names")
+	}
+}
+
 func TestLoadModelValidation(t *testing.T) {
 	movies, reviews := fixtureCorpora(t)
 	model, err := Build(movies, reviews, smallConfig())

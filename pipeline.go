@@ -425,35 +425,11 @@ func (m *Model) MatchAllWorkers(fromSecond bool, k, workers int) map[string][]Ma
 	}
 	ids := c.IDs()
 	results := make([][]Match, len(ids))
-	if workers <= 1 || len(ids) < 2 {
-		for i, id := range ids {
-			if matches, err := m.TopK(id, k); err == nil {
-				results[i] = matches
-			}
+	runPool(len(ids), workers, func(i int) {
+		if matches, err := m.TopK(ids[i], k); err == nil {
+			results[i] = matches
 		}
-	} else {
-		if workers > len(ids) {
-			workers = len(ids)
-		}
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					if matches, err := m.TopK(ids[i], k); err == nil {
-						results[i] = matches
-					}
-				}
-			}()
-		}
-		for i := range ids {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
+	})
 	out := make(map[string][]Match, len(ids))
 	for i, id := range ids {
 		if results[i] != nil {
@@ -461,6 +437,38 @@ func (m *Model) MatchAllWorkers(fromSecond bool, k, workers int) map[string][]Ma
 		}
 	}
 	return out
+}
+
+// runPool fans run(i) for i in [0, n) out over up to workers goroutines,
+// blocking until every call returns; workers <= 1 (or n < 2) runs
+// serially on the calling goroutine. The shared worker-pool scaffolding
+// of MatchAllWorkers, Server.TopKBatch and the micro-batch executor.
+func runPool(n, workers int, run func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // GraphSize returns the live node and edge counts of the trained graph.

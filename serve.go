@@ -1,0 +1,318 @@
+package tdmatch
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrServerClosed is returned by Server queries issued after Close.
+var ErrServerClosed = errors.New("tdmatch: server closed")
+
+// serveMaxBatch caps one coalesced micro-batch; a burst larger than this
+// is split into consecutive worker-pool passes rather than held back.
+const serveMaxBatch = 256
+
+// ServeConfig tunes a Server independently of the model's build-time
+// Config. The zero value inherits every setting from the model
+// (Config.ServeCacheSize, Config.ServeBatchWindow, Config.Workers).
+type ServeConfig struct {
+	// CacheSize bounds the result cache in entries (0 inherits the
+	// model's Config.ServeCacheSize, default 4096; negative disables
+	// caching).
+	CacheSize int
+	// BatchWindow is the micro-batching coalescing window (0 inherits
+	// the model's Config.ServeBatchWindow, default 200µs; negative
+	// disables batching so queries run on the caller's goroutine).
+	BatchWindow time.Duration
+	// Workers bounds the per-batch fan-out and the TopKBatch pool
+	// (0 inherits the model's Config.Workers, default GOMAXPROCS).
+	Workers int
+}
+
+// ServeStats is a point-in-time snapshot of a Server's counters, suitable
+// for JSON exposition (tdserved's GET /v1/stats).
+type ServeStats struct {
+	// Queries counts TopK and TopKBatch queries accepted (including
+	// cache hits and failed lookups).
+	Queries uint64 `json:"queries"`
+	// CacheHits / CacheMisses count result-cache probes; their sum can
+	// exceed Queries because batched queries re-probe at execution time.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// CacheEntries is the current number of resident rankings.
+	CacheEntries int `json:"cache_entries"`
+	// Batches counts coalesced worker-pool passes; BatchedQueries counts
+	// the queries they served. BatchedQueries/Batches is the achieved
+	// coalescing factor (1 under no concurrency).
+	Batches        uint64 `json:"batches"`
+	BatchedQueries uint64 `json:"batched_queries"`
+	// Reloads counts successful model swaps (initial load excluded).
+	Reloads uint64 `json:"reloads"`
+	// Errors counts queries that failed (unknown document, no embedding).
+	Errors uint64 `json:"errors"`
+}
+
+// served pairs a model with its serving identity: gen is the swap
+// generation assigned by the Server, fp the index-configuration
+// fingerprint. Both go into every cache key, so rankings cached against a
+// replaced model can never be served for the new one.
+type served struct {
+	model *Model
+	gen   uint64
+	fp    uint64
+}
+
+// topkReq is one query waiting in the micro-batching queue.
+type topkReq struct {
+	docID string
+	k     int
+	out   chan topkResp
+}
+
+// topkResp is the batcher's answer to one topkReq.
+type topkResp struct {
+	matches []Match
+	err     error
+}
+
+// Server serves TopK queries from an atomically swappable Model, fronted
+// by a sharded LRU result cache and a micro-batching queue that coalesces
+// concurrent queries into one worker-pool pass. It is the in-process core
+// of the tdserved daemon and safe for concurrent use; Reload swaps the
+// model without dropping in-flight queries.
+type Server struct {
+	cur     atomic.Pointer[served]
+	gen     atomic.Uint64
+	cache   *resultCache
+	workers int
+	window  time.Duration
+
+	reqs      chan *topkReq
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	queries        atomic.Uint64
+	batches        atomic.Uint64
+	batchedQueries atomic.Uint64
+	reloads        atomic.Uint64
+	errors         atomic.Uint64
+}
+
+// NewServer wraps a trained or loaded model for serving. Zero fields of
+// sc inherit the model's Config; see ServeConfig. Callers that enable
+// micro-batching (the default) should Close the server to release its
+// collector goroutine.
+func NewServer(m *Model, sc ServeConfig) *Server {
+	cacheSize := sc.CacheSize
+	if cacheSize == 0 {
+		cacheSize = m.cfg.ServeCacheSize
+	}
+	window := sc.BatchWindow
+	if window == 0 {
+		window = m.cfg.ServeBatchWindow
+	}
+	workers := sc.Workers
+	if workers <= 0 {
+		workers = m.cfg.Workers
+	}
+	s := &Server{
+		cache:   newResultCache(cacheSize),
+		workers: workers,
+		window:  window,
+		done:    make(chan struct{}),
+	}
+	s.cur.Store(&served{model: m, gen: s.gen.Add(1), fp: m.indexFingerprint()})
+	if window > 0 {
+		s.reqs = make(chan *topkReq)
+		s.wg.Add(1)
+		go s.run()
+	}
+	return s
+}
+
+// Close stops the micro-batching collector and fails queries still
+// waiting on it with ErrServerClosed. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// Model returns the currently served model (the latest Reload argument,
+// or the NewServer model before any reload).
+func (s *Server) Model() *Model { return s.cur.Load().model }
+
+// Reload atomically swaps the served model. In-flight queries finish
+// against the model they started with; queries accepted afterwards see
+// only the new one. The result cache is purged — and cache keys carry the
+// swap generation, so entries of the old model can not resurface even
+// mid-purge.
+func (s *Server) Reload(m *Model) error {
+	if m == nil {
+		return errors.New("tdmatch: Reload requires a model")
+	}
+	s.cur.Store(&served{model: m, gen: s.gen.Add(1), fp: m.indexFingerprint()})
+	s.cache.purge()
+	s.reloads.Add(1)
+	return nil
+}
+
+// TopK returns the k documents of the other corpus most similar to docID,
+// like Model.TopK, but served: answered from the result cache when
+// possible, otherwise coalesced with concurrent queries into one
+// worker-pool pass. The returned slice is the caller's to keep.
+func (s *Server) TopK(docID string, k int) ([]Match, error) {
+	s.queries.Add(1)
+	cur := s.cur.Load()
+	if matches, ok := s.cache.get(cacheKey{docID: docID, k: k, gen: cur.gen, fp: cur.fp}); ok {
+		return matches, nil
+	}
+	if s.reqs == nil {
+		resp := s.answer(cur, docID, k)
+		return resp.matches, resp.err
+	}
+	req := &topkReq{docID: docID, k: k, out: make(chan topkResp, 1)}
+	select {
+	case s.reqs <- req:
+	case <-s.done:
+		return nil, ErrServerClosed
+	}
+	select {
+	case resp := <-req.out:
+		return resp.matches, resp.err
+	case <-s.done:
+		return nil, ErrServerClosed
+	}
+}
+
+// BatchResult is one query's outcome within TopKBatch: its position-
+// aligned document ID and either the ranking or the per-query error.
+type BatchResult struct {
+	// ID echoes the queried document ID.
+	ID string
+	// Matches is the ranking (nil when Err is set).
+	Matches []Match
+	// Err is the per-query failure, e.g. an unknown document; other
+	// queries of the batch are unaffected.
+	Err error
+}
+
+// TopKBatch answers many queries in one call, fanning them out over the
+// server's worker pool (the MatchAll strategy applied to an ad-hoc query
+// set). Results are position-aligned with docIDs; each query hits the
+// result cache independently.
+func (s *Server) TopKBatch(docIDs []string, k int) []BatchResult {
+	s.queries.Add(uint64(len(docIDs)))
+	cur := s.cur.Load()
+	out := make([]BatchResult, len(docIDs))
+	runPool(len(docIDs), s.workers, func(i int) {
+		resp := s.answer(cur, docIDs[i], k)
+		out[i] = BatchResult{ID: docIDs[i], Matches: resp.matches, Err: resp.err}
+	})
+	return out
+}
+
+// Stats snapshots the serving counters. Individual counters are loaded
+// independently, so a snapshot taken under load may be internally skewed
+// by in-flight queries.
+func (s *Server) Stats() ServeStats {
+	hits, misses := s.cache.counters()
+	return ServeStats{
+		Queries:        s.queries.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEntries:   s.cache.len(),
+		Batches:        s.batches.Load(),
+		BatchedQueries: s.batchedQueries.Load(),
+		Reloads:        s.reloads.Load(),
+		Errors:         s.errors.Load(),
+	}
+}
+
+// answer resolves one query against a pinned model snapshot: cache probe,
+// then Model.TopK, then cache fill. Failures bump the error counter and
+// are not cached (a document can gain an embedding only via Reload, which
+// changes the key anyway).
+func (s *Server) answer(cur *served, docID string, k int) topkResp {
+	key := cacheKey{docID: docID, k: k, gen: cur.gen, fp: cur.fp}
+	if matches, ok := s.cache.get(key); ok {
+		return topkResp{matches: matches}
+	}
+	matches, err := cur.model.TopK(docID, k)
+	if err != nil {
+		s.errors.Add(1)
+		return topkResp{err: err}
+	}
+	// The cache gets its own copy: the returned slice is the caller's to
+	// keep (and mutate) without corrupting the resident entry.
+	resident := make([]Match, len(matches))
+	copy(resident, matches)
+	s.cache.put(key, resident)
+	return topkResp{matches: matches}
+}
+
+// run is the micro-batching collector: it blocks for the first uncached
+// query, gathers whatever else arrives within the batch window (up to
+// serveMaxBatch), and executes the batch as one worker-pool pass. One
+// pass per burst is the point — under concurrent load the pool sweep
+// amortizes scheduling and keeps index scans cache-warm.
+func (s *Server) run() {
+	defer s.wg.Done()
+	timer := time.NewTimer(s.window)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first *topkReq
+		select {
+		case first = <-s.reqs:
+		case <-s.done:
+			return
+		}
+		batch := append(make([]*topkReq, 0, 8), first)
+		timer.Reset(s.window)
+		fired := false
+	collect:
+		for len(batch) < serveMaxBatch {
+			select {
+			case r := <-s.reqs:
+				batch = append(batch, r)
+			case <-timer.C:
+				fired = true
+				break collect
+			case <-s.done:
+				return
+			}
+		}
+		if !fired && !timer.Stop() {
+			<-timer.C
+		}
+		s.execBatch(batch)
+	}
+}
+
+// execBatch serves one coalesced batch against the current model,
+// fanning the queries out over the worker pool and replying to each
+// waiter. The model is pinned once per batch: a Reload during execution
+// takes effect from the next batch.
+func (s *Server) execBatch(batch []*topkReq) {
+	s.batches.Add(1)
+	s.batchedQueries.Add(uint64(len(batch)))
+	cur := s.cur.Load()
+	runPool(len(batch), s.workers, func(i int) {
+		r := batch[i]
+		r.out <- s.answer(cur, r.docID, r.k)
+	})
+}
+
+// indexFingerprint digests the serving-index configuration of both sides
+// into the identity the result cache keys on (see match.VectorIndex).
+func (m *Model) indexFingerprint() uint64 {
+	const prime64 = 1099511628211
+	h := m.firstIdx.Fingerprint()
+	h = (h ^ m.secondIdx.Fingerprint()) * prime64
+	h = (h ^ uint64(m.dim)) * prime64
+	return h
+}

@@ -1,0 +1,338 @@
+package tdmatch
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serveTestCorpora builds a small movie/review pair with enough token
+// overlap that every document gets an embedding.
+func serveTestCorpora(t testing.TB) (*Corpus, *Corpus) {
+	t.Helper()
+	movies, err := NewTable("movies",
+		[]string{"title", "director", "star", "genre"},
+		[][]string{
+			{"The Sixth Sense", "Shyamalan", "Bruce Willis", "Thriller"},
+			{"Pulp Fiction", "Tarantino", "Bruce Willis", "Drama"},
+			{"The Godfather", "Coppola", "Marlon Brando", "Crime"},
+			{"Jackie Brown", "Tarantino", "Pam Grier", "Crime"},
+			{"Die Hard", "McTiernan", "Bruce Willis", "Action"},
+			{"The Village", "Shyamalan", "Joaquin Phoenix", "Thriller"},
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reviews, err := NewText("reviews", []string{
+		"Willis sees dead people in this tense Shyamalan thriller",
+		"a hilarious Tarantino movie starring Willis",
+		"Brando rules the crime family in a timeless Coppola masterpiece",
+		"Grier carries this Tarantino crime homage",
+		"Willis fights terrorists in a McTiernan action classic",
+		"Phoenix wanders a Shyamalan village thriller",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return movies, reviews
+}
+
+// serveTestConfig is a laptop-instant pipeline configuration for serving
+// tests. Workers is 1 because hogwild training is deliberately racy (see
+// Config.Workers) and these tests run under -race; serving concurrency is
+// exercised via ServeConfig.Workers instead.
+func serveTestConfig(seed int64) Config {
+	cfg := Defaults()
+	cfg.Seed = seed
+	cfg.NumWalks = 6
+	cfg.WalkLength = 10
+	cfg.Dim = 24
+	cfg.Epochs = 1
+	cfg.Workers = 1
+	return cfg
+}
+
+// buildServeTestModel trains the shared test model (memoized — the
+// pipeline is deterministic per seed).
+var serveModelCache sync.Map // seed → *Model
+
+func buildServeTestModel(t testing.TB, seed int64) *Model {
+	t.Helper()
+	if m, ok := serveModelCache.Load(seed); ok {
+		return m.(*Model)
+	}
+	first, second := serveTestCorpora(t)
+	m, err := Build(first, second, serveTestConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveModelCache.Store(seed, m)
+	return m
+}
+
+func TestResultCacheLRUAndCounters(t *testing.T) {
+	c := newResultCache(cacheShardCount) // one entry per shard
+	key := func(i int) cacheKey {
+		return cacheKey{docID: fmt.Sprintf("doc%d", i), k: 5, gen: 1, fp: 42}
+	}
+	if _, ok := c.get(key(0)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	for i := 0; i < 100; i++ {
+		c.put(key(i), []Match{{ID: "m", Score: float64(i)}})
+	}
+	if n := c.len(); n > cacheShardCount {
+		t.Errorf("cache holds %d entries, capacity %d", n, cacheShardCount)
+	}
+	// Refreshing an existing key must not grow the cache.
+	c.purge()
+	if c.len() != 0 {
+		t.Fatal("purge left entries behind")
+	}
+	c.put(key(1), []Match{{ID: "m", Score: 1}})
+	c.put(key(1), []Match{{ID: "m", Score: 2}})
+	if c.len() != 1 {
+		t.Errorf("duplicate put grew the cache to %d entries", c.len())
+	}
+	got, ok := c.get(key(1))
+	if !ok || got[0].Score != 2 {
+		t.Errorf("get after refresh = %v, %v", got, ok)
+	}
+	// Returned slices are copies: mutating one must not poison the cache.
+	got[0].Score = -1
+	again, _ := c.get(key(1))
+	if again[0].Score != 2 {
+		t.Error("cache entry mutated through a returned slice")
+	}
+	hits, misses := c.counters()
+	if hits != 2 || misses == 0 {
+		t.Errorf("counters = %d hits, %d misses", hits, misses)
+	}
+	// Generation is part of the key: the same query under a new
+	// generation misses.
+	bumped := key(1)
+	bumped.gen = 2
+	if _, ok := c.get(bumped); ok {
+		t.Error("cache served an entry across generations")
+	}
+
+	var disabled *resultCache
+	disabled.put(key(0), nil)
+	if _, ok := disabled.get(key(0)); ok {
+		t.Error("nil cache reported a hit")
+	}
+	if disabled.len() != 0 {
+		t.Error("nil cache reports entries")
+	}
+	disabled.purge() // must not panic
+}
+
+func TestServerTopKMatchesModelAndCaches(t *testing.T) {
+	m := buildServeTestModel(t, 1)
+	s := NewServer(m, ServeConfig{})
+	defer s.Close()
+
+	want, err := m.TopK("reviews:p0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s.TopK("reviews:p0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, want) {
+		t.Errorf("served ranking %v != model ranking %v", cold, want)
+	}
+	// The cold result is the caller's: mutating it must not poison the
+	// cache entry filled by the same call.
+	cold[0] = Match{ID: "corrupted", Score: -99}
+	warm, err := s.TopK("reviews:p0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, want) {
+		t.Errorf("cached ranking %v != model ranking %v", warm, want)
+	}
+	st := s.Stats()
+	if st.CacheHits == 0 {
+		t.Errorf("no cache hit recorded: %+v", st)
+	}
+	if st.Queries != 2 || st.CacheEntries != 1 {
+		t.Errorf("stats = %+v, want 2 queries and 1 entry", st)
+	}
+
+	if _, err := s.TopK("nosuch:doc", 3); err == nil {
+		t.Error("unknown document did not error")
+	}
+	if st := s.Stats(); st.Errors != 1 {
+		t.Errorf("errors = %d, want 1", st.Errors)
+	}
+}
+
+func TestServerCoalescesConcurrentQueries(t *testing.T) {
+	m := buildServeTestModel(t, 1)
+	// Wide window, disabled cache: concurrent distinct queries must land
+	// in few batches.
+	s := NewServer(m, ServeConfig{CacheSize: -1, BatchWindow: 20 * time.Millisecond, Workers: 4})
+	defer s.Close()
+
+	ids := m.second.IDs()
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(ids))
+	for r := 0; r < rounds; r++ {
+		for _, id := range ids {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				if _, err := s.TopK(id, 2); err != nil {
+					errs <- fmt.Errorf("%s: %w", id, err)
+				}
+			}(id)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := s.Stats()
+	total := uint64(rounds * len(ids))
+	if st.BatchedQueries != total {
+		t.Errorf("batched %d queries, want %d", st.BatchedQueries, total)
+	}
+	if st.Batches == 0 || st.Batches >= total {
+		t.Errorf("batches = %d for %d concurrent queries: no coalescing", st.Batches, total)
+	}
+}
+
+func TestServerTopKBatch(t *testing.T) {
+	m := buildServeTestModel(t, 1)
+	s := NewServer(m, ServeConfig{Workers: 3})
+	defer s.Close()
+
+	ids := append(m.second.IDs(), "nosuch:doc")
+	results := s.TopKBatch(ids, 3)
+	if len(results) != len(ids) {
+		t.Fatalf("got %d results for %d queries", len(results), len(ids))
+	}
+	for i, res := range results[:len(results)-1] {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", ids[i], res.Err)
+		}
+		want, err := m.TopK(ids[i], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ID != ids[i] || !reflect.DeepEqual(res.Matches, want) {
+			t.Errorf("batch result %d = %+v, want %v for %s", i, res, want, ids[i])
+		}
+	}
+	if last := results[len(results)-1]; last.Err == nil {
+		t.Error("unknown document in batch did not error")
+	}
+}
+
+func TestServerReloadSwapsWithoutDroppingQueries(t *testing.T) {
+	m1 := buildServeTestModel(t, 1)
+	m2 := buildServeTestModel(t, 2)
+	s := NewServer(m1, ServeConfig{BatchWindow: 50 * time.Microsecond, Workers: 4})
+	defer s.Close()
+
+	if err := s.Reload(nil); err == nil {
+		t.Fatal("Reload(nil) did not error")
+	}
+
+	ids := m1.second.IDs()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ids[(w+i)%len(ids)]
+				if _, err := s.TopK(id, 2); err != nil && !errors.Is(err, ErrServerClosed) {
+					select {
+					case errs <- fmt.Errorf("%s: %w", id, err):
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	const swaps = 20
+	models := [2]*Model{m1, m2}
+	for i := 0; i < swaps; i++ {
+		if err := s.Reload(models[(i+1)%2]); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := s.Stats()
+	if st.Reloads != swaps {
+		t.Errorf("reloads = %d, want %d", st.Reloads, swaps)
+	}
+	// After the final swap the server serves m1's rankings again.
+	want, err := models[swaps%2].TopK(ids[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.TopK(ids[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-reload ranking %v != active model's %v", got, want)
+	}
+}
+
+func TestServerCloseFailsPendingQueries(t *testing.T) {
+	m := buildServeTestModel(t, 1)
+	s := NewServer(m, ServeConfig{})
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.TopK(m.second.IDs()[0], 2); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("TopK after Close = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestServerDisabledCacheAndBatching(t *testing.T) {
+	m := buildServeTestModel(t, 1)
+	s := NewServer(m, ServeConfig{CacheSize: -1, BatchWindow: -1})
+	defer s.Close()
+	id := m.second.IDs()[0]
+	want, err := m.TopK(id, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := s.TopK(id, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("unbatched ranking %v != model ranking %v", got, want)
+		}
+	}
+	st := s.Stats()
+	if st.CacheHits != 0 || st.CacheEntries != 0 || st.Batches != 0 {
+		t.Errorf("disabled cache/batching still counted: %+v", st)
+	}
+}

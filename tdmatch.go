@@ -192,4 +192,6 @@ type Match struct {
 	Score float64
 }
 
+// String renders the match as "id(score)" with three decimals, the
+// format the CLIs print.
 func (m Match) String() string { return fmt.Sprintf("%s(%.3f)", m.ID, m.Score) }

@@ -1,0 +1,173 @@
+// Command doccheck enforces the repository's godoc discipline: every
+// exported package-level identifier — type, function, method, constant
+// and variable — must carry a doc comment, and a comment that documents a
+// single named declaration must start with that name (the golint
+// convention, so godoc renders an indexed sentence).
+//
+// Usage:
+//
+//	go run ./tools/doccheck [dir]
+//
+// dir defaults to the current directory; the tool walks every .go file
+// below it, skipping _test.go files, testdata and hidden directories.
+// Grouped declarations (a const/var block, or specs sharing one line
+// comment) are satisfied by a doc comment on the block. Exit status is
+// non-zero when any exported identifier is undocumented, listing each as
+// file:line: name.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, ferr := checkFile(path)
+		if ferr != nil {
+			return ferr
+		}
+		problems = append(problems, file...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented or misdocumented exported identifiers\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkFile parses one source file and returns a problem line per
+// exported identifier that lacks a conforming doc comment.
+func checkFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	report := func(pos token.Pos, name, msg string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s %s", p.Filename, p.Line, name, msg))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), d.Name.Name, "has no doc comment")
+			} else if !startsWithName(d.Doc, d.Name.Name) {
+				report(d.Pos(), d.Name.Name, "doc comment does not start with the identifier")
+			}
+		case *ast.GenDecl:
+			checkGenDecl(d, report)
+		}
+	}
+	return problems, nil
+}
+
+// checkGenDecl handles type/const/var declarations. A doc comment on the
+// decl (block) covers every spec inside it; a spec with its own doc or
+// trailing line comment is also documented. Single-identifier type specs
+// must additionally start with the type name.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Tok == token.IMPORT {
+		return
+	}
+	blockDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil {
+				doc = d.Doc
+			}
+			if doc == nil {
+				report(s.Pos(), s.Name.Name, "has no doc comment")
+			} else if !startsWithName(doc, s.Name.Name) {
+				report(s.Pos(), s.Name.Name, "doc comment does not start with the identifier")
+			}
+		case *ast.ValueSpec:
+			specDoc := blockDoc || s.Doc != nil || s.Comment != nil
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if !specDoc {
+					report(name.Pos(), name.Name, "has no doc comment")
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (true for plain functions): exported methods on unexported types do not
+// surface in godoc, mirroring golint's scope.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// startsWithName reports whether the comment's first word is the
+// identifier, optionally preceded by "A", "An" or "The" (accepted godoc
+// style for types) or a deprecation marker.
+func startsWithName(doc *ast.CommentGroup, name string) bool {
+	text := strings.TrimSpace(doc.Text())
+	for _, prefix := range []string{"Deprecated:", "A ", "An ", "The "} {
+		text = strings.TrimPrefix(text, prefix)
+		text = strings.TrimSpace(text)
+	}
+	return strings.HasPrefix(text, name)
+}

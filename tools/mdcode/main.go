@@ -1,0 +1,187 @@
+// Command mdcode keeps documentation honest: it extracts every fenced
+// ```go code block from the given markdown files and compiles each one
+// against the repository, failing when a block no longer builds (say,
+// after an API rename the docs missed).
+//
+// Usage (from the module root):
+//
+//	go run ./tools/mdcode README.md ARCHITECTURE.md
+//
+// Blocks are compiled in one of two modes:
+//
+//   - blocks containing top-level func/type/package declarations become a
+//     standalone package file;
+//   - statement blocks are wrapped into a function body, with a trailing
+//     `_ = name` for every top-level `:=` binding so illustrative unused
+//     variables do not fail the build.
+//
+// Imports are inferred from qualified identifiers (tdmatch.X, fmt.X, …)
+// over a fixed allowlist of packages documentation is expected to use.
+// Fence a block as ```text (or any non-go info string) to exempt it.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// knownImports maps selector qualifiers appearing in documentation
+// snippets to their import paths.
+var knownImports = map[string]string{
+	"tdmatch": "github.com/tdmatch/tdmatch",
+	"fmt":     "fmt",
+	"log":     "log",
+	"os":      "os",
+	"time":    "time",
+	"strings": "strings",
+	"http":    "net/http",
+	"json":    "encoding/json",
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdcode FILE.md ...")
+		os.Exit(2)
+	}
+	totalFailed := 0
+	for _, path := range os.Args[1:] {
+		blocks, err := extractGoBlocks(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdcode: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		failed := 0
+		for _, b := range blocks {
+			if err := compileBlock(path, b); err != nil {
+				fmt.Fprintf(os.Stderr, "mdcode: %s: code block at line %d does not compile:\n%v\n", path, b.line, err)
+				failed++
+			}
+		}
+		fmt.Printf("mdcode: %s: %d/%d go blocks compile\n", path, len(blocks)-failed, len(blocks))
+		totalFailed += failed
+	}
+	if totalFailed > 0 {
+		os.Exit(1)
+	}
+}
+
+// block is one fenced ```go region: its content and the line of its
+// opening fence, for error reporting.
+type block struct {
+	text string
+	line int
+}
+
+// extractGoBlocks returns the ```go fenced blocks of a markdown file.
+func extractGoBlocks(path string) ([]block, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var blocks []block
+	lines := strings.Split(string(data), "\n")
+	for i := 0; i < len(lines); i++ {
+		fence := strings.TrimSpace(lines[i])
+		if fence != "```go" {
+			continue
+		}
+		start := i + 1
+		j := start
+		for j < len(lines) && strings.TrimSpace(lines[j]) != "```" {
+			j++
+		}
+		if j == len(lines) {
+			return nil, fmt.Errorf("unclosed code fence at line %d", i+1)
+		}
+		blocks = append(blocks, block{text: strings.Join(lines[start:j], "\n"), line: i + 1})
+		i = j
+	}
+	return blocks, nil
+}
+
+// assignRe captures the identifiers of a top-level short variable
+// declaration, e.g. "model, err := ...".
+var assignRe = regexp.MustCompile(`^([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)\s*:=`)
+
+// compileBlock renders one block as a compilable package in a throwaway
+// directory under the module root and runs go build over it.
+func compileBlock(mdPath string, b block) error {
+	dir, err := os.MkdirTemp(".", "mdcode")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	src := renderBlock(b.text)
+	if err := os.WriteFile(filepath.Join(dir, "block.go"), []byte(src), 0o644); err != nil {
+		return err
+	}
+	out, err := exec.Command("go", "build", "./"+dir).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("%s\n--- generated source ---\n%s", out, src)
+	}
+	return nil
+}
+
+// renderBlock turns a documentation snippet into a standalone package:
+// declaration blocks are emitted as-is, statement blocks are wrapped in a
+// function body with `_ =` uses appended for top-level bindings.
+func renderBlock(text string) string {
+	if strings.HasPrefix(strings.TrimSpace(text), "package ") {
+		return text
+	}
+	var sb strings.Builder
+	sb.WriteString("package mdcode\n\n")
+	var importLines []string
+	for qual, path := range knownImports {
+		if regexp.MustCompile(`\b` + qual + `\.`).MatchString(text) {
+			if path == qual {
+				importLines = append(importLines, fmt.Sprintf("\t%q", path))
+			} else {
+				importLines = append(importLines, fmt.Sprintf("\t%s %q", qual, path))
+			}
+		}
+	}
+	if len(importLines) > 0 {
+		sb.WriteString("import (\n" + strings.Join(importLines, "\n") + "\n)\n\n")
+	}
+	declMode := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "func ") || strings.HasPrefix(line, "type ") ||
+			strings.HasPrefix(line, "var ") || strings.HasPrefix(line, "const ") {
+			declMode = true
+			break
+		}
+	}
+	if declMode {
+		sb.WriteString(text)
+		sb.WriteString("\n")
+		return sb.String()
+	}
+	var names []string
+	seen := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		m := assignRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, name := range strings.Split(m[1], ",") {
+			name = strings.TrimSpace(name)
+			if name != "_" && !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sb.WriteString("var _ = func() {\n")
+	sb.WriteString(text)
+	sb.WriteString("\n")
+	for _, name := range names {
+		sb.WriteString("\t_ = " + name + "\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
