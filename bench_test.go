@@ -134,26 +134,37 @@ func benchGraph(b *testing.B) *graph.Graph {
 	return res.Graph
 }
 
-// BenchmarkRandomWalks measures Algorithm 4 walk generation.
+// BenchmarkRandomWalks measures Algorithm 4 walk generation on the
+// pipeline's hot path: packed sequences over a CSR-frozen graph.
 func BenchmarkRandomWalks(b *testing.B) {
 	g := benchGraph(b)
+	g.Freeze()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		walks := walk.Generate(g, walk.Config{NumWalks: 10, Length: 20, Seed: int64(i)})
-		if len(walks) == 0 {
+		seqs := walk.GeneratePacked(g, walk.Config{NumWalks: 10, Length: 20, Seed: int64(i)})
+		if seqs.Len() == 0 {
 			b.Fatal("no walks")
 		}
 	}
 }
 
+// benchWalkSequences generates the packed training corpus the Word2Vec
+// benchmarks consume.
+func benchWalkSequences(b *testing.B, g *graph.Graph) embed.Sequences {
+	b.Helper()
+	g.Freeze()
+	return walk.GeneratePacked(g, walk.Config{NumWalks: 6, Length: 15, Seed: 1})
+}
+
 // BenchmarkWord2VecSkipGram measures embedding training on walk sequences.
 func BenchmarkWord2VecSkipGram(b *testing.B) {
 	g := benchGraph(b)
-	walks := walk.Generate(g, walk.Config{NumWalks: 6, Length: 15, Seed: 1})
-	seqs := walk.ToSequences(walks)
+	seqs := benchWalkSequences(b, g)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := embed.Train(seqs, g.Cap(), embed.Config{
+		if _, err := embed.TrainPacked(seqs, g.Cap(), embed.Config{
 			Dim: 48, Window: 3, Epochs: 1, Seed: int64(i), Mode: embed.SkipGram,
 		}); err != nil {
 			b.Fatal(err)
@@ -164,11 +175,11 @@ func BenchmarkWord2VecSkipGram(b *testing.B) {
 // BenchmarkWord2VecCBOW measures the CBOW objective used for text tasks.
 func BenchmarkWord2VecCBOW(b *testing.B) {
 	g := benchGraph(b)
-	walks := walk.Generate(g, walk.Config{NumWalks: 6, Length: 15, Seed: 1})
-	seqs := walk.ToSequences(walks)
+	seqs := benchWalkSequences(b, g)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := embed.Train(seqs, g.Cap(), embed.Config{
+		if _, err := embed.TrainPacked(seqs, g.Cap(), embed.Config{
 			Dim: 48, Window: 10, Epochs: 1, Seed: int64(i), Mode: embed.CBOW,
 		}); err != nil {
 			b.Fatal(err)

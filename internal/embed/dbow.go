@@ -26,24 +26,23 @@ func TrainDBOW(docs [][]int32, vocabSize int, cfg Config) ([][]float32, error) {
 			total++
 		}
 	}
-	docVecs := make([][]float32, len(docs))
+	// Document vectors live in one flat arena, like Train's syn0.
+	dim := cfg.Dim
+	docArena := make([]float32, len(docs)*dim)
 	rng := newXorshift(uint64(cfg.Seed) ^ 0xd0c2)
+	for i := range docArena {
+		docArena[i] = (rng.float() - 0.5) / float32(dim)
+	}
+	docVecs := make([][]float32, len(docs))
 	for i := range docVecs {
-		v := make([]float32, cfg.Dim)
-		for d := range v {
-			v[d] = (rng.float() - 0.5) / float32(cfg.Dim)
-		}
-		docVecs[i] = v
+		docVecs[i] = docArena[i*dim : (i+1)*dim : (i+1)*dim]
 	}
 	if total == 0 {
 		return docVecs, nil
 	}
-	syn1 := make([][]float32, vocabSize)
-	for i := range syn1 {
-		syn1[i] = make([]float32, cfg.Dim)
-	}
+	syn1 := make([]float32, vocabSize*dim)
 	table := unigramTable(counts)
-	grad := make([]float32, cfg.Dim)
+	grad := make([]float32, dim)
 
 	lr := float32(cfg.LR)
 	minLR := float32(cfg.LR / 10000)
@@ -61,7 +60,7 @@ func TrainDBOW(docs [][]int32, vocabSize int, cfg Config) ([][]float32, error) {
 					}
 				}
 				processed++
-				trainPair(dv, syn1, tok, table, cfg.Negative, lr, grad, &rng)
+				trainPair(dv, syn1, dim, tok, table, cfg.Negative, lr, grad, &rng)
 			}
 		}
 	}

@@ -6,10 +6,25 @@ package embed
 
 import "math"
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors. The loop is
+// unrolled over four independent accumulators so the float32 additions
+// pipeline instead of serializing on one dependency chain — this function
+// dominates both training (trainPair) and serving (flat index scans).
 func Dot(a, b []float32) float32 {
-	var s float32
-	for i := range a {
+	if len(a) == 0 {
+		return 0
+	}
+	_ = b[len(a)-1] // bounds hint: keeps the panic on a short b, drops per-element checks
+	var s0, s1, s2, s3 float32
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for i := n; i < len(a); i++ {
 		s += a[i] * b[i]
 	}
 	return s
@@ -62,9 +77,22 @@ func Mean(vecs [][]float32, dim int) []float32 {
 	return out
 }
 
-// Add accumulates src into dst.
+// Add accumulates src into dst, unrolled four-wide so the independent
+// element updates pipeline (each element is touched exactly once, so the
+// result is identical to the scalar loop).
 func Add(dst, src []float32) {
-	for i := range dst {
+	if len(dst) == 0 {
+		return
+	}
+	_ = src[len(dst)-1] // bounds hint: keeps the panic on a short src
+	n := len(dst) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i] += src[i]
+		dst[i+1] += src[i+1]
+		dst[i+2] += src[i+2]
+		dst[i+3] += src[i+3]
+	}
+	for i := n; i < len(dst); i++ {
 		dst[i] += src[i]
 	}
 }
@@ -86,6 +114,11 @@ var expTable = func() [expTableSize]float32 {
 	return t
 }()
 
+// sigmoidScale maps a logit in [-maxExp, maxExp] to a table index with a
+// single multiply (float division is not strength-reduced by the
+// compiler and showed up in training profiles).
+const sigmoidScale = expTableSize / (2 * maxExp)
+
 // sigmoidFast approximates the logistic function; inputs outside
 // [-maxExp, maxExp] saturate to 0 or 1 exactly as in the reference
 // word2vec implementation (those pairs are skipped by callers).
@@ -96,7 +129,7 @@ func sigmoidFast(x float32) float32 {
 	if x <= -maxExp {
 		return 0
 	}
-	idx := int((x + maxExp) / (2 * maxExp) * expTableSize)
+	idx := int((x + maxExp) * sigmoidScale)
 	if idx >= expTableSize {
 		idx = expTableSize - 1
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Mode selects the Word2Vec training objective.
@@ -67,10 +68,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Model holds trained embeddings indexed by token ID.
+// Model holds trained embeddings indexed by token ID. After training,
+// Arena is the flat row-major storage (token i's vector occupies
+// Arena[i*Dim : (i+1)*Dim]) and every Vecs entry is a view into it, so
+// downstream consumers (the serving indexes, persistence) can alias one
+// contiguous block instead of chasing per-token allocations. Models
+// assembled by hand (tests) may leave Arena nil and fill Vecs directly.
 type Model struct {
-	Dim  int
-	Vecs [][]float32
+	Dim   int
+	Arena []float32
+	Vecs  [][]float32
 }
 
 // Vector returns the embedding of token id (nil when out of range).
@@ -90,11 +97,30 @@ func (m *Model) Similarity(a, b int32) float64 {
 	return Cosine(va, vb)
 }
 
-const unigramTableSize = 1 << 20
+// maxUnigramTableSize caps the negative-sampling table; tableSizeFor
+// shrinks it for small vocabularies so the randomly-probed table stays
+// cache-resident in the training hot loop.
+const maxUnigramTableSize = 1 << 20
+
+// tableSizeFor returns the negative-sampling table size for a vocabulary:
+// a power of two (so each draw is a mask, not a modulo) granting at least
+// 32 slots per token on average, clamped to [1<<16, 1<<20]. The 3/4-power
+// smoothing flattens the frequency distribution enough that 32 slots per
+// token preserves sampling fidelity, while a small vocabulary gets a
+// table that stays cache-resident instead of thrashing L2 with the full
+// 4 MB worst case.
+func tableSizeFor(vocab int) int {
+	size := 1 << 16
+	for size < vocab*32 && size < maxUnigramTableSize {
+		size <<= 1
+	}
+	return size
+}
 
 // unigramTable is the negative-sampling distribution: token frequency
 // raised to the 3/4 power, as in Mikolov et al.
 func unigramTable(counts []int64) []int32 {
+	unigramTableSize := tableSizeFor(len(counts))
 	table := make([]int32, unigramTableSize)
 	var total float64
 	pow := func(c int64) float64 {
@@ -118,7 +144,7 @@ func unigramTable(counts []int64) []int32 {
 			continue
 		}
 		cum += pow(c) / total
-		limit := int(cum * unigramTableSize)
+		limit := int(cum * float64(unigramTableSize))
 		for ; i < limit && i < unigramTableSize; i++ {
 			table[i] = int32(tok)
 		}
@@ -130,50 +156,65 @@ func unigramTable(counts []int64) []int32 {
 }
 
 // Train learns token embeddings from sequences of token IDs in
-// [0, vocabSize). It returns an error for invalid input. Training is
-// hogwild-parallel across Workers goroutines (set Workers to 1 for fully
-// deterministic output).
+// [0, vocabSize) — the [][]int32 adapter over TrainPacked for callers
+// that materialize their corpus as slice-of-slices.
 func Train(seqs [][]int32, vocabSize int, cfg Config) (*Model, error) {
+	return TrainPacked(PackSequences(seqs), vocabSize, cfg)
+}
+
+// TrainPacked learns token embeddings from a packed token-sequence corpus
+// with IDs in [0, vocabSize). It returns an error for invalid input.
+// Training is hogwild-parallel across Workers goroutines (set Workers to
+// 1 for fully deterministic output). The hot path is allocation-free:
+// both weight matrices live in flat stride-addressed arenas, the
+// gradient-accumulate and output-update loops are fused into one pass,
+// and per-worker scratch buffers (CBOW accumulator, gradient, subsample
+// survivors) are reused across sequences and epochs.
+func TrainPacked(seqs Sequences, vocabSize int, cfg Config) (*Model, error) {
 	if vocabSize <= 0 {
 		return nil, fmt.Errorf("embed: vocabSize must be positive, got %d", vocabSize)
 	}
 	cfg = cfg.withDefaults()
 
 	counts := make([]int64, vocabSize)
-	var totalTokens int64
-	for si, s := range seqs {
-		for _, t := range s {
+	nSeqs := seqs.Len()
+	for si := 0; si < nSeqs; si++ {
+		for _, t := range seqs.Seq(si) {
 			if t < 0 || int(t) >= vocabSize {
 				return nil, fmt.Errorf("embed: token %d out of range in sequence %d", t, si)
 			}
 			counts[t]++
-			totalTokens++
 		}
 	}
+	totalTokens := int64(seqs.NumTokens())
 	if totalTokens == 0 {
 		return &Model{Dim: cfg.Dim, Vecs: make([][]float32, vocabSize)}, nil
 	}
 
-	// syn0: input vectors (the embeddings); syn1: output weights.
-	syn0 := make([][]float32, vocabSize)
-	syn1 := make([][]float32, vocabSize)
+	// syn0: input vectors (the embeddings); syn1: output weights. Both are
+	// flat row-major arenas — row i at [i*dim : (i+1)*dim].
+	dim := cfg.Dim
+	syn0 := make([]float32, vocabSize*dim)
+	syn1 := make([]float32, vocabSize*dim)
 	initRng := newXorshift(uint64(cfg.Seed) ^ 0xabcdef)
 	for i := range syn0 {
-		v0 := make([]float32, cfg.Dim)
-		for d := range v0 {
-			v0[d] = (initRng.float() - 0.5) / float32(cfg.Dim)
-		}
-		syn0[i] = v0
-		syn1[i] = make([]float32, cfg.Dim)
+		syn0[i] = (initRng.float() - 0.5) / float32(dim)
 	}
 
 	table := unigramTable(counts)
 	trainedTarget := float64(totalTokens) * float64(cfg.Epochs)
+	// trainedTokens is the shared progress counter driving the linear
+	// learning-rate decay. Workers fold their local token counts in at
+	// every LR refresh, so the schedule tracks global progress even when
+	// sequence lengths are skewed across workers (a per-worker
+	// processed*workers estimate decays too fast for workers holding the
+	// long sequences and too slow for the rest).
+	var trainedTokens atomic.Int64
 
 	var wg sync.WaitGroup
 	workers := cfg.Workers
-	if workers > len(seqs) && len(seqs) > 0 {
-		workers = len(seqs)
+	if workers > nSeqs && nSeqs > 0 {
+		workers = nSeqs
 	}
 	if workers < 1 {
 		workers = 1
@@ -183,13 +224,19 @@ func Train(seqs [][]int32, vocabSize int, cfg Config) (*Model, error) {
 		go func(worker int) {
 			defer wg.Done()
 			rng := newXorshift(uint64(cfg.Seed)*0x9e37 + uint64(worker)*7919 + 1)
-			neu := make([]float32, cfg.Dim)
-			grad := make([]float32, cfg.Dim)
-			var processed int64
+			neu := make([]float32, dim)
+			grad := make([]float32, dim)
+			var subBuf []int32
+			var processed, synced int64
+			// untilLR counts down to the next learning-rate refresh so the
+			// per-token check is a decrement, not an int64 modulo.
+			var untilLR int64
 			lr := float32(cfg.LR)
 			minLR := float32(cfg.LR / 10000)
 			updateLR := func() {
-				frac := float32(float64(processed*int64(workers)) / trainedTarget)
+				total := trainedTokens.Add(processed - synced)
+				synced = processed
+				frac := float32(float64(total) / trainedTarget)
 				if frac > 1 {
 					frac = 1
 				}
@@ -199,15 +246,18 @@ func Train(seqs [][]int32, vocabSize int, cfg Config) (*Model, error) {
 				}
 			}
 			for ep := 0; ep < cfg.Epochs; ep++ {
-				for si := worker; si < len(seqs); si += workers {
-					seq := seqs[si]
+				for si := worker; si < nSeqs; si += workers {
+					seq := seqs.Seq(si)
 					if cfg.Subsample > 0 {
-						seq = subsample(seq, counts, totalTokens, cfg.Subsample, &rng)
+						subBuf = subsampleInto(subBuf[:0], seq, counts, totalTokens, cfg.Subsample, &rng)
+						seq = subBuf
 					}
 					for pos, center := range seq {
-						if processed%10000 == 0 {
+						if untilLR == 0 {
 							updateLR()
+							untilLR = 10000
 						}
+						untilLR--
 						processed++
 						// Randomized effective window, as in word2vec.
 						win := 1 + rng.intn(cfg.Window)
@@ -223,7 +273,8 @@ func Train(seqs [][]int32, vocabSize int, cfg Config) (*Model, error) {
 								if c == pos {
 									continue
 								}
-								trainPair(syn0[seq[c]], syn1, center, table, cfg.Negative, lr, grad, &rng)
+								row := int(seq[c]) * dim
+								trainPair(syn0[row:row+dim], syn1, dim, center, table, cfg.Negative, lr, grad, &rng)
 							}
 						} else {
 							// CBOW: average context into neu.
@@ -235,7 +286,8 @@ func Train(seqs [][]int32, vocabSize int, cfg Config) (*Model, error) {
 								if c == pos {
 									continue
 								}
-								Add(neu, syn0[seq[c]])
+								row := int(seq[c]) * dim
+								Add(neu, syn0[row:row+dim])
 								n++
 							}
 							if n == 0 {
@@ -245,14 +297,15 @@ func Train(seqs [][]int32, vocabSize int, cfg Config) (*Model, error) {
 							for d := range neu {
 								neu[d] *= inv
 							}
-							trainPair(neu, syn1, center, table, cfg.Negative, lr, grad, &rng)
+							trainPair(neu, syn1, dim, center, table, cfg.Negative, lr, grad, &rng)
 							// grad now holds the input-side gradient;
 							// distribute to every context vector.
 							for c := lo; c <= hi; c++ {
 								if c == pos {
 									continue
 								}
-								Add(syn0[seq[c]], grad)
+								row := int(seq[c]) * dim
+								Add(syn0[row:row+dim], grad)
 							}
 						}
 					}
@@ -261,14 +314,23 @@ func Train(seqs [][]int32, vocabSize int, cfg Config) (*Model, error) {
 		}(w)
 	}
 	wg.Wait()
-	return &Model{Dim: cfg.Dim, Vecs: syn0}, nil
+	vecs := make([][]float32, vocabSize)
+	for i := range vecs {
+		vecs[i] = syn0[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return &Model{Dim: dim, Arena: syn0, Vecs: vecs}, nil
 }
 
 // trainPair performs one positive + k negative updates for input vector in
-// against target token (and sampled negatives) through syn1. On return,
-// grad holds the accumulated input-side gradient; for Skip-gram it is
-// applied to in directly, for CBOW the caller distributes it.
-func trainPair(in []float32, syn1 [][]float32, target int32, table []int32, negative int, lr float32, grad []float32, rng *xorshift) {
+// against target token (and sampled negatives) through the flat syn1
+// arena (row i at [i*dim : (i+1)*dim]). The input-side gradient
+// accumulation and the syn1 row update are fused into a single pass over
+// the row. On return, grad holds the accumulated input-side gradient; for
+// Skip-gram it is applied to in directly, for CBOW the caller distributes
+// it.
+func trainPair(in, syn1 []float32, dim int, target int32, table []int32, negative int, lr float32, grad []float32, rng *xorshift) {
+	in = in[:dim]
+	grad = grad[:dim]
 	for d := range grad {
 		grad[d] = 0
 	}
@@ -278,29 +340,48 @@ func trainPair(in []float32, syn1 [][]float32, target int32, table []int32, nega
 		if k == 0 {
 			tok, label = target, 1
 		} else {
-			tok = table[rng.intn(len(table))]
+			// len(table) is a power of two (tableSizeFor), so the draw is
+			// a mask, not a modulo.
+			tok = table[rng.next()&uint64(len(table)-1)]
 			if tok == target {
 				continue
 			}
 			label = 0
 		}
-		out := syn1[tok]
+		row := int(tok) * dim
+		out := syn1[row : row+dim : row+dim]
 		f := Dot(in, out)
 		g := (label - sigmoidFast(f)) * lr
-		for d := range grad {
-			grad[d] += g * out[d]
+		// Fused pass: read out[d] once for the gradient, then overwrite it
+		// with the output-side update (the pre-update value feeds grad, so
+		// the result matches the two-loop formulation exactly). Unrolled
+		// four-wide: every element is independent, so the unroll changes
+		// nothing but the instruction-level parallelism.
+		n := dim &^ 3
+		for d := 0; d < n; d += 4 {
+			o0, o1, o2, o3 := out[d], out[d+1], out[d+2], out[d+3]
+			grad[d] += g * o0
+			grad[d+1] += g * o1
+			grad[d+2] += g * o2
+			grad[d+3] += g * o3
+			out[d] = o0 + g*in[d]
+			out[d+1] = o1 + g*in[d+1]
+			out[d+2] = o2 + g*in[d+2]
+			out[d+3] = o3 + g*in[d+3]
 		}
-		for d := range out {
-			out[d] += g * in[d]
+		for d := n; d < dim; d++ {
+			o := out[d]
+			grad[d] += g * o
+			out[d] = o + g*in[d]
 		}
 	}
 	Add(in, grad)
 }
 
-// subsample drops frequent tokens with probability 1 - sqrt(t/f(w)),
-// writing survivors into a fresh slice.
-func subsample(seq []int32, counts []int64, total int64, t float64, rng *xorshift) []int32 {
-	out := make([]int32, 0, len(seq))
+// subsampleInto drops frequent tokens with probability 1 - sqrt(t/f(w)),
+// appending survivors to dst (pass a reused buffer sliced to length 0 to
+// keep the hot loop allocation-free once the buffer has grown).
+func subsampleInto(dst, seq []int32, counts []int64, total int64, t float64, rng *xorshift) []int32 {
 	for _, tok := range seq {
 		freq := float64(counts[tok]) / float64(total)
 		if freq > t {
@@ -309,7 +390,7 @@ func subsample(seq []int32, counts []int64, total int64, t float64, rng *xorshif
 				continue
 			}
 		}
-		out = append(out, tok)
+		dst = append(dst, tok)
 	}
-	return out
+	return dst
 }

@@ -78,6 +78,12 @@ func Expand(g *graph.Graph, resource kb.Resource, opts Options) Stats {
 // Metadata nodes are never removed; with onlyExternal, only nodes added by
 // expansion are candidates. Removal cascades: pruning a sink can expose a
 // new one. It returns the number of removed nodes.
+//
+// The cascade is computed by degree peeling over a scratch degree array —
+// the doomed set of iterated sink removal is order-independent, like a
+// k-core peel — and the whole set is then deleted with one batch
+// graph.RemoveNodes call, so each surviving adjacency list is compacted
+// once instead of being linearly scanned per removed edge.
 func RemoveSinks(g *graph.Graph, onlyExternal bool) int {
 	candidate := func(id graph.NodeID) bool {
 		if g.Kind(id).IsMetadata() {
@@ -88,27 +94,34 @@ func RemoveSinks(g *graph.Graph, onlyExternal bool) int {
 		}
 		return true
 	}
-	removed := 0
+	deg := make([]int, g.Cap())
 	queue := make([]graph.NodeID, 0, 64)
 	g.Nodes(func(id graph.NodeID) {
-		if candidate(id) && g.Degree(id) <= 1 {
+		deg[id] = g.Degree(id)
+		if candidate(id) && deg[id] <= 1 {
 			queue = append(queue, id)
 		}
 	})
+	doomed := make([]bool, g.Cap())
+	var victims []graph.NodeID
 	for len(queue) > 0 {
 		id := queue[0]
 		queue = queue[1:]
-		if g.Removed(id) || !candidate(id) || g.Degree(id) > 1 {
+		if doomed[id] || g.Removed(id) || !candidate(id) || deg[id] > 1 {
 			continue
 		}
-		neighbors := append([]graph.NodeID(nil), g.Neighbors(id)...)
-		g.RemoveNode(id)
-		removed++
-		for _, nb := range neighbors {
-			if !g.Removed(nb) && candidate(nb) && g.Degree(nb) <= 1 {
+		doomed[id] = true
+		victims = append(victims, id)
+		for _, nb := range g.Neighbors(id) {
+			if doomed[nb] || g.Removed(nb) {
+				continue
+			}
+			deg[nb]--
+			if candidate(nb) && deg[nb] <= 1 {
 				queue = append(queue, nb)
 			}
 		}
 	}
-	return removed
+	g.RemoveNodes(victims)
+	return len(victims)
 }

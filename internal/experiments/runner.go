@@ -203,10 +203,11 @@ func RunPipeline(s *datasets.Scenario, sc Scale, o PipelineOpts) (*PipelineResul
 		window = o.Window
 	}
 
+	g.Freeze()
 	start := time.Now()
-	walks := walk.Generate(g, walk.Config{NumWalks: numWalks, Length: length, Seed: sc.Seed,
+	seqs := walk.GeneratePacked(g, walk.Config{NumWalks: numWalks, Length: length, Seed: sc.Seed,
 		Workers: sc.Workers, KindWeights: o.KindWeights})
-	em, err := embed.Train(walk.ToSequences(walks), g.Cap(), embed.Config{
+	em, err := embed.TrainPacked(seqs, g.Cap(), embed.Config{
 		Dim: dim, Window: window, Negative: 5, Epochs: epochs,
 		Mode: mode, Seed: sc.Seed, Workers: sc.Workers, Subsample: 1e-2,
 	})

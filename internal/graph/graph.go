@@ -81,6 +81,12 @@ type Graph struct {
 	adj     [][]NodeID
 	removed []bool
 
+	// csrOff/csrAdj hold the frozen CSR adjacency (see Freeze): node i's
+	// neighbors are csrAdj[csrOff[i]:csrOff[i+1]]. While frozen, adj is
+	// nil; any mutation thaws back to per-node slices transparently.
+	csrOff []int32
+	csrAdj []NodeID
+
 	dataIndex map[string]NodeID // canonical term -> data/external node
 	metaIndex map[string]NodeID // label -> metadata/attribute node
 
@@ -102,7 +108,72 @@ func New(nodeHint int) *Graph {
 	}
 }
 
+// Freeze compacts the per-node adjacency slices into one CSR layout —
+// an offsets array plus a single flat neighbor slice — so that walk
+// generation and shortest-path scans read sequential memory instead of
+// chasing one heap allocation per node. Freezing is idempotent and
+// transparent: Neighbors and Degree serve from the CSR, and any later
+// mutation (AddEdge, RemoveNode, ...) thaws back to per-node slices
+// automatically. The pipeline freezes after compression, right before
+// walk generation.
+func (g *Graph) Freeze() {
+	if g.csrOff != nil {
+		return
+	}
+	total := 0
+	off := make([]int32, len(g.adj)+1)
+	for i, a := range g.adj {
+		off[i] = int32(total)
+		total += len(a)
+	}
+	if int64(total) > int64(1)<<31-1 {
+		// CSR offsets are int32; fail loudly instead of silently wrapping
+		// (2^31 adjacency entries is ~1 billion edges).
+		panic(fmt.Sprintf("graph: %d adjacency entries overflow the CSR int32 offsets", total))
+	}
+	off[len(g.adj)] = int32(total)
+	flat := make([]NodeID, total)
+	pos := 0
+	for _, a := range g.adj {
+		pos += copy(flat[pos:], a)
+	}
+	g.csrOff, g.csrAdj = off, flat
+	g.adj = nil
+}
+
+// Frozen reports whether the adjacency currently lives in the compact CSR
+// layout built by Freeze.
+func (g *Graph) Frozen() bool { return g.csrOff != nil }
+
+// CSR returns the frozen adjacency arrays — node i's neighbors are
+// neighbors[offsets[i]:offsets[i+1]] — or (nil, nil) when the graph is
+// not frozen. Hot loops (walk generation) index these directly instead of
+// paying the per-step Neighbors branch and slice construction. Callers
+// must not mutate the returned slices.
+func (g *Graph) CSR() (offsets []int32, neighbors []NodeID) {
+	return g.csrOff, g.csrAdj
+}
+
+// thaw rebuilds the mutable per-node adjacency slices from the CSR and
+// drops it. Called by every mutating method so a frozen graph stays fully
+// functional at the cost of one rebuild.
+func (g *Graph) thaw() {
+	if g.csrOff == nil {
+		return
+	}
+	adj := make([][]NodeID, len(g.csrOff)-1)
+	for i := range adj {
+		row := g.csrAdj[g.csrOff[i]:g.csrOff[i+1]]
+		if len(row) > 0 {
+			adj[i] = append([]NodeID(nil), row...)
+		}
+	}
+	g.adj = adj
+	g.csrOff, g.csrAdj = nil, nil
+}
+
 func (g *Graph) addNode(label string, kind NodeKind, side Side) NodeID {
+	g.thaw()
 	id := NodeID(len(g.labels))
 	g.labels = append(g.labels, label)
 	g.kinds = append(g.kinds, kind)
@@ -182,6 +253,7 @@ func (g *Graph) AddEdge(a, b NodeID) {
 	if _, ok := g.edges[k]; ok {
 		return
 	}
+	g.thaw()
 	g.edges[k] = struct{}{}
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
@@ -211,17 +283,22 @@ func (g *Graph) RemoveEdge(a, b NodeID) {
 	if _, ok := g.edges[k]; !ok {
 		return
 	}
+	g.thaw()
 	delete(g.edges, k)
 	g.removeEdgeHalf(a, b)
 	g.removeEdgeHalf(b, a)
 }
 
 // RemoveNode deletes the node and all incident edges. The NodeID stays
-// allocated (iteration helpers skip it).
+// allocated (iteration helpers skip it). Deleting many nodes at once is
+// much cheaper through RemoveNodes, which compacts each surviving
+// adjacency list a single time instead of scanning it once per removed
+// edge.
 func (g *Graph) RemoveNode(id NodeID) {
 	if g.removed[id] {
 		return
 	}
+	g.thaw()
 	for _, n := range g.adj[id] {
 		delete(g.edges, edgeKey(id, n))
 		g.removeEdgeHalf(n, id)
@@ -229,6 +306,11 @@ func (g *Graph) RemoveNode(id NodeID) {
 	g.adj[id] = nil
 	g.removed[id] = true
 	g.nRemoved++
+	g.dropFromIndex(id)
+}
+
+// dropFromIndex removes a deleted node's label from the lookup maps.
+func (g *Graph) dropFromIndex(id NodeID) {
 	switch g.kinds[id] {
 	case Data, External:
 		if g.dataIndex[g.labels[id]] == id {
@@ -236,6 +318,63 @@ func (g *Graph) RemoveNode(id NodeID) {
 		}
 	default:
 		delete(g.metaIndex, g.labels[id])
+	}
+}
+
+// RemoveNodes deletes a batch of nodes and their incident edges in one
+// mark-and-compact pass: victims are flagged first, then every surviving
+// neighbor's adjacency list is rebuilt once. RemoveNode's per-edge
+// removeEdgeHalf scan costs O(deg(neighbor)) per incident edge, which
+// goes quadratic around hubs during the expansion/compression cleanup
+// loops; the batch form is linear in the total degree touched. Duplicate
+// and already-removed IDs are ignored.
+func (g *Graph) RemoveNodes(ids []NodeID) {
+	victim := make([]bool, len(g.labels))
+	any := false
+	for _, id := range ids {
+		if !g.removed[id] {
+			victim[id] = true
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	g.thaw()
+	dirty := make([]bool, len(g.labels))
+	for i, isVictim := range victim {
+		if !isVictim {
+			continue
+		}
+		id := NodeID(i)
+		for _, n := range g.adj[i] {
+			delete(g.edges, edgeKey(id, n))
+			if !victim[n] {
+				dirty[n] = true
+			}
+		}
+	}
+	for i, isDirty := range dirty {
+		if !isDirty {
+			continue
+		}
+		src := g.adj[i]
+		keep := src[:0]
+		for _, n := range src {
+			if !victim[n] {
+				keep = append(keep, n)
+			}
+		}
+		g.adj[i] = keep
+	}
+	for i, isVictim := range victim {
+		if !isVictim {
+			continue
+		}
+		g.adj[i] = nil
+		g.removed[i] = true
+		g.nRemoved++
+		g.dropFromIndex(NodeID(i))
 	}
 }
 
@@ -250,7 +389,7 @@ func (g *Graph) MergeData(keep, drop NodeID) error {
 			return fmt.Errorf("graph: MergeData on %v node %q", k, g.labels[id])
 		}
 	}
-	neighbors := append([]NodeID(nil), g.adj[drop]...)
+	neighbors := append([]NodeID(nil), g.Neighbors(drop)...)
 	g.RemoveNode(drop)
 	for _, n := range neighbors {
 		g.AddEdge(keep, n)
@@ -272,11 +411,22 @@ func (g *Graph) CorpusSide(id NodeID) Side { return g.sides[id] }
 // Removed reports whether the node has been deleted.
 func (g *Graph) Removed(id NodeID) bool { return g.removed[id] }
 
-// Neighbors returns the adjacency list of id. The caller must not mutate it.
-func (g *Graph) Neighbors(id NodeID) []NodeID { return g.adj[id] }
+// Neighbors returns the adjacency list of id. The caller must not mutate
+// it. On a frozen graph this is a view into the flat CSR neighbor slice.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	if g.csrOff != nil {
+		return g.csrAdj[g.csrOff[id]:g.csrOff[id+1]]
+	}
+	return g.adj[id]
+}
 
 // Degree returns the number of incident edges.
-func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+func (g *Graph) Degree(id NodeID) int {
+	if g.csrOff != nil {
+		return int(g.csrOff[id+1] - g.csrOff[id])
+	}
+	return len(g.adj[id])
+}
 
 // NumNodes returns the number of live nodes.
 func (g *Graph) NumNodes() int { return len(g.labels) - g.nRemoved }
@@ -335,21 +485,26 @@ func (g *Graph) Edges(fn func(a, b NodeID)) {
 	}
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph, preserving its frozen state.
 func (g *Graph) Clone() *Graph {
 	ng := &Graph{
 		labels:    append([]string(nil), g.labels...),
 		kinds:     append([]NodeKind(nil), g.kinds...),
 		sides:     append([]Side(nil), g.sides...),
-		adj:       make([][]NodeID, len(g.adj)),
 		removed:   append([]bool(nil), g.removed...),
 		dataIndex: make(map[string]NodeID, len(g.dataIndex)),
 		metaIndex: make(map[string]NodeID, len(g.metaIndex)),
 		edges:     make(map[uint64]struct{}, len(g.edges)),
 		nRemoved:  g.nRemoved,
 	}
-	for i, a := range g.adj {
-		ng.adj[i] = append([]NodeID(nil), a...)
+	if g.csrOff != nil {
+		ng.csrOff = append([]int32(nil), g.csrOff...)
+		ng.csrAdj = append([]NodeID(nil), g.csrAdj...)
+	} else {
+		ng.adj = make([][]NodeID, len(g.adj))
+		for i, a := range g.adj {
+			ng.adj[i] = append([]NodeID(nil), a...)
+		}
 	}
 	for k, v := range g.dataIndex {
 		ng.dataIndex[k] = v

@@ -221,6 +221,146 @@ func TestDegreeSumProperty(t *testing.T) {
 	}
 }
 
+func TestFreezePreservesAdjacency(t *testing.T) {
+	g := New(8)
+	ids := make([]NodeID, 6)
+	for i := range ids {
+		ids[i] = g.EnsureData(string(rune('a' + i)))
+	}
+	g.AddEdge(ids[0], ids[1])
+	g.AddEdge(ids[1], ids[2])
+	g.AddEdge(ids[2], ids[3])
+	g.RemoveNode(ids[4]) // removed node must stay neighbor-less when frozen
+
+	type adjSnapshot map[NodeID][]NodeID
+	snap := func() adjSnapshot {
+		s := adjSnapshot{}
+		for i := 0; i < g.Cap(); i++ {
+			s[NodeID(i)] = append([]NodeID(nil), g.Neighbors(NodeID(i))...)
+		}
+		return s
+	}
+	before := snap()
+
+	g.Freeze()
+	if !g.Frozen() {
+		t.Fatal("Freeze did not freeze")
+	}
+	g.Freeze() // idempotent
+	off, flat := g.CSR()
+	if off == nil || len(off) != g.Cap()+1 {
+		t.Fatalf("CSR offsets length %d, want %d", len(off), g.Cap()+1)
+	}
+	if len(flat) != int(off[len(off)-1]) {
+		t.Fatal("CSR neighbor slice does not match final offset")
+	}
+	after := snap()
+	for id, want := range before {
+		got := after[id]
+		if len(got) != len(want) {
+			t.Fatalf("node %d: frozen degree %d, want %d", id, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("node %d: frozen neighbor %d differs", id, i)
+			}
+		}
+		if g.Degree(id) != len(want) {
+			t.Fatalf("node %d: Degree %d, want %d", id, g.Degree(id), len(want))
+		}
+	}
+}
+
+func TestFreezeThawOnMutation(t *testing.T) {
+	g := New(4)
+	a, b, c := g.EnsureData("a"), g.EnsureData("b"), g.EnsureData("c")
+	g.AddEdge(a, b)
+	g.Freeze()
+	g.AddEdge(b, c) // must thaw transparently
+	if g.Frozen() {
+		t.Fatal("mutation left the graph frozen")
+	}
+	if !g.HasEdge(b, c) || g.Degree(b) != 2 {
+		t.Fatal("edge added after freeze is missing")
+	}
+	g.Freeze()
+	g.RemoveNode(b)
+	if g.Frozen() {
+		t.Fatal("RemoveNode left the graph frozen")
+	}
+	if g.Degree(a) != 0 || g.Degree(c) != 0 {
+		t.Fatal("removal after freeze did not drop edges")
+	}
+	// A frozen clone stays frozen and independent.
+	g2 := New(2)
+	x, y := g2.EnsureData("x"), g2.EnsureData("y")
+	g2.AddEdge(x, y)
+	g2.Freeze()
+	cp := g2.Clone()
+	if !cp.Frozen() {
+		t.Fatal("clone of frozen graph is not frozen")
+	}
+	cp.RemoveNode(x)
+	if g2.Degree(y) != 1 || !g2.Frozen() {
+		t.Fatal("clone mutation leaked into frozen original")
+	}
+}
+
+// TestRemoveNodesMatchesSerial checks the batch mark-and-compact removal
+// against one-at-a-time RemoveNode on a clone: identical survivors,
+// edges, degrees and index lookups.
+func TestRemoveNodesMatchesSerial(t *testing.T) {
+	build := func() (*Graph, []NodeID) {
+		g := New(16)
+		ids := make([]NodeID, 10)
+		for i := range ids {
+			ids[i] = g.EnsureData(string(rune('a' + i)))
+		}
+		for i := range ids {
+			for j := i + 1; j < len(ids); j += i + 1 {
+				g.AddEdge(ids[i], ids[j])
+			}
+		}
+		return g, ids
+	}
+	serial, ids := build()
+	batch := serial.Clone()
+	victims := []NodeID{ids[1], ids[3], ids[4], ids[3], ids[8]} // includes a duplicate
+	for _, v := range []NodeID{ids[1], ids[3], ids[4], ids[8]} {
+		serial.RemoveNode(v)
+	}
+	batch.RemoveNodes(victims)
+	if serial.NumNodes() != batch.NumNodes() || serial.NumEdges() != batch.NumEdges() {
+		t.Fatalf("size mismatch: serial %d/%d, batch %d/%d",
+			serial.NumNodes(), serial.NumEdges(), batch.NumNodes(), batch.NumEdges())
+	}
+	for i := 0; i < serial.Cap(); i++ {
+		id := NodeID(i)
+		if serial.Removed(id) != batch.Removed(id) {
+			t.Fatalf("node %d removed-state mismatch", id)
+		}
+		if serial.Degree(id) != batch.Degree(id) {
+			t.Fatalf("node %d degree mismatch: %d vs %d", id, serial.Degree(id), batch.Degree(id))
+		}
+		for _, nb := range serial.Neighbors(id) {
+			if !batch.HasEdge(id, nb) {
+				t.Fatalf("batch removal lost edge %d-%d", id, nb)
+			}
+		}
+	}
+	if _, ok := batch.DataNode("b"); ok {
+		t.Fatal("removed node still resolvable by label")
+	}
+	if _, ok := batch.DataNode("a"); !ok {
+		t.Fatal("surviving node lost its label index")
+	}
+	// Re-removing already-removed nodes is a no-op.
+	batch.RemoveNodes(victims)
+	if batch.NumNodes() != serial.NumNodes() {
+		t.Fatal("idempotent batch removal changed the graph")
+	}
+}
+
 // Property: removing a random subset of nodes keeps degree-sum consistency.
 func TestRemovalConsistencyProperty(t *testing.T) {
 	f := func(pairs []uint16, removeMask uint16) bool {

@@ -19,7 +19,7 @@ func (g *Graph) BFSDistances(src NodeID) []int32 {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, nb := range g.adj[cur] {
+		for _, nb := range g.Neighbors(cur) {
 			if dist[nb] < 0 {
 				dist[nb] = dist[cur] + 1
 				queue = append(queue, nb)
@@ -64,7 +64,7 @@ func (g *Graph) AllShortestPaths(src, dst NodeID, maxPaths int) [][]NodeID {
 			paths = append(paths, rev)
 			return
 		}
-		for _, nb := range g.adj[cur] {
+		for _, nb := range g.Neighbors(cur) {
 			if dist[nb] == dist[cur]-1 {
 				path = append(path, nb)
 				dfs(nb)

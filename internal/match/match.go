@@ -71,15 +71,33 @@ func NewIndex(ids []string, vecs [][]float32, dim int) (*Index, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("match: non-positive dimension %d", dim)
 	}
+	arena := make([]float32, len(ids)*dim)
+	for i, v := range vecs {
+		copy(arena[i*dim:(i+1)*dim], v)
+	}
+	return NewIndexArena(ids, arena, dim)
+}
+
+// NewIndexArena builds an index that adopts the given row-major arena
+// (vector i at arena[i*dim : (i+1)*dim]) instead of copying per-row
+// vectors — the zero-copy path for callers that already hold their
+// vectors contiguously, like the pipeline gathering rows from the
+// embedding arena. Rows are normalized in place; the caller must not read
+// or mutate arena afterwards.
+func NewIndexArena(ids []string, arena []float32, dim int) (*Index, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("match: non-positive dimension %d", dim)
+	}
+	if len(arena) != len(ids)*dim {
+		return nil, fmt.Errorf("match: arena holds %d floats for %d vectors of dim %d", len(arena), len(ids), dim)
+	}
 	idx := &Index{
 		ids:  append([]string(nil), ids...),
-		data: make([]float32, len(ids)*dim),
+		data: arena,
 		dim:  dim,
 	}
-	for i, v := range vecs {
-		row := idx.row(i)
-		copy(row, v)
-		embed.Normalize(row)
+	for i := range ids {
+		embed.Normalize(idx.row(i))
 	}
 	return idx, nil
 }

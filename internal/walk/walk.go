@@ -3,12 +3,18 @@
 // node sequence of each walk becomes one training sentence for Word2Vec.
 // Related metadata nodes co-occur in walks more often, so their embeddings
 // end up closer.
+//
+// The hot path is GeneratePacked, which writes walks directly into the
+// packed embed.Sequences training format (one contiguous token buffer, no
+// per-walk allocations); Generate is the [][]NodeID adapter over it.
 package walk
 
 import (
+	"fmt"
+	"math/bits"
 	"runtime"
-	"sync"
 
+	"github.com/tdmatch/tdmatch/internal/embed"
 	"github.com/tdmatch/tdmatch/internal/graph"
 )
 
@@ -45,74 +51,146 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Generate produces walks as sequences of NodeIDs, NumWalks per live node.
-// A walk starts at its seed node and repeatedly steps to a uniformly random
-// neighbor; it ends early at isolated nodes. Nodes with no neighbors yield
-// single-node walks (their metadata must still receive an embedding).
-func Generate(g *graph.Graph, cfg Config) [][]graph.NodeID {
+// GeneratePacked produces NumWalks walks per live node directly in the
+// packed training format the embedder consumes: walk tokens are graph
+// NodeIDs, written into one contiguous buffer with one fixed-size slot
+// per walk and compacted into embed.Sequences at the end. A walk starts
+// at its seed node and repeatedly steps to a uniformly random neighbor
+// (kind-weighted when Config.KindWeights is set); it ends early at
+// isolated nodes, which still yield single-token walks (their metadata
+// must receive an embedding). Freeze the graph first so neighbor lists
+// are read from sequential CSR memory.
+func GeneratePacked(g *graph.Graph, cfg Config) embed.Sequences {
 	cfg = cfg.withDefaults()
 	var starts []graph.NodeID
 	g.Nodes(func(id graph.NodeID) { starts = append(starts, id) })
+	total := len(starts) * cfg.NumWalks
+	if total == 0 {
+		return embed.Sequences{Offsets: []int32{0}}
+	}
 
-	out := make([][]graph.NodeID, len(starts)*cfg.NumWalks)
-	var wg sync.WaitGroup
-	workers := cfg.Workers
-	if workers > len(starts) && len(starts) > 0 {
-		workers = len(starts)
+	length := cfg.Length
+	if int64(total)*int64(length) > int64(1)<<31-1 {
+		// The packed format indexes tokens with int32 offsets; fail loudly
+		// instead of silently wrapping (shard the corpus or lower
+		// NumWalks/Length well before this point).
+		panic(fmt.Sprintf("walk: %d walks of length %d overflow the packed int32 token index", total, length))
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for si := worker; si < len(starts); si += workers {
-				node := starts[si]
-				for k := 0; k < cfg.NumWalks; k++ {
-					rng := newRand(uint64(cfg.Seed), uint64(node), uint64(k))
-					if cfg.KindWeights == nil {
-						out[si*cfg.NumWalks+k] = walkFrom(g, node, cfg.Length, rng)
-					} else {
-						out[si*cfg.NumWalks+k] = weightedWalkFrom(g, node, cfg.Length, cfg.KindWeights, rng)
-					}
-				}
+	tokens := make([]int32, total*length)
+	lens := make([]int32, total)
+	parallelFor(len(starts), cfg.Workers, func(si int) {
+		node := starts[si]
+		for k := 0; k < cfg.NumWalks; k++ {
+			rng := newRand(uint64(cfg.Seed), uint64(node), uint64(k))
+			wi := si*cfg.NumWalks + k
+			slot := tokens[wi*length : (wi+1)*length]
+			if cfg.KindWeights == nil {
+				lens[wi] = int32(walkInto(g, node, slot, rng))
+			} else {
+				lens[wi] = int32(weightedWalkInto(g, node, slot, cfg.KindWeights, rng))
 			}
-		}(w)
+		}
+	})
+
+	// Compact the fixed-size slots left into one dense token stream. On a
+	// connected graph every walk fills its slot, making the offsets
+	// uniform — detect that and skip the sweep; otherwise copy handles
+	// the overlapping leftward moves.
+	offsets := make([]int32, total+1)
+	allFull := true
+	for _, n := range lens {
+		if int(n) != length {
+			allFull = false
+			break
+		}
 	}
-	wg.Wait()
+	if allFull {
+		for i := 1; i <= total; i++ {
+			offsets[i] = int32(i * length)
+		}
+		return embed.Sequences{Tokens: tokens, Offsets: offsets}
+	}
+	w := 0
+	for i := 0; i < total; i++ {
+		n := int(lens[i])
+		copy(tokens[w:w+n], tokens[i*length:i*length+n])
+		w += n
+		offsets[i+1] = int32(w)
+	}
+	if w < len(tokens)/2 {
+		// Heavily truncated walks (many dead ends): re-slice into a
+		// right-sized buffer instead of pinning the oversized slots
+		// array through the whole training run.
+		tokens = append([]int32(nil), tokens[:w]...)
+	}
+	return embed.Sequences{Tokens: tokens[:w], Offsets: offsets}
+}
+
+// Generate produces walks as sequences of NodeIDs, NumWalks per live node
+// — the materialized adapter over GeneratePacked for callers and tests
+// that want slice-of-slice walks. Walk content is identical to the packed
+// form: each (node, walk) pair has its own RNG stream, independent of
+// scheduling and of the output format.
+func Generate(g *graph.Graph, cfg Config) [][]graph.NodeID {
+	seqs := GeneratePacked(g, cfg)
+	out := make([][]graph.NodeID, seqs.Len())
+	for i := range out {
+		s := seqs.Seq(i)
+		walk := make([]graph.NodeID, len(s))
+		for j, t := range s {
+			walk[j] = graph.NodeID(t)
+		}
+		out[i] = walk
+	}
 	return out
 }
 
-func walkFrom(g *graph.Graph, start graph.NodeID, length int, rng *splitRand) []graph.NodeID {
-	walk := make([]graph.NodeID, 0, length)
-	walk = append(walk, start)
+// walkInto fills buf with a uniform random walk from start and returns the
+// number of tokens written (>= 1; less than len(buf) only at dead ends).
+// On a frozen graph the step loop indexes the CSR arrays directly.
+func walkInto(g *graph.Graph, start graph.NodeID, buf []int32, rng *splitRand) int {
+	buf[0] = int32(start)
+	n := 1
 	cur := start
-	for len(walk) < length {
+	if off, flat := g.CSR(); off != nil {
+		for n < len(buf) {
+			lo, hi := off[cur], off[cur+1]
+			if lo == hi {
+				break
+			}
+			cur = flat[int(lo)+rng.intn(int(hi-lo))]
+			buf[n] = int32(cur)
+			n++
+		}
+		return n
+	}
+	for n < len(buf) {
 		nbs := g.Neighbors(cur)
 		if len(nbs) == 0 {
 			break
 		}
 		cur = nbs[rng.intn(len(nbs))]
-		walk = append(walk, cur)
+		buf[n] = int32(cur)
+		n++
 	}
-	return walk
+	return n
 }
 
-// weightedWalkFrom steps to neighbors with probability proportional to the
-// weight of their node kind. When all neighbors carry zero weight the walk
-// ends (a typed dead end).
-func weightedWalkFrom(g *graph.Graph, start graph.NodeID, length int, weights map[graph.NodeKind]float64, rng *splitRand) []graph.NodeID {
+// weightedWalkInto fills buf with a walk stepping to neighbors with
+// probability proportional to the weight of their node kind, returning
+// the number of tokens written. When all neighbors carry zero weight the
+// walk ends (a typed dead end).
+func weightedWalkInto(g *graph.Graph, start graph.NodeID, buf []int32, weights map[graph.NodeKind]float64, rng *splitRand) int {
 	weightOf := func(id graph.NodeID) float64 {
 		if w, ok := weights[g.Kind(id)]; ok {
 			return w
 		}
 		return 1
 	}
-	walk := make([]graph.NodeID, 0, length)
-	walk = append(walk, start)
+	buf[0] = int32(start)
+	n := 1
 	cur := start
-	for len(walk) < length {
+	for n < len(buf) {
 		nbs := g.Neighbors(cur)
 		if len(nbs) == 0 {
 			break
@@ -136,9 +214,10 @@ func weightedWalkFrom(g *graph.Graph, start graph.NodeID, length int, weights ma
 			}
 		}
 		cur = next
-		walk = append(walk, cur)
+		buf[n] = int32(cur)
+		n++
 	}
-	return walk
+	return n
 }
 
 // splitRand is a splitmix64-seeded xorshift dedicated to one walk.
@@ -157,13 +236,42 @@ func newRand(seed, node, walk uint64) *splitRand {
 	return &splitRand{state: x}
 }
 
+// intn returns a uniform value in [0, n) via Lemire's multiply-shift
+// range reduction — one widening multiply instead of the hardware divide
+// a modulo costs, which dominated walk-generation profiles.
 func (r *splitRand) intn(n int) int {
 	x := r.state
 	x ^= x << 13
 	x ^= x >> 7
 	x ^= x << 17
 	r.state = x
-	return int(x % uint64(n))
+	hi, _ := bits.Mul64(x, uint64(n))
+	return int(hi)
+}
+
+// PackWalks packs materialized [][]NodeID walks straight into the
+// embedder's packed format, skipping the intermediate [][]int32 that
+// ToSequences + embed.PackSequences would allocate — used by the
+// second-order (node2vec) training path.
+func PackWalks(walks [][]graph.NodeID) embed.Sequences {
+	total := 0
+	for _, w := range walks {
+		total += len(w)
+	}
+	if int64(total) > int64(1)<<31-1 {
+		panic(fmt.Sprintf("walk: %d tokens overflow the packed int32 offset index", total))
+	}
+	p := embed.Sequences{
+		Tokens:  make([]int32, 0, total),
+		Offsets: make([]int32, 1, len(walks)+1),
+	}
+	for _, w := range walks {
+		for _, n := range w {
+			p.Tokens = append(p.Tokens, int32(n))
+		}
+		p.Offsets = append(p.Offsets, int32(len(p.Tokens)))
+	}
+	return p
 }
 
 // ToSequences converts walks of NodeIDs into int32 token sequences for the
@@ -183,7 +291,7 @@ func ToSequences(walks [][]graph.NodeID) [][]int32 {
 
 // ToSentences renders walks as node-label sentences, matching the paper's
 // description of deriving textual sentences from walks. Used by tooling and
-// debugging; the pipeline trains on ToSequences output directly.
+// debugging; the pipeline trains on packed sequences directly.
 func ToSentences(g *graph.Graph, walks [][]graph.NodeID) [][]string {
 	out := make([][]string, len(walks))
 	for i, w := range walks {

@@ -127,6 +127,98 @@ func TestGenerateSkipsRemovedNodes(t *testing.T) {
 	}
 }
 
+// referenceWalks regenerates the packed walks with an independent
+// straight-line walker over the same per-(node, walk) RNG streams,
+// reading neighbors through the generic accessor on the unfrozen graph.
+func referenceWalks(g *graph.Graph, cfg Config) [][]graph.NodeID {
+	cfg = cfg.withDefaults()
+	var out [][]graph.NodeID
+	g.Nodes(func(id graph.NodeID) {
+		for k := 0; k < cfg.NumWalks; k++ {
+			rng := newRand(uint64(cfg.Seed), uint64(id), uint64(k))
+			walk := []graph.NodeID{id}
+			cur := id
+			for len(walk) < cfg.Length {
+				nbs := g.Neighbors(cur)
+				if len(nbs) == 0 {
+					break
+				}
+				cur = nbs[rng.intn(len(nbs))]
+				walk = append(walk, cur)
+			}
+			out = append(out, walk)
+		}
+	})
+	return out
+}
+
+// TestGeneratePackedMatchesReference cross-checks the packed fast path
+// (fixed-size slots, CSR fast loop, compaction) against the independent
+// reference walker, on both a frozen and an unfrozen graph, including a
+// dead-end node that forces real compaction.
+func TestGeneratePackedMatchesReference(t *testing.T) {
+	g := ringGraph(t, 12)
+	g.EnsureData("island") // isolated: single-token walks force compaction
+	cfg := Config{NumWalks: 3, Length: 9, Seed: 42}
+	want := referenceWalks(g, cfg)
+
+	for _, frozen := range []bool{false, true} {
+		if frozen {
+			g.Freeze()
+		}
+		seqs := GeneratePacked(g, cfg)
+		if seqs.Len() != len(want) {
+			t.Fatalf("frozen=%v: %d packed walks, want %d", frozen, seqs.Len(), len(want))
+		}
+		if len(seqs.Offsets) != seqs.Len()+1 || seqs.Offsets[0] != 0 {
+			t.Fatalf("frozen=%v: malformed offsets", frozen)
+		}
+		if int(seqs.Offsets[seqs.Len()]) != len(seqs.Tokens) {
+			t.Fatalf("frozen=%v: offsets do not cover the token stream", frozen)
+		}
+		for i, w := range want {
+			s := seqs.Seq(i)
+			if len(s) != len(w) {
+				t.Fatalf("frozen=%v: walk %d length %d, want %d", frozen, i, len(s), len(w))
+			}
+			for j := range w {
+				if graph.NodeID(s[j]) != w[j] {
+					t.Fatalf("frozen=%v: walk %d diverges at step %d", frozen, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateMatchesPacked pins the adapter contract: the materialized
+// [][]NodeID walks are exactly the packed sequences.
+func TestGenerateMatchesPacked(t *testing.T) {
+	g := ringGraph(t, 10)
+	cfg := Config{NumWalks: 2, Length: 6, Seed: 5}
+	walks := Generate(g, cfg)
+	seqs := GeneratePacked(g, cfg)
+	if len(walks) != seqs.Len() {
+		t.Fatalf("walk counts differ: %d vs %d", len(walks), seqs.Len())
+	}
+	for i, w := range walks {
+		s := seqs.Seq(i)
+		for j := range w {
+			if int32(w[j]) != s[j] {
+				t.Fatalf("walk %d diverges at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestGeneratePackedEmptyGraph covers the zero-node corner.
+func TestGeneratePackedEmptyGraph(t *testing.T) {
+	g := graph.New(0)
+	seqs := GeneratePacked(g, Config{NumWalks: 2, Length: 4, Seed: 1})
+	if seqs.Len() != 0 || seqs.NumTokens() != 0 {
+		t.Fatalf("empty graph produced %d walks, %d tokens", seqs.Len(), seqs.NumTokens())
+	}
+}
+
 func TestToSequences(t *testing.T) {
 	walks := [][]graph.NodeID{{1, 2, 3}, {4}}
 	seqs := ToSequences(walks)

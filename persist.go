@@ -51,13 +51,12 @@ func (m *Model) Save(w io.Writer) error {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	arena := make([]float32, 0, len(ids)*m.dim)
-	for _, id := range ids {
-		v := m.vectors[id]
-		arena = append(arena, v...)
-		for pad := len(v); pad < m.dim; pad++ {
-			arena = append(arena, 0)
-		}
+	// Gather rows into the snapshot arena with one copy per document; the
+	// map values are views into the trainer's flat arena (or a loaded
+	// snapshot's), and short/missing rows stay zero-padded.
+	arena := make([]float32, len(ids)*m.dim)
+	for i, id := range ids {
+		copy(arena[i*m.dim:(i+1)*m.dim], m.vectors[id])
 	}
 	enc := gob.NewEncoder(w)
 	return enc.Encode(savedModel{

@@ -93,6 +93,9 @@ func Build(first, second *Corpus, cfg Config) (*Model, error) {
 	}
 	m.expandGraph()
 	m.compressGraph()
+	// The graph is structurally final: compact it into the CSR layout so
+	// walk generation reads sequential memory (any later mutation thaws).
+	m.g.Freeze()
 	if err := m.trainEmbeddings(); err != nil {
 		return nil, err
 	}
@@ -185,7 +188,7 @@ func (m *Model) trainEmbeddings() error {
 		Workers:     cfg.Workers,
 		KindWeights: kindWeights(cfg.WalkBias),
 	}
-	var walks [][]graph.NodeID
+	var seqs embed.Sequences
 	if cfg.ReturnParam > 0 || cfg.InOutParam > 0 {
 		p, q := cfg.ReturnParam, cfg.InOutParam
 		if p <= 0 {
@@ -194,14 +197,15 @@ func (m *Model) trainEmbeddings() error {
 		if q <= 0 {
 			q = 1
 		}
-		walks = walk.GenerateSecondOrder(m.g, wcfg, walk.SecondOrder{P: p, Q: q})
+		walks := walk.GenerateSecondOrder(m.g, wcfg, walk.SecondOrder{P: p, Q: q})
+		seqs = walk.PackWalks(walks)
 	} else {
-		walks = walk.Generate(m.g, wcfg)
+		seqs = walk.GeneratePacked(m.g, wcfg)
 	}
-	m.stats.Walks = len(walks)
+	m.stats.Walks = seqs.Len()
 
 	mode, window := m.objective()
-	em, err := embed.Train(walk.ToSequences(walks), m.g.Cap(), embed.Config{
+	em, err := embed.TrainPacked(seqs, m.g.Cap(), embed.Config{
 		Dim:       cfg.Dim,
 		Window:    window,
 		Negative:  cfg.Negative,
@@ -215,11 +219,22 @@ func (m *Model) trainEmbeddings() error {
 		return err
 	}
 	m.dim = cfg.Dim
+	// Gather the document rows out of the embedder's full training arena
+	// (every graph node has a row there) into one doc-sized arena, so the
+	// vocabulary-sized syn0 block becomes collectable; the map values are
+	// views into the compact arena, which buildFlat and Save copy from.
 	m.vectors = make(map[string][]float32, len(m.docNode))
+	docArena := make([]float32, len(m.docNode)*m.dim)
+	used := 0
 	for docID, node := range m.docNode {
-		if v := em.Vector(int32(node)); v != nil {
-			m.vectors[docID] = v
+		v := em.Vector(int32(node))
+		if v == nil {
+			continue
 		}
+		row := docArena[used*m.dim : (used+1)*m.dim : (used+1)*m.dim]
+		copy(row, v)
+		m.vectors[docID] = row
+		used++
 	}
 	m.stats.TrainTime = time.Since(trainStart)
 	return nil
@@ -244,11 +259,15 @@ func (m *Model) buildIndexes() error {
 
 func (m *Model) buildFlat(c *corpus.Corpus) (*match.Index, error) {
 	ids := c.IDs()
-	vecs := make([][]float32, len(ids))
+	// Gather this side's rows straight from the embedding arena views into
+	// one serving arena and hand it to the index without re-copying (the
+	// index normalizes the rows in place; documents without an embedding
+	// stay zero rows, scoring 0 against everything).
+	arena := make([]float32, len(ids)*m.dim)
 	for i, id := range ids {
-		vecs[i] = m.vectors[id]
+		copy(arena[i*m.dim:(i+1)*m.dim], m.vectors[id])
 	}
-	return match.NewIndex(ids, vecs, m.dim)
+	return match.NewIndexArena(ids, arena, m.dim)
 }
 
 // serveIndex wraps a flat index per Config.Index. side (0 or 1) offsets

@@ -1,0 +1,125 @@
+// Command benchjson runs the key build- and serve-side benchmarks and
+// writes their ns/op, B/op and allocs/op to a JSON file (BENCH_build.json
+// by default), so the performance trajectory is tracked across PRs
+// instead of living only in PR descriptions. CI regenerates the file as
+// an artifact on every run; committed snapshots mark the state at a PR
+// boundary.
+//
+// Usage:
+//
+//	go run ./tools/benchjson [-out BENCH_build.json] [-benchtime 2x] [-bench regexp] [-pkg ./...]
+//
+// The default benchmark set covers the training hot path (graph build,
+// random walks, Skip-gram and CBOW Word2Vec, end-to-end Build) and the
+// serving hot path (IVF TopK, cached serve TopK).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench selects the benchmarks that define the build/serve perf
+// trajectory.
+const defaultBench = "BenchmarkWord2VecSkipGram$|BenchmarkWord2VecCBOW$|BenchmarkRandomWalks$|" +
+	"BenchmarkGraphBuild$|BenchmarkTopKIVF$|BenchmarkEndToEndPipeline$|BenchmarkServeTopKCached$"
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_build.json payload.
+type Report struct {
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPU        string   `json:"cpu,omitempty"`
+	BenchTime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench -benchmem` output rows, e.g.
+// "BenchmarkRandomWalks-8  50  6449439 ns/op  4118728 B/op  23 allocs/op".
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_build.json", "output JSON path")
+	benchTime := flag.String("benchtime", "2x", "go test -benchtime value")
+	bench := flag.String("bench", defaultBench, "go test -bench regexp")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench,
+		"-benchmem", "-benchtime", *benchTime, "-count", "1", *pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	start := time.Now()
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	report := Report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, BenchTime: *benchTime}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			report.CPU = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytesOp, allocsOp int64
+		if m[4] != "" {
+			bytesOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		report.Benchmarks = append(report.Benchmarks, Result{
+			Name:        strings.TrimPrefix(m[1], "Benchmark"),
+			Iterations:  iters,
+			NsPerOp:     ns,
+			BytesPerOp:  bytesOp,
+			AllocsPerOp: allocsOp,
+		})
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s in %s\n",
+		len(report.Benchmarks), *out, time.Since(start).Round(time.Millisecond))
+}
