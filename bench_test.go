@@ -204,8 +204,10 @@ func BenchmarkMSPCompression(b *testing.B) {
 	}
 }
 
-// BenchmarkTopKMatch measures single-query cosine ranking at 10k targets.
-func BenchmarkTopKMatch(b *testing.B) {
+// benchTopKIndex builds a 10k x 96 flat index over deterministic random
+// vectors — the shared fixture of the single-index TopK benchmarks.
+func benchTopKIndex(b *testing.B) (*match.Index, [][]float32) {
+	b.Helper()
 	const n, dim = 10000, 96
 	ids := make([]string, n)
 	vecs := make([][]float32, n)
@@ -228,7 +230,14 @@ func BenchmarkTopKMatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return idx, vecs
+}
+
+// BenchmarkTopKMatch measures single-query cosine ranking at 10k targets.
+func BenchmarkTopKMatch(b *testing.B) {
+	idx, vecs := benchTopKIndex(b)
 	query := vecs[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if got := idx.TopK(query, 20); len(got) != 20 {
@@ -237,36 +246,46 @@ func BenchmarkTopKMatch(b *testing.B) {
 	}
 }
 
+// BenchmarkTopKBatch measures the blocked multi-query kernel: 32
+// queries per pass over the same 10k targets. ns/op covers the whole
+// batch; divide by 32 for the per-query cost against BenchmarkTopKMatch.
+func BenchmarkTopKBatch(b *testing.B) {
+	idx, vecs := benchTopKIndex(b)
+	queries := vecs[:32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := idx.TopKBatch(queries, 20); len(got) != 32 {
+			b.Fatal("short result")
+		}
+	}
+}
+
 // BenchmarkTopKIVF measures single-query ANN ranking at 10k targets with
 // the default adaptive probe — the counterpart of BenchmarkTopKMatch.
 func BenchmarkTopKIVF(b *testing.B) {
-	const n, dim = 10000, 96
-	ids := make([]string, n)
-	vecs := make([][]float32, n)
-	rng := uint64(12345)
-	next := func() float32 {
-		rng ^= rng << 13
-		rng ^= rng >> 7
-		rng ^= rng << 17
-		return float32(rng%1000)/500 - 1
-	}
-	for i := range ids {
-		ids[i] = fmt.Sprintf("t%d", i)
-		v := make([]float32, dim)
-		for d := range v {
-			v[d] = next()
-		}
-		vecs[i] = v
-	}
-	flat, err := match.NewIndex(ids, vecs, dim)
-	if err != nil {
-		b.Fatal(err)
-	}
+	flat, vecs := benchTopKIndex(b)
 	ivf := match.NewIVF(flat, match.IVFOptions{Seed: 1})
 	query := vecs[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if got := ivf.TopK(query, 20); len(got) != 20 {
+			b.Fatal("short result")
+		}
+	}
+}
+
+// BenchmarkTopKSQ8 measures single-query quantized ranking (int8 scan +
+// default 4x exact re-rank) at 10k targets — the third counterpart of
+// BenchmarkTopKMatch.
+func BenchmarkTopKSQ8(b *testing.B) {
+	flat, vecs := benchTopKIndex(b)
+	sq := match.NewIndexSQ8(flat, 0)
+	query := vecs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := sq.TopK(query, 20); len(got) != 20 {
 			b.Fatal("short result")
 		}
 	}
@@ -364,6 +383,18 @@ func BenchmarkMatchAllSerialIVF(b *testing.B) {
 // the production serving configuration.
 func BenchmarkMatchAllParallelIVF(b *testing.B) {
 	benchMatchAll(b, tdmatch.IndexIVF, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkMatchAllSerialSQ8 serves from the quantized index on one
+// goroutine.
+func BenchmarkMatchAllSerialSQ8(b *testing.B) {
+	benchMatchAll(b, tdmatch.IndexSQ8, 1)
+}
+
+// BenchmarkMatchAllParallelSQ8 combines the quantized scan with the
+// worker pool.
+func BenchmarkMatchAllParallelSQ8(b *testing.B) {
+	benchMatchAll(b, tdmatch.IndexSQ8, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkEndToEndPipeline measures the full public-API Build call.

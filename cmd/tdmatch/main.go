@@ -10,6 +10,7 @@
 //	tdmatch -first movies.csv -second reviews.txt -k 5
 //	tdmatch -first tax.json -second docs.txt -kb triples.tsv -expand
 //	tdmatch -first movies.csv -second reviews.txt -index ivf -nprobe 4
+//	tdmatch -first movies.csv -second reviews.txt -index sq8 -sq8-rerank 8
 //	tdmatch -first movies.csv -second reviews.txt -save model.gob
 //
 // The optional -kb file holds tab-separated (subject, predicate, object)
@@ -47,10 +48,11 @@ func main() {
 		fromFirst  = flag.Bool("from-first", false, "query from the first corpus instead of the second")
 		dotPath    = flag.String("dot", "", "write the built graph in Graphviz DOT format to this file")
 		savePath   = flag.String("save", "", "write the trained model snapshot to this file (serve it with tdserved)")
-		indexKind  = flag.String("index", "flat", "serving index: flat (exact scan) or ivf (clustered ANN)")
+		indexKind  = flag.String("index", "flat", "serving index: flat (exact scan), ivf (clustered ANN) or sq8 (int8-quantized scan + exact re-rank)")
 		clusters   = flag.Int("clusters", 0, "IVF partitions (0 = sqrt of corpus size)")
 		nprobe     = flag.Int("nprobe", 0, "IVF partitions probed per query (0 = adaptive half)")
 		exact      = flag.Bool("exact-recall", false, "force IVF to probe every partition (flat-identical rankings)")
+		sq8Rerank  = flag.Int("sq8-rerank", 0, "SQ8 re-rank multiplier: re-score this many times k candidates exactly (0 = default 4)")
 	)
 	flag.Parse()
 	if *firstPath == "" || *secondPath == "" {
@@ -80,6 +82,7 @@ func main() {
 	cfg.IVFClusters = *clusters
 	cfg.IVFNProbe = *nprobe
 	cfg.ExactRecall = *exact
+	cfg.SQ8Rerank = *sq8Rerank
 	if *compress {
 		cfg.Compression = tdmatch.CompressMSP
 	}
@@ -131,8 +134,10 @@ func parseIndexKind(s string) (tdmatch.IndexKind, error) {
 		return tdmatch.IndexFlat, nil
 	case "ivf":
 		return tdmatch.IndexIVF, nil
+	case "sq8":
+		return tdmatch.IndexSQ8, nil
 	default:
-		return 0, fmt.Errorf("unknown -index %q (want flat or ivf)", s)
+		return 0, fmt.Errorf("unknown -index %q (want flat, ivf or sq8)", s)
 	}
 }
 

@@ -262,6 +262,7 @@ type modelInfoResponse struct {
 	Index       string `json:"index"`
 	IVFClusters int    `json:"ivf_clusters,omitempty"`
 	IVFNProbe   int    `json:"ivf_nprobe,omitempty"`
+	SQ8Rerank   int    `json:"sq8_rerank,omitempty"`
 }
 
 func (d *daemon) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -357,6 +358,12 @@ func (d *daemon) modelInfoResponse() modelInfoResponse {
 	if info.Index == tdmatch.IndexIVF {
 		out.IVFClusters = info.IVFClusters
 		out.IVFNProbe = info.IVFNProbe
+	}
+	if info.Index == tdmatch.IndexSQ8 {
+		out.SQ8Rerank = info.SQ8Rerank
+		if out.SQ8Rerank == 0 {
+			out.SQ8Rerank = tdmatch.DefaultSQ8Rerank
+		}
 	}
 	return out
 }

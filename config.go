@@ -4,7 +4,13 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"github.com/tdmatch/tdmatch/internal/match"
 )
+
+// DefaultSQ8Rerank is the re-rank candidate multiplier an IndexSQ8
+// model uses when Config.SQ8Rerank is 0.
+const DefaultSQ8Rerank = match.DefaultSQ8Rerank
 
 // FilterStrategy selects how data nodes are filtered at graph creation
 // (§II-B, Fig. 9).
@@ -45,16 +51,24 @@ const (
 	// IVFNProbe partitions — the cluster-pruning serving architecture of
 	// the product-matching literature.
 	IndexIVF
+	// IndexSQ8 is a scalar-quantized index: target vectors are stored as
+	// int8 codes with a per-row scale (4x less memory traffic on the
+	// scan) and the top SQ8Rerank*k approximate candidates are re-scored
+	// exactly in float32, which keeps recall@10 >= 0.99 at default
+	// settings.
+	IndexSQ8
 )
 
-// String returns the flag-style name of the index kind: "flat" or "ivf"
-// (or "indexkind(n)" for values outside the defined set).
+// String returns the flag-style name of the index kind: "flat", "ivf"
+// or "sq8" (or "indexkind(n)" for values outside the defined set).
 func (k IndexKind) String() string {
 	switch k {
 	case IndexFlat:
 		return "flat"
 	case IndexIVF:
 		return "ivf"
+	case IndexSQ8:
+		return "sq8"
 	default:
 		return fmt.Sprintf("indexkind(%d)", uint8(k))
 	}
@@ -147,6 +161,12 @@ type Config struct {
 	// guaranteeing rankings identical to IndexFlat — the parity knob for
 	// validating an IVF deployment before lowering IVFNProbe.
 	ExactRecall bool
+	// SQ8Rerank is the re-rank candidate multiplier of an IndexSQ8
+	// index: the quantized scan selects SQ8Rerank*k candidates that are
+	// then re-scored exactly in float32 (0 = default 4). Raising it
+	// trades scan savings for recall; SQ8Rerank >= corpus size / k makes
+	// the ranking provably identical to IndexFlat.
+	SQ8Rerank int
 
 	// ServeCacheSize bounds the Server result cache in entries, summed
 	// across its shards (default 4096). Negative disables result caching;

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/tdmatch/tdmatch/internal/datasets"
+	"github.com/tdmatch/tdmatch/internal/match"
 )
 
 // Tests for the flat-vs-IVF serving parity guarantee on the seed IMDb
@@ -110,6 +111,124 @@ func TestIVFDefaultNProbeRecallOnIMDb(t *testing.T) {
 	t.Logf("IVF recall@10 on IMDb = %.3f over %d ranked slots", recall, total)
 	if recall < 0.95 {
 		t.Errorf("default-nprobe recall@10 = %.3f, want >= 0.95", recall)
+	}
+}
+
+// TestCrossKernelDeterminismOnIMDb is the deterministic-ordering
+// invariant: on the seed IMDb dataset, every ranking path — the serial
+// single-query scan, the blocked multi-query kernel at several worker
+// counts, Model.TopKBatch over mixed sides, IVF with exact recall, and
+// SQ8 with a corpus-covering re-rank pool — must return identical
+// rankings, identical score ties broken by ID in the same order.
+func TestCrossKernelDeterminismOnIMDb(t *testing.T) {
+	model := buildIMDbModel(t, nil)
+	const k = 10
+	queries := append(append([]string(nil), model.first.IDs()...), model.second.IDs()...)
+
+	// Serial single-query reference for every live query.
+	want := map[string][]Match{}
+	for _, q := range queries {
+		if model.vectors[q] != nil {
+			matches, err := model.TopK(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[q] = matches
+		}
+	}
+	if len(want) < 100 {
+		t.Fatalf("only %d live queries — fixture too small", len(want))
+	}
+
+	// Batched MatchAll, at worker counts exercising both serial and
+	// pooled batch dispatch.
+	for _, workers := range []int{1, 3, 8} {
+		all := model.MatchAllWorkers(true, k, workers)
+		for _, q := range model.second.IDs() {
+			if want[q] == nil {
+				continue
+			}
+			if !reflect.DeepEqual(all[q], want[q]) {
+				t.Fatalf("MatchAllWorkers(%d) diverged for %s:\nbatch:  %v\nserial: %v",
+					workers, q, all[q], want[q])
+			}
+		}
+	}
+
+	// Model.TopKBatch over both sides mixed, plus failure slots.
+	mixed := append(append([]string(nil), queries...), "nope:q")
+	for i, res := range model.TopKBatch(mixed, k) {
+		if res.ID != mixed[i] {
+			t.Fatalf("batch result %d misaligned: %s vs %s", i, res.ID, mixed[i])
+		}
+		if w := want[res.ID]; w != nil {
+			if res.Err != nil || !reflect.DeepEqual(res.Matches, w) {
+				t.Fatalf("TopKBatch diverged for %s (err %v)", res.ID, res.Err)
+			}
+		} else if res.Err == nil {
+			t.Fatalf("TopKBatch(%s) must fail like TopK does", res.ID)
+		}
+	}
+
+	// IVF exact recall and SQ8 with a re-rank pool covering the corpus:
+	// provably exact kernels over the same flat arenas.
+	for _, flat := range []*match.Index{model.firstFlat, model.secondFlat} {
+		ivf := match.NewIVF(flat, match.IVFOptions{ExactRecall: true, Seed: 9})
+		sq := match.NewIndexSQ8(flat, flat.Len())
+		for _, q := range queries {
+			v := model.vectors[q]
+			if v == nil || model.sideOf(q) == 0 {
+				continue
+			}
+			// Only compare against the side this index targets.
+			if (model.sideOf(q) == 1) != (flat == model.secondFlat) {
+				continue
+			}
+			ref := flat.TopK(v, k)
+			if got := ivf.TopK(v, k); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("exact-recall IVF diverged from flat for %s", q)
+			}
+			if got := sq.TopK(v, k); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("full-rerank SQ8 diverged from flat for %s", q)
+			}
+		}
+	}
+}
+
+// TestSQ8DefaultRerankRecallOnIMDb is the quantization quality bar on
+// the seed dataset: int8 scan + default 4x exact re-rank must reach
+// recall@10 >= 0.99 against the flat ranking.
+func TestSQ8DefaultRerankRecallOnIMDb(t *testing.T) {
+	model := buildIMDbModel(t, func(cfg *Config) {
+		cfg.Index = IndexSQ8
+	})
+	hits, total := 0, 0
+	for _, q := range model.second.IDs() {
+		if model.vectors[q] == nil {
+			continue
+		}
+		exact := map[string]struct{}{}
+		for _, m := range model.flatBaseline(t, q, 10) {
+			exact[m.ID] = struct{}{}
+		}
+		approx, err := model.TopK(q, 10)
+		if err != nil {
+			t.Fatalf("TopK(%s): %v", q, err)
+		}
+		for _, m := range approx {
+			if _, ok := exact[m.ID]; ok {
+				hits++
+			}
+		}
+		total += len(exact)
+	}
+	if total == 0 {
+		t.Fatal("no queries produced rankings")
+	}
+	recall := float64(hits) / float64(total)
+	t.Logf("SQ8 recall@10 on IMDb = %.4f over %d ranked slots", recall, total)
+	if recall < 0.99 {
+		t.Errorf("default-rerank SQ8 recall@10 = %.4f, want >= 0.99", recall)
 	}
 }
 

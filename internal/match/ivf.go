@@ -249,6 +249,26 @@ func (x *IVF) TopK(query []float32, k int) []Scored {
 	return x.topk(query, k, x.nprobe, minCands)
 }
 
+// TopKBatch answers one TopK per query, position-aligned with queries
+// and identical to calling TopK per query. Probe sets are query-
+// specific, so a partial-probe batch is served query by query through
+// the shared scoring and selection kernels; when the configured probes
+// cover every partition anyway, the whole batch is delegated to the
+// flat index's blocked multi-query kernel.
+func (x *IVF) TopKBatch(queries [][]float32, k int) [][]Scored {
+	n := x.flat.Len()
+	exhaustive := x.nprobe >= x.nlist || len(x.lists) == 0 ||
+		(x.adaptive && minCandidateFactor*k >= n)
+	if exhaustive && n > 0 && k > 0 {
+		return x.flat.TopKBatch(queries, k)
+	}
+	out := make([][]Scored, len(queries))
+	for i, q := range queries {
+		out[i] = x.TopK(q, k)
+	}
+	return out
+}
+
 // TopKProbe is TopK with an explicit nprobe override (clamped to
 // [1, nlist]), letting callers trade recall for speed per query; no
 // adaptive extension is applied.

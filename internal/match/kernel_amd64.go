@@ -1,0 +1,83 @@
+//go:build amd64
+
+package match
+
+// useFMA gates the AVX2/FMA assembly kernels; when false every scoring
+// call takes the portable Go path. Initialized once from CPUID: the
+// kernels need AVX2 (for the 256-bit integer ops), FMA3, and an OS that
+// saves the YMM state (OSXSAVE + XCR0 bits 1-2).
+var useFMA = detectFMA()
+
+// detectFMA probes CPUID for AVX2+FMA3 support and XGETBV for OS-level
+// YMM state saving — the standard x86 feature-gating dance, done here
+// directly so the kernels carry no external dependency.
+func detectFMA() bool {
+	maxLeaf, _, _, _ := cpuidx(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		osxsaveBit = 1 << 27 // leaf 1 ECX: OS uses XSAVE
+		avxBit     = 1 << 28 // leaf 1 ECX: AVX
+		fmaBit     = 1 << 12 // leaf 1 ECX: FMA3
+		avx2Bit    = 1 << 5  // leaf 7 EBX: AVX2
+	)
+	_, _, ecx1, _ := cpuidx(1, 0)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 || ecx1&fmaBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be set: the OS restores
+	// XMM and YMM registers across context switches.
+	if lo, _ := xgetbv0(); lo&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidx(7, 0)
+	return ebx7&avx2Bit != 0
+}
+
+// cpuidx executes the CPUID instruction for the given leaf/subleaf.
+func cpuidx(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (XCR0).
+func xgetbv0() (lo, hi uint32)
+
+// dotRowsFMA scores rows contiguous dim-sized vectors at arena against
+// the query q, one float32 per row into out. Implemented in
+// kernel_amd64.s; callers must check useFMA.
+//
+//go:noescape
+func dotRowsFMA(arena, q, out *float32, rows, dim int)
+
+// dotRowsSQ8FMA computes the int32 dot of rows contiguous dim-sized
+// int8 code rows against the quantized query q. Implemented in
+// kernel_amd64.s; callers must check useFMA.
+//
+//go:noescape
+func dotRowsSQ8FMA(codes, q *int8, out *int32, rows, dim int)
+
+// dotRows fills out[r] with the dot product of query q and each of the
+// len(out) contiguous dim-sized rows starting at arena[0], dispatching
+// to the FMA kernel when the CPU supports it.
+func dotRows(arena, q, out []float32, dim int) {
+	if len(out) == 0 {
+		return
+	}
+	if useFMA {
+		dotRowsFMA(&arena[0], &q[0], &out[0], len(out), dim)
+		return
+	}
+	dotRowsGo(arena, q, out, dim)
+}
+
+// dotRowsSQ8 is the int8 counterpart of dotRows: out[r] is the integer
+// dot of the quantized query q against code row r.
+func dotRowsSQ8(codes, q []int8, out []int32, dim int) {
+	if len(out) == 0 {
+		return
+	}
+	if useFMA {
+		dotRowsSQ8FMA(&codes[0], &q[0], &out[0], len(out), dim)
+		return
+	}
+	dotRowsSQ8Go(codes, q, out, dim)
+}

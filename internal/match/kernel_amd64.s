@@ -1,0 +1,175 @@
+// AVX2/FMA scoring kernels for the match hot path. Each routine scores
+// one (normalized) query against a block of contiguous arena rows,
+// writing one score per row — the selection heaps consume the score
+// buffer in Go. Dimensions are handled generically: a 16-lane main
+// loop, an 8-lane step, and a scalar tail, so any Dim works; rows of
+// typical dims (96, 64, 40) stay entirely in the vector loops.
+//
+// Callers must gate on useFMA (see kernel_amd64.go); these routines
+// execute AVX2/FMA3 instructions unconditionally.
+
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotRowsFMA(arena, q, out *float32, rows, dim int)
+//
+// out[r] = dot(arena[r*dim:(r+1)*dim], q[:dim]) for r in [0, rows).
+TEXT ·dotRowsFMA(SB), NOSPLIT, $0-40
+	MOVQ  arena+0(FP), DI
+	MOVQ  q+8(FP), SI
+	MOVQ  out+16(FP), DX
+	MOVQ  rows+24(FP), CX
+	MOVQ  dim+32(FP), R8
+	TESTQ CX, CX
+	JE    fdone
+
+frow:
+	MOVQ   SI, BX  // query cursor (the row cursor DI advances in place)
+	MOVQ   R8, R11 // dims left in this row
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+
+fblk16:
+	CMPQ    R11, $16
+	JLT     fblk8
+	VMOVUPS (DI), Y2
+	VMOVUPS 32(DI), Y3
+	VFMADD231PS (BX), Y2, Y0
+	VFMADD231PS 32(BX), Y3, Y1
+	ADDQ    $64, DI
+	ADDQ    $64, BX
+	SUBQ    $16, R11
+	JMP     fblk16
+
+fblk8:
+	CMPQ    R11, $8
+	JLT     freduce
+	VMOVUPS (DI), Y2
+	VFMADD231PS (BX), Y2, Y0
+	ADDQ    $32, DI
+	ADDQ    $32, BX
+	SUBQ    $8, R11
+
+freduce:
+	// Horizontal sum of Y0+Y1 into the low lane of X0.
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+
+	TESTQ  R11, R11
+	JE     fstore
+ftail:
+	VMOVSS (DI), X2
+	VFMADD231SS (BX), X2, X0
+	ADDQ   $4, DI
+	ADDQ   $4, BX
+	DECQ   R11
+	JNZ    ftail
+
+fstore:
+	VMOVSS X0, (DX)
+	ADDQ   $4, DX
+	DECQ   CX
+	JNZ    frow
+
+fdone:
+	VZEROUPPER
+	RET
+
+// func dotRowsSQ8FMA(codes, q *int8, out *int32, rows, dim int)
+//
+// out[r] = sum over d of int32(codes[r*dim+d]) * int32(q[d]), the
+// integer part of the SQ8 approximate score (per-row and query scales
+// are applied by the Go caller). 16 int8 lanes per main step:
+// sign-extend to int16, VPMADDWD to 8 int32 partial sums, accumulate
+// in Y0; an 8-lane step accumulates in X4 and a scalar loop takes the
+// remainder.
+TEXT ·dotRowsSQ8FMA(SB), NOSPLIT, $0-40
+	MOVQ  codes+0(FP), DI
+	MOVQ  q+8(FP), SI
+	MOVQ  out+16(FP), DX
+	MOVQ  rows+24(FP), CX
+	MOVQ  dim+32(FP), R8
+	TESTQ CX, CX
+	JE    qdone
+
+qrow:
+	MOVQ  SI, BX
+	MOVQ  R8, R11
+	VPXOR Y0, Y0, Y0
+	VPXOR X4, X4, X4
+
+qblk16:
+	CMPQ      R11, $16
+	JLT       qblk8
+	VPMOVSXBW (DI), Y2
+	VPMOVSXBW (BX), Y3
+	VPMADDWD  Y3, Y2, Y2
+	VPADDD    Y2, Y0, Y0
+	ADDQ      $16, DI
+	ADDQ      $16, BX
+	SUBQ      $16, R11
+	JMP       qblk16
+
+qblk8:
+	CMPQ      R11, $8
+	JLT       qreduce
+	VPMOVSXBW (DI), X2
+	VPMOVSXBW (BX), X3
+	VPMADDWD  X3, X2, X2
+	VPADDD    X2, X4, X4
+	ADDQ      $8, DI
+	ADDQ      $8, BX
+	SUBQ      $8, R11
+
+qreduce:
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPADDD       X4, X0, X0
+	VPHADDD      X0, X0, X0
+	VPHADDD      X0, X0, X0
+	VMOVD        X0, AX
+
+	TESTQ   R11, R11
+	JE      qstore
+qtail:
+	MOVBLSX (DI), R12
+	MOVBLSX (BX), R13
+	IMULL   R13, R12
+	ADDL    R12, AX
+	ADDQ    $1, DI
+	ADDQ    $1, BX
+	DECQ    R11
+	JNZ     qtail
+
+qstore:
+	MOVL AX, (DX)
+	ADDQ $4, DX
+	DECQ CX
+	JNZ  qrow
+
+qdone:
+	VZEROUPPER
+	RET
+
+// func cpuidx(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidx(SB), NOSPLIT, $0-24
+	MOVL  leaf+0(FP), AX
+	MOVL  sub+4(FP), CX
+	CPUID
+	MOVL  AX, eax+8(FP)
+	MOVL  BX, ebx+12(FP)
+	MOVL  CX, ecx+16(FP)
+	MOVL  DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (lo, hi uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL   CX, CX
+	XGETBV
+	MOVL   AX, lo+0(FP)
+	MOVL   DX, hi+4(FP)
+	RET

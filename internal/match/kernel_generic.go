@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package match
+
+// useFMA is always false off amd64: every scoring call takes the
+// portable Go kernels.
+const useFMA = false
+
+// dotRows fills out[r] with the dot product of query q and each of the
+// len(out) contiguous dim-sized rows starting at arena[0].
+func dotRows(arena, q, out []float32, dim int) {
+	dotRowsGo(arena, q, out, dim)
+}
+
+// dotRowsSQ8 is the int8 counterpart of dotRows: out[r] is the integer
+// dot of the quantized query q against code row r.
+func dotRowsSQ8(codes, q []int8, out []int32, dim int) {
+	dotRowsSQ8Go(codes, q, out, dim)
+}

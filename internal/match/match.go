@@ -38,6 +38,11 @@ type VectorIndex interface {
 	Dim() int
 	// TopK returns the k targets most similar to query, best first.
 	TopK(query []float32, k int) []Scored
+	// TopKBatch answers one TopK per query in a single blocked pass over
+	// the index, position-aligned with queries and identical to calling
+	// TopK per query. Implementations amortize one arena read across the
+	// whole batch.
+	TopKBatch(queries [][]float32, k int) [][]Scored
 	// Fingerprint returns a stable 64-bit digest of the index's serving
 	// configuration: implementation kind, corpus size, dimensionality and
 	// (for approximate indexes) the partition parameters and clustering
@@ -159,14 +164,17 @@ func (x *Index) Score(query []float32, i int) float64 {
 }
 
 // TopK returns the k targets most similar to query, best first. Ties break
-// by ID for determinism.
+// by ID for determinism. It is the single-query case of the blocked
+// TopKBatch kernel: a direct tiled scan over the arena into a fixed-size
+// selection heap, with no per-row closure or interface call.
 func (x *Index) TopK(query []float32, k int) []Scored {
-	q := make([]float32, x.dim)
-	copy(q, query)
-	embed.Normalize(q)
-	return TopKFunc(x.ids, func(i int) float64 {
-		return float64(embed.Dot(q, x.row(i)))
-	}, k)
+	return x.TopKBatch(oneQuery(query), k)[0]
+}
+
+// oneQuery wraps a single query vector for the batch kernel without
+// allocating: the one-element backing array stays on the caller's stack.
+func oneQuery(query []float32) [][]float32 {
+	return [][]float32{query}
 }
 
 // TopKCombined ranks targets by the weighted mean of this index's score for
@@ -254,9 +262,10 @@ func sortScored(h scoredHeap) []Scored {
 }
 
 // topKPositions selects the k candidates (given as arena positions) most
-// similar to the normalized query, best first with ID tie-breaking. It
-// avoids materializing a candidate ID slice: IDs are resolved only for
-// the <= k heap residents.
+// similar to the normalized query, best first with ID tie-breaking. Rows
+// are scored with the same kernel as the tiled full scan, so scattered-
+// position rankings (IVF probes, blocking, SQ8 re-rank) agree with it
+// bit-for-bit; IDs are resolved only for the <= k heap residents.
 func (x *Index) topKPositions(q []float32, positions []int32, k int) []Scored {
 	if k <= 0 || len(positions) == 0 {
 		return nil
@@ -264,19 +273,11 @@ func (x *Index) topKPositions(q []float32, positions []int32, k int) []Scored {
 	if k > len(positions) {
 		k = len(positions)
 	}
-	h := make(scoredHeap, 0, k)
+	h := newTopkHeap(make([]float32, k), make([]int32, k), x.ids, k)
 	for _, p := range positions {
-		s := float64(embed.Dot(q, x.row(int(p))))
-		if len(h) < k {
-			heap.Push(&h, Scored{ID: x.ids[p], Score: s})
-			continue
-		}
-		if s > h[0].Score || (s == h[0].Score && x.ids[p] < h[0].ID) {
-			h[0] = Scored{ID: x.ids[p], Score: s}
-			heap.Fix(&h, 0)
-		}
+		h.consider(dotOne(x.row(int(p)), q), p)
 	}
-	return sortScored(h)
+	return h.results()
 }
 
 // IDsOf projects the candidate IDs of a ranking.

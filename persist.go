@@ -13,9 +13,11 @@ import (
 // the configured serving indexes. The graph itself is not persisted — it
 // is only needed for training.
 //
-// Version 2 stores the vectors as one contiguous arena (VectorIDs + Arena)
-// matching the in-memory index layout; version 1 payloads with the
-// per-document Vectors map are still readable.
+// Version 3 adds the SQ8Rerank serving parameter (gob leaves it zero —
+// meaning the default — when decoding older payloads). Version 2 stores
+// the vectors as one contiguous arena (VectorIDs + Arena) matching the
+// in-memory index layout; version 1 payloads with the per-document
+// Vectors map are still readable.
 type savedModel struct {
 	Version    int
 	Dim        int
@@ -37,10 +39,11 @@ type savedModel struct {
 	IVFClusters int
 	IVFNProbe   int
 	ExactRecall bool
+	SQ8Rerank   int
 	Seed        int64
 }
 
-const savedModelVersion = 2
+const savedModelVersion = 3
 
 // Save writes the trained document embeddings (as one contiguous arena)
 // and the serving-index configuration to w. The graph is not saved; a
@@ -70,6 +73,7 @@ func (m *Model) Save(w io.Writer) error {
 		IVFClusters: m.cfg.IVFClusters,
 		IVFNProbe:   m.cfg.IVFNProbe,
 		ExactRecall: m.cfg.ExactRecall,
+		SQ8Rerank:   m.cfg.SQ8Rerank,
 		Seed:        m.cfg.Seed,
 	})
 }
@@ -139,6 +143,7 @@ func (s *Snapshot) Info() ModelInfo {
 		IVFClusters: s.sm.IVFClusters,
 		IVFNProbe:   s.sm.IVFNProbe,
 		ExactRecall: s.sm.ExactRecall,
+		SQ8Rerank:   s.sm.SQ8Rerank,
 	}
 }
 
@@ -170,6 +175,7 @@ func (s *Snapshot) Bind(first, second *Corpus) (*Model, error) {
 	cfg.IVFClusters = sm.IVFClusters
 	cfg.IVFNProbe = sm.IVFNProbe
 	cfg.ExactRecall = sm.ExactRecall
+	cfg.SQ8Rerank = sm.SQ8Rerank
 	cfg.Seed = sm.Seed
 	m := &Model{
 		cfg:     cfg,
@@ -198,7 +204,7 @@ func LoadModelFile(path string, first, second *Corpus) (*Model, error) {
 // serving indexes — the metadata a serving daemon needs to validate a
 // snapshot against its corpora and report what it is serving.
 type ModelInfo struct {
-	// Version is the snapshot format version (1 or 2).
+	// Version is the snapshot format version (1 through 3).
 	Version int
 	// Dim is the embedding dimensionality.
 	Dim int
@@ -209,12 +215,13 @@ type ModelInfo struct {
 	// Docs is the number of stored document vectors (both sides).
 	Docs int
 	// Index is the persisted serving-index choice; IVFClusters,
-	// IVFNProbe and ExactRecall are its parameters (meaningful under
-	// IndexIVF).
+	// IVFNProbe and ExactRecall are its parameters under IndexIVF, and
+	// SQ8Rerank (0 = default) under IndexSQ8.
 	Index       IndexKind
 	IVFClusters int
 	IVFNProbe   int
 	ExactRecall bool
+	SQ8Rerank   int
 }
 
 // ReadModelInfo decodes only the snapshot metadata from a stream written

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"github.com/tdmatch/tdmatch/internal/match"
@@ -121,6 +122,57 @@ func TestSaveLoadRestoresIndexChoice(t *testing.T) {
 	}
 }
 
+func TestSaveLoadSQ8SnapshotServesIdenticalRankings(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	cfg := smallConfig()
+	cfg.Index = IndexSQ8
+	cfg.SQ8Rerank = 6
+	model, err := Build(movies, reviews, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := snap.Info(); info.Index != IndexSQ8 || info.SQ8Rerank != 6 {
+		t.Errorf("snapshot info = %+v, want sq8 with rerank 6", info)
+	}
+	loaded, err := snap.Bind(movies, reviews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, ok := loaded.firstIdx.(*match.IndexSQ8)
+	if !ok {
+		t.Fatalf("loaded serving index is %T, want *match.IndexSQ8", loaded.firstIdx)
+	}
+	if sq.Rerank() != 6 {
+		t.Errorf("loaded rerank = %d, want 6", sq.Rerank())
+	}
+	// Quantization is deterministic in the stored vectors, so the reloaded
+	// model must serve identical rankings — scores included.
+	for _, q := range append(movies.IDs(), reviews.IDs()...) {
+		if model.Vector(q) == nil {
+			continue
+		}
+		orig, err := model.TopK(q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.TopK(q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(orig, got) {
+			t.Fatalf("SQ8 round trip diverged for %s:\norig:   %v\nloaded: %v", q, orig, got)
+		}
+	}
+}
+
 func TestLoadModelArenaValidation(t *testing.T) {
 	movies, reviews := fixtureCorpora(t)
 	var buf bytes.Buffer
@@ -173,7 +225,7 @@ func TestReadModelInfo(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := ModelInfo{
-		Version: 2, Dim: cfg.Dim, FirstName: "movies", SecondName: "reviews",
+		Version: savedModelVersion, Dim: cfg.Dim, FirstName: "movies", SecondName: "reviews",
 		Docs: len(model.Vectors()), Index: IndexIVF, IVFClusters: 2, IVFNProbe: 1,
 	}
 	if info != want {

@@ -274,17 +274,21 @@ func (m *Model) buildFlat(c *corpus.Corpus) (*match.Index, error) {
 // the clustering seed so the two sides don't share centroid draws, and
 // addresses the Stats slot.
 func (m *Model) serveIndex(flat *match.Index, side int) match.VectorIndex {
-	if m.cfg.Index != IndexIVF {
+	switch m.cfg.Index {
+	case IndexIVF:
+		ivf := match.NewIVF(flat, match.IVFOptions{
+			Clusters:    m.cfg.IVFClusters,
+			NProbe:      m.cfg.IVFNProbe,
+			ExactRecall: m.cfg.ExactRecall,
+			Seed:        m.cfg.Seed + int64(side) + 1,
+		})
+		m.stats.IndexClusters[side] = ivf.Clusters()
+		return ivf
+	case IndexSQ8:
+		return match.NewIndexSQ8(flat, m.cfg.SQ8Rerank)
+	default:
 		return flat
 	}
-	ivf := match.NewIVF(flat, match.IVFOptions{
-		Clusters:    m.cfg.IVFClusters,
-		NProbe:      m.cfg.IVFNProbe,
-		ExactRecall: m.cfg.ExactRecall,
-		Seed:        m.cfg.Seed + int64(side) + 1,
-	})
-	m.stats.IndexClusters[side] = ivf.Clusters()
-	return ivf
 }
 
 // objective picks Skip-gram window 3 when a table is involved and CBOW
@@ -434,19 +438,60 @@ func (m *Model) MatchAll(fromSecond bool, k int) map[string][]Match {
 	return m.MatchAllWorkers(fromSecond, k, m.cfg.Workers)
 }
 
+// matchBatch is the number of queries one worker hands to a blocked
+// TopKBatch kernel pass: large enough to amortize each arena tile read
+// over the whole batch, small enough that the per-batch query block
+// (matchBatch x Dim float32s) stays cache-resident next to the tile.
+const matchBatch = 32
+
+// batchChunk sizes one kernel chunk for n queries over the given worker
+// count: matchBatch by default, but never so large that idle workers
+// watch one chunk run — a burst smaller than workers*matchBatch (the
+// common micro-batch shape) still splits across every worker.
+func batchChunk(n, workers int) int {
+	size := matchBatch
+	if workers > 1 {
+		if per := (n + workers - 1) / workers; per < size {
+			size = per
+		}
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
 // MatchAllWorkers is MatchAll with an explicit worker count; 1 reproduces
-// the serial scan. Queries are independent reads of the serving index, so
-// results are identical at any worker count.
+// the serial scan. Queries are batched matchBatch at a time into the
+// serving index's blocked multi-query kernel — one arena read amortized
+// across each batch — and the batches are fanned out over the workers.
+// Batching and worker count never change results: every path selects
+// with the same kernel and tie rule.
 func (m *Model) MatchAllWorkers(fromSecond bool, k, workers int) map[string][]Match {
-	c := m.first.c
+	c, idx := m.first.c, m.secondIdx
 	if fromSecond {
-		c = m.second.c
+		c, idx = m.second.c, m.firstIdx
 	}
 	ids := c.IDs()
 	results := make([][]Match, len(ids))
-	runPool(len(ids), workers, func(i int) {
-		if matches, err := m.TopK(ids[i], k); err == nil {
-			results[i] = matches
+	size := batchChunk(len(ids), workers)
+	batches := (len(ids) + size - 1) / size
+	runPool(batches, workers, func(bi int) {
+		lo := bi * size
+		hi := lo + size
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		queries := make([][]float32, 0, hi-lo)
+		slots := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			if q := m.vectors[ids[i]]; q != nil {
+				queries = append(queries, q)
+				slots = append(slots, i)
+			}
+		}
+		for j, ranked := range idx.TopKBatch(queries, k) {
+			results[slots[j]] = toMatches(ranked)
 		}
 	})
 	out := make(map[string][]Match, len(ids))
@@ -458,10 +503,78 @@ func (m *Model) MatchAllWorkers(fromSecond bool, k, workers int) map[string][]Ma
 	return out
 }
 
+// TopKBatch answers many queries in one call, batching them through the
+// serving indexes' blocked multi-query kernels with Config.Workers
+// parallelism. Results are position-aligned with docIDs; unknown
+// documents and documents without an embedding fail per query without
+// affecting the rest.
+func (m *Model) TopKBatch(docIDs []string, k int) []BatchResult {
+	return m.TopKBatchWorkers(docIDs, k, m.cfg.Workers)
+}
+
+// TopKBatchWorkers is TopKBatch with an explicit worker count. Queries
+// are grouped by which side's index serves them, chunked matchBatch at
+// a time into the blocked kernel, and the chunks fanned out over the
+// workers — the serving counterpart of MatchAllWorkers for ad-hoc query
+// sets (Server.TopKBatch and the micro-batch executor feed it).
+func (m *Model) TopKBatchWorkers(docIDs []string, k, workers int) []BatchResult {
+	out := make([]BatchResult, len(docIDs))
+	var side1, side2 []int
+	for i, id := range docIDs {
+		out[i].ID = id
+		switch m.sideOf(id) {
+		case 1:
+			side1 = append(side1, i)
+		case 2:
+			side2 = append(side2, i)
+		default:
+			out[i].Err = fmt.Errorf("tdmatch: unknown document %q", id)
+		}
+	}
+	type chunk struct {
+		idx   match.VectorIndex
+		slots []int
+	}
+	var chunks []chunk
+	addChunks := func(idx match.VectorIndex, slots []int) {
+		size := batchChunk(len(slots), workers)
+		for lo := 0; lo < len(slots); lo += size {
+			hi := lo + size
+			if hi > len(slots) {
+				hi = len(slots)
+			}
+			chunks = append(chunks, chunk{idx: idx, slots: slots[lo:hi]})
+		}
+	}
+	addChunks(m.secondIdx, side1) // side-1 queries rank side-2 targets
+	addChunks(m.firstIdx, side2)
+	runPool(len(chunks), workers, func(ci int) {
+		ch := chunks[ci]
+		queries := make([][]float32, 0, len(ch.slots))
+		live := make([]int, 0, len(ch.slots))
+		for _, slot := range ch.slots {
+			q := m.vectors[out[slot].ID]
+			if q == nil {
+				out[slot].Err = fmt.Errorf("tdmatch: document %q has no embedding (pruned or isolated)", out[slot].ID)
+				continue
+			}
+			queries = append(queries, q)
+			live = append(live, slot)
+		}
+		for j, ranked := range ch.idx.TopKBatch(queries, k) {
+			out[live[j]].Matches = toMatches(ranked)
+		}
+	})
+	return out
+}
+
 // runPool fans run(i) for i in [0, n) out over up to workers goroutines,
 // blocking until every call returns; workers <= 1 (or n < 2) runs
 // serially on the calling goroutine. The shared worker-pool scaffolding
-// of MatchAllWorkers, Server.TopKBatch and the micro-batch executor.
+// of MatchAllWorkers, Model.TopKBatchWorkers and the micro-batch
+// executor. The work channel is buffered so the producer streams items
+// without a scheduler round-trip per handoff — measurable when the
+// per-item work is one small kernel call.
 func runPool(n, workers int, run func(i int)) {
 	if workers > n {
 		workers = n
@@ -472,8 +585,12 @@ func runPool(n, workers int, run func(i int)) {
 		}
 		return
 	}
+	buf := n
+	if buf > 4096 {
+		buf = 4096
+	}
 	var wg sync.WaitGroup
-	next := make(chan int)
+	next := make(chan int, buf)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {

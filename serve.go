@@ -199,18 +199,19 @@ type BatchResult struct {
 	Err error
 }
 
-// TopKBatch answers many queries in one call, fanning them out over the
-// server's worker pool (the MatchAll strategy applied to an ad-hoc query
-// set). Results are position-aligned with docIDs; each query hits the
-// result cache independently.
+// TopKBatch answers many queries in one call: each query probes the
+// result cache independently, and the misses are fed as one batch into
+// the model's blocked multi-query kernels (Model.TopKBatchWorkers) with
+// the server's worker parallelism. Results are position-aligned with
+// docIDs.
 func (s *Server) TopKBatch(docIDs []string, k int) []BatchResult {
 	s.queries.Add(uint64(len(docIDs)))
 	cur := s.cur.Load()
+	resps := s.answerBatch(cur, docIDs, k)
 	out := make([]BatchResult, len(docIDs))
-	runPool(len(docIDs), s.workers, func(i int) {
-		resp := s.answer(cur, docIDs[i], k)
+	for i, resp := range resps {
 		out[i] = BatchResult{ID: docIDs[i], Matches: resp.matches, Err: resp.err}
-	})
+	}
 	return out
 }
 
@@ -294,17 +295,64 @@ func (s *Server) run() {
 }
 
 // execBatch serves one coalesced batch against the current model,
-// fanning the queries out over the worker pool and replying to each
-// waiter. The model is pinned once per batch: a Reload during execution
-// takes effect from the next batch.
+// feeding the queries of each distinct k through the model's blocked
+// multi-query kernels and replying to each waiter. The model is pinned
+// once per batch: a Reload during execution takes effect from the next
+// batch.
 func (s *Server) execBatch(batch []*topkReq) {
 	s.batches.Add(1)
 	s.batchedQueries.Add(uint64(len(batch)))
 	cur := s.cur.Load()
-	runPool(len(batch), s.workers, func(i int) {
-		r := batch[i]
-		r.out <- s.answer(cur, r.docID, r.k)
-	})
+	// Queries of one coalesced batch can mix k values; group them so each
+	// group is one batched kernel pass (in practice one group dominates).
+	byK := make(map[int][]int, 1)
+	for i, r := range batch {
+		byK[r.k] = append(byK[r.k], i)
+	}
+	for k, slots := range byK {
+		ids := make([]string, len(slots))
+		for j, i := range slots {
+			ids[j] = batch[i].docID
+		}
+		resps := s.answerBatch(cur, ids, k)
+		for j, i := range slots {
+			batch[i].out <- resps[j]
+		}
+	}
+}
+
+// answerBatch resolves a batch of same-k queries against a pinned model
+// snapshot: per-query cache probes first, then one pass of the blocked
+// multi-query kernels over the misses, then cache fills. Failures bump
+// the error counter and are not cached, like in answer.
+func (s *Server) answerBatch(cur *served, docIDs []string, k int) []topkResp {
+	out := make([]topkResp, len(docIDs))
+	var missIDs []string
+	var missSlots []int
+	for i, id := range docIDs {
+		if matches, ok := s.cache.get(cacheKey{docID: id, k: k, gen: cur.gen, fp: cur.fp}); ok {
+			out[i] = topkResp{matches: matches}
+			continue
+		}
+		missIDs = append(missIDs, id)
+		missSlots = append(missSlots, i)
+	}
+	if len(missIDs) == 0 {
+		return out
+	}
+	for j, res := range cur.model.TopKBatchWorkers(missIDs, k, s.workers) {
+		slot := missSlots[j]
+		if res.Err != nil {
+			s.errors.Add(1)
+			out[slot] = topkResp{err: res.Err}
+			continue
+		}
+		resident := make([]Match, len(res.Matches))
+		copy(resident, res.Matches)
+		s.cache.put(cacheKey{docID: res.ID, k: k, gen: cur.gen, fp: cur.fp}, resident)
+		out[slot] = topkResp{matches: res.Matches}
+	}
+	return out
 }
 
 // indexFingerprint digests the serving-index configuration of both sides

@@ -1,17 +1,21 @@
 // Command benchjson runs the key build- and serve-side benchmarks and
-// writes their ns/op, B/op and allocs/op to a JSON file (BENCH_build.json
-// by default), so the performance trajectory is tracked across PRs
-// instead of living only in PR descriptions. CI regenerates the file as
-// an artifact on every run; committed snapshots mark the state at a PR
-// boundary.
+// appends their ns/op, B/op and allocs/op as one trajectory entry to a
+// JSON file (BENCH_build.json by default), so the performance
+// trajectory is tracked across PRs instead of living only in PR
+// descriptions: old entries are preserved and the new entry is appended
+// with a timestamp and an optional -label. Legacy single-entry files
+// (one bare report object) are migrated into the first trajectory
+// entry. CI regenerates the file as an artifact on every run; committed
+// snapshots mark the state at a PR boundary.
 //
 // Usage:
 //
-//	go run ./tools/benchjson [-out BENCH_build.json] [-benchtime 2x] [-bench regexp] [-pkg ./...]
+//	go run ./tools/benchjson [-out BENCH_build.json] [-label pr4] [-benchtime 2x] [-bench regexp] [-pkg ./...]
 //
 // The default benchmark set covers the training hot path (graph build,
 // random walks, Skip-gram and CBOW Word2Vec, end-to-end Build) and the
-// serving hot path (IVF TopK, cached serve TopK).
+// serving hot path (single and batched flat TopK, IVF and SQ8 TopK,
+// cached serve TopK, and the MatchAll family).
 package main
 
 import (
@@ -32,7 +36,9 @@ import (
 // defaultBench selects the benchmarks that define the build/serve perf
 // trajectory.
 const defaultBench = "BenchmarkWord2VecSkipGram$|BenchmarkWord2VecCBOW$|BenchmarkRandomWalks$|" +
-	"BenchmarkGraphBuild$|BenchmarkTopKIVF$|BenchmarkEndToEndPipeline$|BenchmarkServeTopKCached$"
+	"BenchmarkGraphBuild$|BenchmarkTopKMatch$|BenchmarkTopKBatch$|BenchmarkTopKIVF$|BenchmarkTopKSQ8$|" +
+	"BenchmarkMatchAllSerialFlat$|BenchmarkMatchAllParallelFlat$|BenchmarkMatchAllParallelIVF$|" +
+	"BenchmarkMatchAllParallelSQ8$|BenchmarkEndToEndPipeline$|BenchmarkServeTopKCached$"
 
 // Result is one benchmark measurement.
 type Result struct {
@@ -43,13 +49,22 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// Report is the BENCH_build.json payload.
-type Report struct {
+// Entry is one trajectory point: the benchmark results of one run plus
+// enough metadata to compare runs across machines and PRs.
+type Entry struct {
+	Label      string   `json:"label,omitempty"`
+	RecordedAt string   `json:"recorded_at,omitempty"`
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	CPU        string   `json:"cpu,omitempty"`
 	BenchTime  string   `json:"benchtime"`
 	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Trajectory is the BENCH_build.json payload: entries in append order,
+// oldest first.
+type Trajectory struct {
+	Entries []Entry `json:"entries"`
 }
 
 // benchLine matches `go test -bench -benchmem` output rows, e.g.
@@ -58,7 +73,8 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("out", "BENCH_build.json", "output JSON path")
+	out := flag.String("out", "BENCH_build.json", "output JSON path (appended to; old entries preserved)")
+	label := flag.String("label", "", "label recorded on the new trajectory entry (e.g. a PR number)")
 	benchTime := flag.String("benchtime", "2x", "go test -benchtime value")
 	bench := flag.String("bench", defaultBench, "go test -bench regexp")
 	pkg := flag.String("pkg", ".", "package to benchmark")
@@ -76,12 +92,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	report := Report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, BenchTime: *benchTime}
+	entry := Entry{
+		Label:      *label,
+		RecordedAt: start.UTC().Format(time.RFC3339),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		BenchTime:  *benchTime,
+	}
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
-			report.CPU = cpu
+			entry.CPU = cpu
 			continue
 		}
 		m := benchLine.FindStringSubmatch(line)
@@ -97,7 +119,7 @@ func main() {
 		if m[5] != "" {
 			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
-		report.Benchmarks = append(report.Benchmarks, Result{
+		entry.Benchmarks = append(entry.Benchmarks, Result{
 			Name:        strings.TrimPrefix(m[1], "Benchmark"),
 			Iterations:  iters,
 			NsPerOp:     ns,
@@ -105,12 +127,19 @@ func main() {
 			AllocsPerOp: allocsOp,
 		})
 	}
-	if len(report.Benchmarks) == 0 {
+	if len(entry.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
 		os.Exit(1)
 	}
 
-	enc, err := json.MarshalIndent(report, "", "  ")
+	traj, err := readTrajectory(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	traj.Entries = append(traj.Entries, entry)
+
+	enc, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -120,6 +149,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("benchjson: wrote %d results to %s in %s\n",
-		len(report.Benchmarks), *out, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("benchjson: appended entry %d (%d results) to %s in %s\n",
+		len(traj.Entries), len(entry.Benchmarks), *out, time.Since(start).Round(time.Millisecond))
+}
+
+// readTrajectory loads the existing trajectory file. A missing file
+// starts an empty trajectory; a legacy single-entry payload (one bare
+// report object, the pre-trajectory format) becomes the first entry.
+func readTrajectory(path string) (Trajectory, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Trajectory{}, nil
+	}
+	if err != nil {
+		return Trajectory{}, err
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(raw, &traj); err == nil && traj.Entries != nil {
+		return traj, nil
+	}
+	var legacy Entry
+	if err := json.Unmarshal(raw, &legacy); err == nil && len(legacy.Benchmarks) > 0 {
+		return Trajectory{Entries: []Entry{legacy}}, nil
+	}
+	return Trajectory{}, fmt.Errorf("cannot parse %s as a trajectory or legacy report", path)
 }
