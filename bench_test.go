@@ -397,8 +397,11 @@ func BenchmarkMatchAllParallelSQ8(b *testing.B) {
 	benchMatchAll(b, tdmatch.IndexSQ8, runtime.GOMAXPROCS(0))
 }
 
-// BenchmarkEndToEndPipeline measures the full public-API Build call.
-func BenchmarkEndToEndPipeline(b *testing.B) {
+// benchEndToEndInputs builds the corpora and configuration shared by
+// the full-Build and incremental-ingest benchmarks, so their ns/op
+// ratio is the ingest-vs-full-rebuild ratio on identical inputs.
+func benchEndToEndInputs(b *testing.B) (*tdmatch.Corpus, *tdmatch.Corpus, tdmatch.Config) {
+	b.Helper()
 	s := benchIMDbScenario(b)
 	first, err := tdmatch.NewTable("movies", s.First.Columns, rowsOf(s), s.First.IDs())
 	if err != nil {
@@ -416,6 +419,14 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 	cfg.NumWalks = 8
 	cfg.WalkLength = 14
 	cfg.Dim = 40
+	return first, second, cfg
+}
+
+// BenchmarkEndToEndPipeline measures the full public-API Build call —
+// also the cost a single-document change pays without the incremental
+// ingest path (compare BenchmarkIngestSingleDoc).
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	first, second, cfg := benchEndToEndInputs(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
@@ -425,6 +436,65 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 		}
 		if model.Stats().GraphNodes == 0 {
 			b.Fatal("empty graph")
+		}
+	}
+}
+
+// --- Incremental ingest: per-document latency vs the full rebuild. ---
+
+// ingestBenchText is the document every ingest benchmark op adds (under
+// a fresh ID): vocabulary the seed IMDb corpus knows, so the delta
+// walk/fine-tune path does representative work.
+const ingestBenchText = "a tense thriller remake where the detective confronts the syndicate boss"
+
+// BenchmarkIngestSingleDoc measures Model.Ingest of one text document
+// into the seed IMDb model: frozen-CSR graph patch, delta walks from
+// the affected neighborhood, warm-start fine-tune, index append. The
+// acceptance bar is >= 10x faster than BenchmarkEndToEndPipeline (the
+// full rebuild over the same corpora).
+func BenchmarkIngestSingleDoc(b *testing.B) {
+	first, second, cfg := benchEndToEndInputs(b)
+	cfg.Seed = 1
+	model, err := tdmatch.Build(first, second, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := model.Ingest([]tdmatch.IngestDoc{{
+			Side:   2,
+			ID:     fmt.Sprintf("reviews:bench%d", i),
+			Values: []string{ingestBenchText},
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestServerSingleDoc measures the full serving-layer ingest
+// (Server.Ingest): model clone, Model.Ingest on the clone, atomic swap
+// — the per-request cost of POST /v1/ingest.
+func BenchmarkIngestServerSingleDoc(b *testing.B) {
+	first, second, cfg := benchEndToEndInputs(b)
+	cfg.Seed = 1
+	model, err := tdmatch.Build(first, second, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := tdmatch.NewServer(model, tdmatch.ServeConfig{})
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := srv.Ingest([]tdmatch.IngestDoc{{
+			Side:   2,
+			ID:     fmt.Sprintf("reviews:srvbench%d", i),
+			Values: []string{ingestBenchText},
+		}})
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -41,28 +41,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	var sc experiments.Scale
-	switch *scale {
-	case "small":
-		sc = experiments.Small
-	case "standard":
-		sc = experiments.Standard
-	default:
-		fmt.Fprintf(os.Stderr, "tdexp: unknown scale %q\n", *scale)
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdexp: %v\n", err)
 		os.Exit(2)
 	}
 	sc.Seed = *seed
 	sc.Workers = *workers
 
-	ids := strings.Split(*exp, ",")
-	if *exp == "all" {
-		ids = experiments.IDs()
-	}
+	ids := expandExperimentIDs(*exp)
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		if id == "" {
-			continue
-		}
 		start := time.Now()
 		tbl, err := experiments.Run(id, sc)
 		if err != nil {
@@ -72,4 +60,32 @@ func main() {
 		tbl.Fprint(os.Stdout)
 		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+}
+
+// parseScale resolves the -scale flag value to a dataset scale.
+func parseScale(name string) (experiments.Scale, error) {
+	switch name {
+	case "small":
+		return experiments.Small, nil
+	case "standard":
+		return experiments.Standard, nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q", name)
+	}
+}
+
+// expandExperimentIDs resolves the -exp flag value to the experiment
+// list: "all" selects every registered experiment, otherwise the
+// comma-separated IDs are trimmed and empties dropped.
+func expandExperimentIDs(exp string) []string {
+	if exp == "all" {
+		return experiments.IDs()
+	}
+	var ids []string
+	for _, id := range strings.Split(exp, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tdmatch/tdmatch/internal/experiments"
+)
+
+func TestParseScale(t *testing.T) {
+	small, err := parseScale("small")
+	if err != nil || !reflect.DeepEqual(small, experiments.Small) {
+		t.Errorf("parseScale(small) = %+v, %v", small, err)
+	}
+	std, err := parseScale("standard")
+	if err != nil || !reflect.DeepEqual(std, experiments.Standard) {
+		t.Errorf("parseScale(standard) = %+v, %v", std, err)
+	}
+	if _, err := parseScale("galactic"); err == nil {
+		t.Error("want error for unknown scale")
+	}
+}
+
+func TestExpandExperimentIDs(t *testing.T) {
+	if got := expandExperimentIDs("all"); !reflect.DeepEqual(got, experiments.IDs()) {
+		t.Errorf("all = %v", got)
+	}
+	got := expandExperimentIDs(" table1, fig9 ,,")
+	if !reflect.DeepEqual(got, []string{"table1", "fig9"}) {
+		t.Errorf("split = %v", got)
+	}
+	if got := expandExperimentIDs(""); len(got) != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+// TestRunSmallestExperimentSmoke drives one registered experiment end
+// to end at a trimmed scale — the smoke coverage main() previously had
+// none of: every ID must be resolvable and the runner must produce a
+// printable table.
+func TestRunSmallestExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	ids := experiments.IDs()
+	if len(ids) == 0 {
+		t.Fatal("no registered experiments")
+	}
+	sc := experiments.Scale{
+		IMDbMovies: 12, CoronaCountries: 4, CoronaGenClaims: 12, CoronaUsrClaims: 6,
+		AuditLevel1: 2, AuditConcepts: 4, AuditDocuments: 12, ClaimsFactor: 0.2,
+		STSPairs: 12, GeneralSentences: 40,
+		NumWalks: 3, WalkLength: 6, Dim: 12, Epochs: 1, Seed: 5, Workers: 2,
+	}
+	tbl, err := experiments.Run("table1", sc)
+	if err != nil {
+		t.Fatalf("table1: %v", err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("table1 produced no rows")
+	}
+	if _, err := experiments.Run("nosuch", sc); err == nil {
+		t.Error("unknown experiment ID must fail")
+	}
+}

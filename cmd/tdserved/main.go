@@ -12,9 +12,21 @@
 //
 //	POST /v1/topk    {"id": "second:p0", "k": 5}        → one ranking
 //	POST /v1/batch   {"ids": ["second:p0", ...], "k": 5} → many, fanned out
+//	POST /v1/ingest  {"docs": [{"side": 2, "id": "...", "values": ["..."]}]}
+//	POST /v1/remove  {"ids": ["second:p0", ...]}
 //	POST /v1/reload  reload corpora + snapshot from disk, swap atomically
 //	GET  /v1/stats   serving counters, cache hit rate, model metadata
 //	GET  /healthz    liveness: 200 with the served model's identity
+//
+// /v1/ingest and /v1/remove mutate the served model live: the daemon
+// clones it, applies the delta (graph patch + warm-start fine-tune on a
+// trained model, term fold-in on a snapshot-restored one, appendable
+// index update either way) and swaps the clone in atomically — queries
+// issued afterwards see the new corpus immediately, and the result
+// cache is invalidated by the generation bump. Live deltas exist only
+// in memory until the snapshot is re-saved; a reload from disk reverts
+// them. The stats staleness counter reports how many delta documents
+// the served model has accumulated since its last full build.
 //
 // SIGHUP triggers the same reload as POST /v1/reload: the daemon re-reads
 // the corpus and snapshot files and swaps the new model in behind the
@@ -207,6 +219,8 @@ func newHandler(d *daemon) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/topk", d.handleTopK)
 	mux.HandleFunc("POST /v1/batch", d.handleBatch)
+	mux.HandleFunc("POST /v1/ingest", d.handleIngest)
+	mux.HandleFunc("POST /v1/remove", d.handleRemove)
 	mux.HandleFunc("POST /v1/reload", d.handleReload)
 	mux.HandleFunc("GET /v1/stats", d.handleStats)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
@@ -311,6 +325,84 @@ func (d *daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = out
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ingestDocJSON is one document of POST /v1/ingest.
+type ingestDocJSON struct {
+	Side   int      `json:"side"`
+	ID     string   `json:"id"`
+	Values []string `json:"values"`
+	Parent string   `json:"parent,omitempty"`
+}
+
+// ingestRequest is the body of POST /v1/ingest.
+type ingestRequest struct {
+	Docs []ingestDocJSON `json:"docs"`
+}
+
+// removeRequest is the body of POST /v1/remove.
+type removeRequest struct {
+	IDs []string `json:"ids"`
+}
+
+// mutateResponse answers /v1/ingest and /v1/remove with the new
+// serving state.
+type mutateResponse struct {
+	Status    string `json:"status"`
+	Docs      int    `json:"docs"`
+	Staleness int    `json:"staleness"`
+}
+
+func (d *daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Docs) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New(`"docs" is required`))
+		return
+	}
+	docs := make([]tdmatch.IngestDoc, len(req.Docs))
+	for i, jd := range req.Docs {
+		docs[i] = tdmatch.IngestDoc{Side: jd.Side, ID: jd.ID, Values: jd.Values, Parent: jd.Parent}
+	}
+	if err := d.server.Ingest(docs); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Status:    "ok",
+		Docs:      len(docs),
+		Staleness: d.server.Stats().Staleness,
+	})
+}
+
+func (d *daemon) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req removeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.IDs) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New(`"ids" is required`))
+		return
+	}
+	if err := d.server.Remove(req.IDs); err != nil {
+		// Unknown documents are the not-found case; everything else
+		// (duplicate IDs in the batch, ...) is a malformed request.
+		status := http.StatusBadRequest
+		if errors.Is(err, tdmatch.ErrUnknownDocument) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Status:    "ok",
+		Docs:      len(req.IDs),
+		Staleness: d.server.Stats().Staleness,
+	})
 }
 
 func (d *daemon) handleReload(w http.ResponseWriter, r *http.Request) {

@@ -386,3 +386,110 @@ func TestReloadSwapsUnderConcurrentTraffic(t *testing.T) {
 		t.Errorf("serving broken after failed reload: status %d", status)
 	}
 }
+
+// TestIngestOverHTTPServesImmediately is the live-ingest acceptance
+// check: a document POSTed to /v1/ingest must be served by the very
+// next query — including a (query, k) pair whose pre-ingest ranking was
+// cached, proving the generation bump invalidates the result cache —
+// with the /v1/stats counters tracking the mutation.
+func TestIngestOverHTTPServesImmediately(t *testing.T) {
+	firstPath, secondPath, modelPath, _ := trainFixture(t, fixtureConfig(1))
+	_, ts := startDaemon(t, firstPath, secondPath, modelPath)
+
+	// Cache a corpus-covering ranking for a movie before the ingest.
+	query, k := "movies:t1", 10
+	var before topkResponse
+	for i := 0; i < 2; i++ { // second call is a cache hit
+		if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: query, K: k}, &before); status != http.StatusOK {
+			t.Fatalf("pre-ingest topk status %d", status)
+		}
+	}
+	for _, m := range before.Matches {
+		if m.ID == "reviews:live" {
+			t.Fatal("fixture already contains the ingest doc")
+		}
+	}
+
+	// Ingest a new review over HTTP.
+	var ing mutateResponse
+	status := postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Docs: []ingestDocJSON{
+		{Side: 2, ID: "reviews:live", Values: []string{"another hilarious Tarantino film with Bruce Willis"}},
+	}}, &ing)
+	if status != http.StatusOK || ing.Status != "ok" || ing.Docs != 1 || ing.Staleness != 1 {
+		t.Fatalf("ingest status %d, response %+v", status, ing)
+	}
+
+	// The same (query, k) must now include the new document — no stale
+	// cached ranking across the generation bump.
+	var after topkResponse
+	if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: query, K: k}, &after); status != http.StatusOK {
+		t.Fatalf("post-ingest topk status %d", status)
+	}
+	found := false
+	for _, m := range after.Matches {
+		if m.ID == "reviews:live" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ingested doc absent from post-ingest ranking: %+v", after.Matches)
+	}
+	// The ingested document answers queries itself.
+	var own topkResponse
+	if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: "reviews:live", K: 3}, &own); status != http.StatusOK {
+		t.Fatalf("topk for ingested doc: status %d", status)
+	}
+	if len(own.Matches) != 3 {
+		t.Fatalf("ingested doc ranking = %+v", own.Matches)
+	}
+
+	// Stats report the mutation.
+	var st statsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingests != 1 || st.IngestedDocs != 1 || st.Staleness != 1 {
+		t.Errorf("stats after ingest = ingests %d, ingested_docs %d, staleness %d",
+			st.Ingests, st.IngestedDocs, st.Staleness)
+	}
+
+	// Remove it again over HTTP: rankings drop it, queries 404.
+	var rm mutateResponse
+	if status := postJSON(t, ts.URL+"/v1/remove", removeRequest{IDs: []string{"reviews:live"}}, &rm); status != http.StatusOK || rm.Staleness != 2 {
+		t.Fatalf("remove status %d, response %+v", status, rm)
+	}
+	var gone topkResponse
+	if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: query, K: k}, &gone); status != http.StatusOK {
+		t.Fatalf("post-remove topk status %d", status)
+	}
+	for _, m := range gone.Matches {
+		if m.ID == "reviews:live" {
+			t.Error("removed doc still ranked")
+		}
+	}
+	if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: "reviews:live", K: 3}, nil); status != http.StatusNotFound {
+		t.Errorf("topk for removed doc: status %d, want 404", status)
+	}
+
+	// Bad requests.
+	if status := postJSON(t, ts.URL+"/v1/ingest", ingestRequest{}, nil); status != http.StatusBadRequest {
+		t.Errorf("empty ingest: status %d, want 400", status)
+	}
+	if status := postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Docs: []ingestDocJSON{{Side: 7, ID: "x"}}}, nil); status != http.StatusBadRequest {
+		t.Errorf("bad side: status %d, want 400", status)
+	}
+	if status := postJSON(t, ts.URL+"/v1/remove", removeRequest{}, nil); status != http.StatusBadRequest {
+		t.Errorf("empty remove: status %d, want 400", status)
+	}
+	if status := postJSON(t, ts.URL+"/v1/remove", removeRequest{IDs: []string{"nosuch:doc"}}, nil); status != http.StatusNotFound {
+		t.Errorf("unknown remove: status %d, want 404", status)
+	}
+	if status := postJSON(t, ts.URL+"/v1/remove", removeRequest{IDs: []string{"movies:t0", "movies:t0"}}, nil); status != http.StatusBadRequest {
+		t.Errorf("duplicate remove: status %d, want 400", status)
+	}
+}

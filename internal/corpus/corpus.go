@@ -201,6 +201,91 @@ func (c *Corpus) buildIndex() error {
 	return nil
 }
 
+// Append adds one document at the end of the corpus (the delta-ingest
+// path). The ID must be new; for tables the values must not exceed the
+// schema (shorter documents keep their given values as-is).
+func (c *Corpus) Append(d Document) error {
+	if d.ID == "" {
+		return fmt.Errorf("corpus %s: append with empty document ID", c.Name)
+	}
+	if _, dup := c.byID[d.ID]; dup {
+		return fmt.Errorf("corpus %s: duplicate document ID %s", c.Name, d.ID)
+	}
+	if c.Kind == Table && len(d.Values) > len(c.Columns) {
+		return fmt.Errorf("corpus %s: document %s has %d values for %d columns",
+			c.Name, d.ID, len(d.Values), len(c.Columns))
+	}
+	if c.Kind == Structured && d.Parent != "" {
+		if _, ok := c.byID[d.Parent]; !ok {
+			return fmt.Errorf("corpus %s: document %s references unknown parent %s", c.Name, d.ID, d.Parent)
+		}
+	}
+	c.byID[d.ID] = len(c.Docs)
+	c.Docs = append(c.Docs, d)
+	return nil
+}
+
+// Remove deletes the document with the given ID, preserving the order
+// of the remaining documents, and reports whether it was present.
+func (c *Corpus) Remove(id string) bool {
+	i, ok := c.byID[id]
+	if !ok {
+		return false
+	}
+	c.Docs = append(c.Docs[:i], c.Docs[i+1:]...)
+	delete(c.byID, id)
+	for j := i; j < len(c.Docs); j++ {
+		c.byID[c.Docs[j].ID] = j
+	}
+	return true
+}
+
+// RemoveBatch deletes all given IDs in one compaction pass — removing m
+// documents costs O(n + m) instead of the O(m·n) of per-ID Remove calls
+// re-indexing the tail each time. Unknown IDs are ignored; the number
+// of documents actually removed is returned.
+func (c *Corpus) RemoveBatch(ids []string) int {
+	victims := make(map[string]struct{}, len(ids))
+	for _, id := range ids {
+		if _, ok := c.byID[id]; ok {
+			victims[id] = struct{}{}
+		}
+	}
+	removed := len(victims)
+	if removed == 0 {
+		return 0
+	}
+	keep := c.Docs[:0]
+	for _, d := range c.Docs {
+		if _, dead := victims[d.ID]; !dead {
+			keep = append(keep, d)
+		}
+	}
+	c.Docs = keep
+	c.byID = make(map[string]int, len(keep))
+	for i, d := range keep {
+		c.byID[d.ID] = i
+	}
+	return removed
+}
+
+// Clone returns an independent copy of the corpus: the ingest
+// clone-mutate-swap path appends to or removes from the clone while the
+// original keeps serving. Document values are immutable and shared.
+func (c *Corpus) Clone() *Corpus {
+	nc := &Corpus{
+		Name:    c.Name,
+		Kind:    c.Kind,
+		Docs:    append([]Document(nil), c.Docs...),
+		Columns: c.Columns,
+		byID:    make(map[string]int, len(c.byID)),
+	}
+	for id, i := range c.byID {
+		nc.byID[id] = i
+	}
+	return nc
+}
+
 // Len returns the number of documents.
 func (c *Corpus) Len() int { return len(c.Docs) }
 

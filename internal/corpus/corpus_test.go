@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -215,5 +216,78 @@ func TestReadStructuredJSON(t *testing.T) {
 func TestKindString(t *testing.T) {
 	if Text.String() != "text" || Table.String() != "table" || Structured.String() != "structured" {
 		t.Error("Kind.String labels wrong")
+	}
+}
+
+func TestAppendRemoveClone(t *testing.T) {
+	c, err := NewText("c", []string{"one", "two", "three"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(Document{ID: "c:p3", Values: []Value{{Text: "four"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(Document{ID: "c:p0"}); err == nil {
+		t.Error("duplicate append must fail")
+	}
+	if err := c.Append(Document{}); err == nil {
+		t.Error("empty-ID append must fail")
+	}
+	clone := c.Clone()
+	if !c.Remove("c:p1") {
+		t.Fatal("remove of live doc failed")
+	}
+	if c.Remove("c:p1") {
+		t.Error("double remove reported success")
+	}
+	// Order and index survive the removal.
+	wantIDs := []string{"c:p0", "c:p2", "c:p3"}
+	gotIDs := c.IDs()
+	for i, id := range wantIDs {
+		if gotIDs[i] != id {
+			t.Fatalf("IDs after remove = %v", gotIDs)
+		}
+		if d, ok := c.Doc(id); !ok || d.ID != id {
+			t.Fatalf("Doc(%s) broken after remove", id)
+		}
+	}
+	// The clone kept the pre-removal state.
+	if clone.Len() != 4 {
+		t.Errorf("clone length = %d, want 4", clone.Len())
+	}
+	if _, ok := clone.Doc("c:p1"); !ok {
+		t.Error("removal leaked into the clone")
+	}
+}
+
+func TestRemoveBatchMatchesPerIDRemove(t *testing.T) {
+	ids := make([]string, 50)
+	texts := make([]string, 50)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("d%02d", i)
+		texts[i] = fmt.Sprintf("text %d", i)
+	}
+	batch, err := NewText("c", texts, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := batch.Clone()
+	victims := []string{"d03", "d07", "d07", "d49", "nosuch", "d00"}
+	if got := batch.RemoveBatch(victims); got != 4 {
+		t.Fatalf("RemoveBatch = %d, want 4", got)
+	}
+	for _, id := range victims {
+		serial.Remove(id)
+	}
+	if !reflect.DeepEqual(batch.IDs(), serial.IDs()) {
+		t.Fatalf("batch removal diverged:\nbatch:  %v\nserial: %v", batch.IDs(), serial.IDs())
+	}
+	for _, id := range batch.IDs() {
+		if d, ok := batch.Doc(id); !ok || d.ID != id {
+			t.Fatalf("index broken for %s after RemoveBatch", id)
+		}
+	}
+	if batch.RemoveBatch([]string{"nosuch"}) != 0 {
+		t.Error("RemoveBatch of unknowns must remove nothing")
 	}
 }

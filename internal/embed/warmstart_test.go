@@ -1,0 +1,81 @@
+package embed
+
+import (
+	"testing"
+)
+
+// TestWarmStartPreservesUntouchedRows: rows of the initial model whose
+// tokens never appear in the fine-tune sequences (neither as centers,
+// contexts, nor sampled negatives — guaranteed here by restricting the
+// vocabulary of the delta sequences) must survive byte-exact, and the
+// appended vocabulary rows must become non-zero trained vectors.
+func TestWarmStartPreservesUntouchedRows(t *testing.T) {
+	base := PackSequences([][]int32{
+		{0, 1, 2, 0, 1, 2, 0, 1, 2},
+		{3, 4, 5, 3, 4, 5, 3, 4, 5},
+	})
+	cfg := Config{Dim: 16, Window: 2, Negative: 2, Epochs: 3, Seed: 7, Workers: 1}
+	warm, err := TrainPacked(base, 6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Out == nil {
+		t.Fatal("trained model must retain output weights for warm starts")
+	}
+	frozen := append([]float32(nil), warm.Arena...)
+
+	// Fine-tune over a delta that mentions tokens 6 and 7 (new) plus 0
+	// and 1 (old). Tokens 3-5 appear nowhere in the delta.
+	delta := PackSequences([][]int32{
+		{6, 0, 1, 6, 0, 1, 6},
+		{7, 0, 6, 7, 0, 6, 7},
+	})
+	cfg.Initial = warm
+	tuned, err := TrainPacked(delta, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuned.Vecs) != 8 {
+		t.Fatalf("vocab = %d, want 8", len(tuned.Vecs))
+	}
+	// Negative sampling draws only tokens present in the delta counts
+	// (counts for 3-5 are zero), so rows 3-5 must be untouched.
+	for tok := 3; tok <= 5; tok++ {
+		row := tuned.Vecs[tok]
+		for d := range row {
+			if row[d] != frozen[tok*16+d] {
+				t.Fatalf("untouched row %d changed at dim %d", tok, d)
+			}
+		}
+	}
+	// Rows mentioned in the delta must have moved; new rows must exist.
+	moved := false
+	for d, v := range tuned.Vecs[0] {
+		if v != frozen[d] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("row 0 appears frozen although it trained in the delta")
+	}
+	var norm float32
+	for _, v := range tuned.Vecs[6] {
+		norm += v * v
+	}
+	if norm == 0 {
+		t.Error("new row 6 stayed zero after fine-tuning")
+	}
+	// The new tokens co-occur with token 0, so their vectors should be
+	// closer to token 0's than to an unrelated frozen one.
+	if Cosine(tuned.Vecs[6], tuned.Vecs[0]) <= Cosine(tuned.Vecs[6], tuned.Vecs[4]) {
+		t.Error("fine-tuned new row not closer to its co-occurring token than to an unrelated one")
+	}
+
+	// Dim mismatch is rejected.
+	bad := cfg
+	bad.Dim = 8
+	if _, err := TrainPacked(delta, 8, bad); err == nil {
+		t.Error("warm start with mismatched dim must fail")
+	}
+}

@@ -44,6 +44,14 @@ type Config struct {
 	// Subsample, when > 0, is the threshold t of the frequent-token
 	// down-sampling probability 1 - sqrt(t/freq).
 	Subsample float64
+	// Initial, when non-nil, warm-starts training from a previously
+	// trained model: its rows (both the embedding arena and the output
+	// weights) seed the first len(Initial.Vecs) vocabulary rows, rows
+	// beyond them are freshly initialized, and training fine-tunes the
+	// combined arena over the given sequences. This is the incremental
+	// ingest path: sequences seeded from a delta's neighborhood adjust
+	// new rows into the existing embedding space without retraining it.
+	Initial *Model
 }
 
 func (c Config) withDefaults() Config {
@@ -74,11 +82,22 @@ func (c Config) withDefaults() Config {
 // downstream consumers (the serving indexes, persistence) can alias one
 // contiguous block instead of chasing per-token allocations. Models
 // assembled by hand (tests) may leave Arena nil and fill Vecs directly.
+//
+// Out retains the output-side weight matrix (syn1) in the same layout.
+// It is dead weight for serving, but it is what makes warm-start
+// fine-tuning (Config.Initial) meaningful: the trained output rows are
+// the anchors new vocabulary rows train against. Callers that will
+// never fine-tune can drop it (Model.DropOut).
 type Model struct {
 	Dim   int
 	Arena []float32
 	Vecs  [][]float32
+	Out   []float32
 }
+
+// DropOut releases the output-side weights for models that will never
+// warm-start further training.
+func (m *Model) DropOut() { m.Out = nil }
 
 // Vector returns the embedding of token id (nil when out of range).
 func (m *Model) Vector(id int32) []float32 {
@@ -187,17 +206,28 @@ func TrainPacked(seqs Sequences, vocabSize int, cfg Config) (*Model, error) {
 		}
 	}
 	totalTokens := int64(seqs.NumTokens())
-	if totalTokens == 0 {
+	if totalTokens == 0 && cfg.Initial == nil {
 		return &Model{Dim: cfg.Dim, Vecs: make([][]float32, vocabSize)}, nil
 	}
 
 	// syn0: input vectors (the embeddings); syn1: output weights. Both are
-	// flat row-major arenas — row i at [i*dim : (i+1)*dim].
+	// flat row-major arenas — row i at [i*dim : (i+1)*dim]. Under a warm
+	// start the leading rows are copied from the initial model (syn1
+	// defaults to zero where the initial model did not retain it) and only
+	// the appended vocabulary rows get a fresh random initialization.
 	dim := cfg.Dim
 	syn0 := make([]float32, vocabSize*dim)
 	syn1 := make([]float32, vocabSize*dim)
+	warmFloats := 0
+	if cfg.Initial != nil {
+		if cfg.Initial.Dim != dim {
+			return nil, fmt.Errorf("embed: warm start dim %d != configured dim %d", cfg.Initial.Dim, dim)
+		}
+		warmFloats = copy(syn0, cfg.Initial.Arena)
+		copy(syn1[:warmFloats], cfg.Initial.Out)
+	}
 	initRng := newXorshift(uint64(cfg.Seed) ^ 0xabcdef)
-	for i := range syn0 {
+	for i := warmFloats; i < len(syn0); i++ {
 		syn0[i] = (initRng.float() - 0.5) / float32(dim)
 	}
 
@@ -318,7 +348,7 @@ func TrainPacked(seqs Sequences, vocabSize int, cfg Config) (*Model, error) {
 	for i := range vecs {
 		vecs[i] = syn0[i*dim : (i+1)*dim : (i+1)*dim]
 	}
-	return &Model{Dim: dim, Arena: syn0, Vecs: vecs}, nil
+	return &Model{Dim: dim, Arena: syn0, Vecs: vecs, Out: syn1}, nil
 }
 
 // trainPair performs one positive + k negative updates for input vector in

@@ -64,7 +64,9 @@ type BuildConfig struct {
 	Mergers []Merger
 }
 
-// Result carries the construction artefacts needed by later stages.
+// Result carries the construction artefacts needed by later stages, and
+// is the handle the delta path (InsertDocs/RemoveDocs) mutates when
+// single documents are ingested into or removed from a built graph.
 type Result struct {
 	Graph *Graph
 	// DocNode maps every document ID to its metadata node.
@@ -73,6 +75,22 @@ type Result struct {
 	AttrNode map[string]NodeID
 	// Canon resolves terms to their canonical (merged) form.
 	Canon *Canonicalizer
+	// Mergers is the effective merger chain (including the numeric
+	// Bucketer Build constructs under cfg.Bucketing), retained so the
+	// delta path canonicalizes unseen terms exactly like the full build.
+	Mergers []Merger
+	// Pre is the effective preprocessor after defaulting, retained so
+	// delta-ingested documents tokenize identically.
+	Pre textproc.Preprocessor
+	// PrimaryFirst reports whether the first corpus defined the term
+	// vocabulary (always true outside FilterIntersect); the delta path
+	// uses it to decide which side may create new data nodes.
+	PrimaryFirst bool
+	// ConnectMeta records whether hierarchical metadata edges were
+	// enabled (ConnectMetadata minus the DisableMetadataEdges ablation),
+	// so delta-ingested taxonomy documents wire parent edges exactly
+	// when the full build would.
+	ConnectMeta bool
 	// FilteredTerms counts second-corpus terms dropped by filtering.
 	FilteredTerms int
 }
@@ -112,29 +130,36 @@ func processCorpus(c *corpus.Corpus, pre textproc.Preprocessor, tfidfTopK int) [
 	}
 	n := len(c.Docs)
 	for i, d := range c.Docs {
-		dt := docTerms{id: d.ID, parent: d.Parent}
 		var keep map[string]struct{}
 		if tfidfTopK > 0 {
 			keep = topTFIDF(tokensPerDoc[i], df, n, tfidfTopK)
 		}
-		for _, v := range d.Values {
-			toks := pre.Tokens(v.Text)
-			if keep != nil {
-				filtered := toks[:0]
-				for _, t := range toks {
-					if _, ok := keep[t]; ok {
-						filtered = append(filtered, t)
-					}
-				}
-				toks = filtered
-			}
-			terms := textproc.NGrams(toks, maxN(pre))
-			dt.perValue = append(dt.perValue, terms)
-			dt.columns = append(dt.columns, v.Column)
-		}
-		out[i] = dt
+		out[i] = processDoc(d, pre, keep)
 	}
 	return out
+}
+
+// processDoc tokenizes one document into its per-value term lists; keep,
+// when non-nil, restricts tokens to the given set (the TF-IDF filter).
+// Shared by the full build and the delta insert path.
+func processDoc(d corpus.Document, pre textproc.Preprocessor, keep map[string]struct{}) docTerms {
+	dt := docTerms{id: d.ID, parent: d.Parent}
+	for _, v := range d.Values {
+		toks := pre.Tokens(v.Text)
+		if keep != nil {
+			filtered := toks[:0]
+			for _, t := range toks {
+				if _, ok := keep[t]; ok {
+					filtered = append(filtered, t)
+				}
+			}
+			toks = filtered
+		}
+		terms := textproc.NGrams(toks, maxN(pre))
+		dt.perValue = append(dt.perValue, terms)
+		dt.columns = append(dt.columns, v.Column)
+	}
+	return dt
 }
 
 func maxN(pre textproc.Preprocessor) int {
@@ -248,21 +273,14 @@ func Build(a, b *corpus.Corpus, cfg BuildConfig) (*Result, error) {
 
 	g := New(len(universe) + len(docsA) + len(docsB))
 	res := &Result{
-		Graph:    g,
-		DocNode:  make(map[string]NodeID, len(docsA)+len(docsB)),
-		AttrNode: make(map[string]NodeID),
-		Canon:    canon,
-	}
-
-	kindFor := func(c *corpus.Corpus) NodeKind {
-		switch c.Kind {
-		case corpus.Table:
-			return Tuple
-		case corpus.Structured:
-			return Concept
-		default:
-			return Snippet
-		}
+		Graph:        g,
+		DocNode:      make(map[string]NodeID, len(docsA)+len(docsB)),
+		AttrNode:     make(map[string]NodeID),
+		Canon:        canon,
+		Mergers:      mergers,
+		Pre:          pre,
+		PrimaryFirst: primaryIsA,
+		ConnectMeta:  cfg.ConnectMetadata && !cfg.DisableMetadataEdges,
 	}
 
 	addCorpus := func(c *corpus.Corpus, docs []docTerms, side Side, createTerms bool) error {

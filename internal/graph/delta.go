@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tdmatch/tdmatch/internal/corpus"
+)
+
+// This file implements the localized-mutation half of the incremental
+// ingest pipeline: inserting or removing single documents against a
+// built (typically CSR-frozen) graph. Insertions reuse the full build's
+// tokenization (processDoc), term canonicalization (Canonicalizer plus
+// the retained merger chain, so new numeric terms land in existing
+// buckets) and side policy (only the vocabulary-defining side creates
+// data nodes under intersect filtering); edges are wired through
+// Graph.PatchEdges so a frozen graph is patched, never thawed.
+
+// Delta reports what an InsertDocs call changed.
+type Delta struct {
+	// DocNodes are the metadata nodes of the inserted documents, in input
+	// order.
+	DocNodes []NodeID
+	// NewNodes are all nodes created by the insert: the metadata nodes
+	// plus any data nodes minted for first-seen terms.
+	NewNodes []NodeID
+	// Affected is the walk seed set for warm-start training: the new
+	// nodes plus every existing node they connect to.
+	Affected []NodeID
+	// FilteredTerms counts terms dropped because the document's side may
+	// not create data nodes (intersect filtering) and the term is unknown.
+	FilteredTerms int
+}
+
+// InsertDocs adds the documents' metadata nodes and term edges to the
+// built graph. c is the corpus the documents now belong to (for its
+// kind and, for tables, its column→attribute mapping); side tells which
+// corpus side they join. Whether unknown terms create data nodes
+// follows the build's filtering policy via createTerms. Documents must
+// not already exist in the graph.
+func (r *Result) InsertDocs(c *corpus.Corpus, docs []corpus.Document, side Side, createTerms bool) (Delta, error) {
+	g := r.Graph
+	var d Delta
+	kind := kindFor(c)
+
+	// Canonicalize unseen terms through the retained merger chain before
+	// any node is created, so a new surface form that merges into an
+	// existing node connects there instead of minting a duplicate.
+	var unseen []string
+	seenNew := map[string]struct{}{}
+	terms := make([]docTerms, len(docs))
+	for i, doc := range docs {
+		terms[i] = processDoc(doc, r.Pre, nil)
+		for _, perValue := range terms[i].perValue {
+			for _, t := range perValue {
+				if _, known := g.dataIndex[t]; known {
+					continue
+				}
+				if r.Canon.Canonical(t) != t {
+					continue
+				}
+				if _, dup := seenNew[t]; !dup {
+					seenNew[t] = struct{}{}
+					unseen = append(unseen, t)
+				}
+			}
+		}
+	}
+	r.Canon.Learn(unseen, r.Mergers...)
+
+	var pairs [][2]NodeID
+	touched := map[NodeID]struct{}{}
+	for i, doc := range docs {
+		if _, exists := r.DocNode[doc.ID]; exists {
+			return Delta{}, fmt.Errorf("graph: document %q already present", doc.ID)
+		}
+		id, err := g.AddMeta(doc.ID, kind, side)
+		if err != nil {
+			return Delta{}, err
+		}
+		r.DocNode[doc.ID] = id
+		d.DocNodes = append(d.DocNodes, id)
+		d.NewNodes = append(d.NewNodes, id)
+		if c.Kind == corpus.Structured && doc.Parent != "" && r.ConnectMeta {
+			if pid, ok := r.DocNode[doc.Parent]; ok {
+				pairs = append(pairs, [2]NodeID{id, pid})
+				touched[pid] = struct{}{}
+			}
+		}
+		for vi, valueTerms := range terms[i].perValue {
+			var attr NodeID
+			hasAttr := false
+			if c.Kind == corpus.Table {
+				attr, hasAttr = r.AttrNode[c.Name+"/"+terms[i].columns[vi]]
+			}
+			for _, t := range valueTerms {
+				ct := r.Canon.Canonical(t)
+				tn, ok := g.DataNode(ct)
+				if !ok {
+					if !createTerms {
+						d.FilteredTerms++
+						continue
+					}
+					tn = g.EnsureData(ct)
+					d.NewNodes = append(d.NewNodes, tn)
+				}
+				pairs = append(pairs, [2]NodeID{id, tn})
+				touched[tn] = struct{}{}
+				if hasAttr {
+					pairs = append(pairs, [2]NodeID{attr, tn})
+					touched[attr] = struct{}{}
+				}
+			}
+		}
+	}
+	g.PatchEdges(pairs)
+
+	d.Affected = append(d.Affected, d.NewNodes...)
+	isNew := make(map[NodeID]struct{}, len(d.NewNodes))
+	for _, id := range d.NewNodes {
+		isNew[id] = struct{}{}
+	}
+	existing := len(d.Affected)
+	for id := range touched {
+		if _, ok := isNew[id]; !ok {
+			d.Affected = append(d.Affected, id)
+		}
+	}
+	// touched iterates in random map order; sort the appended tail so the
+	// walk seed set — and therefore the fine-tune corpus and the resulting
+	// vectors — is deterministic for a fixed seed, like the full build.
+	tail := d.Affected[existing:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return d, nil
+}
+
+// RemoveDocs deletes the documents' metadata nodes (and their incident
+// edges) from the built graph, returning the IDs that were actually
+// present. Data nodes are kept even when they become isolated: their
+// trained rows stay meaningful, so a later re-ingest of similar content
+// reconnects to already-trained terms instead of starting cold.
+func (r *Result) RemoveDocs(ids []string) []string {
+	var present []string
+	var victims []NodeID
+	for _, id := range ids {
+		node, ok := r.DocNode[id]
+		if !ok {
+			continue
+		}
+		present = append(present, id)
+		victims = append(victims, node)
+		delete(r.DocNode, id)
+	}
+	r.Graph.RemoveNodes(victims)
+	return present
+}
+
+// kindFor maps a corpus kind to the metadata node kind its documents
+// get, mirroring the full build.
+func kindFor(c *corpus.Corpus) NodeKind {
+	switch c.Kind {
+	case corpus.Table:
+		return Tuple
+	case corpus.Structured:
+		return Concept
+	default:
+		return Snippet
+	}
+}

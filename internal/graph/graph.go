@@ -173,13 +173,20 @@ func (g *Graph) thaw() {
 }
 
 func (g *Graph) addNode(label string, kind NodeKind, side Side) NodeID {
-	g.thaw()
 	id := NodeID(len(g.labels))
 	g.labels = append(g.labels, label)
 	g.kinds = append(g.kinds, kind)
 	g.sides = append(g.sides, side)
-	g.adj = append(g.adj, nil)
 	g.removed = append(g.removed, false)
+	if g.csrOff != nil {
+		// Frozen: a new node is one more (empty) CSR row — append an offset
+		// equal to the current end instead of thawing the whole adjacency.
+		// The delta-ingest path adds nodes against the frozen graph and
+		// wires their edges with PatchEdges, never paying a thaw.
+		g.csrOff = append(g.csrOff, g.csrOff[len(g.csrOff)-1])
+		return id
+	}
+	g.adj = append(g.adj, nil)
 	return id
 }
 
@@ -259,6 +266,72 @@ func (g *Graph) AddEdge(a, b NodeID) {
 	g.adj[b] = append(g.adj[b], a)
 }
 
+// PatchEdges inserts a batch of undirected edges. On a frozen graph the
+// CSR arrays are rebuilt in one merge pass that splices the new neighbor
+// entries into their rows — the "patch" half of the delta path's
+// thaw-or-patch contract, which keeps incremental ingest from ever
+// materializing the per-node adjacency slices. On a thawed graph it is a
+// plain AddEdge loop. Self loops, edges touching removed nodes and
+// duplicates (within the batch or against existing edges) are skipped.
+func (g *Graph) PatchEdges(pairs [][2]NodeID) {
+	if g.csrOff == nil {
+		for _, p := range pairs {
+			g.AddEdge(p[0], p[1])
+		}
+		return
+	}
+	// Filter into the accepted set first, registering each edge in the
+	// edge map so in-batch duplicates collapse.
+	added := make([][2]NodeID, 0, len(pairs))
+	extra := make([]int32, len(g.labels))
+	for _, p := range pairs {
+		a, b := p[0], p[1]
+		if a == b || g.removed[a] || g.removed[b] {
+			continue
+		}
+		k := edgeKey(a, b)
+		if _, ok := g.edges[k]; ok {
+			continue
+		}
+		g.edges[k] = struct{}{}
+		added = append(added, [2]NodeID{a, b})
+		extra[a]++
+		extra[b]++
+	}
+	if len(added) == 0 {
+		return
+	}
+	oldOff, oldAdj := g.csrOff, g.csrAdj
+	total := int(oldOff[len(oldOff)-1]) + 2*len(added)
+	if int64(total) > int64(1)<<31-1 {
+		panic(fmt.Sprintf("graph: %d adjacency entries overflow the CSR int32 offsets", total))
+	}
+	newOff := make([]int32, len(oldOff))
+	newAdj := make([]NodeID, total)
+	// New offsets: old row width plus the appended degree per node.
+	pos := int32(0)
+	for i := 0; i < len(oldOff)-1; i++ {
+		newOff[i] = pos
+		pos += oldOff[i+1] - oldOff[i] + extra[i]
+	}
+	newOff[len(newOff)-1] = pos
+	// Copy the old rows into their widened slots, then append the new
+	// neighbors at each row's tail (tracked by a per-node write cursor).
+	cursor := make([]int32, len(oldOff)-1)
+	for i := 0; i < len(oldOff)-1; i++ {
+		n := copy(newAdj[newOff[i]:], oldAdj[oldOff[i]:oldOff[i+1]])
+		cursor[i] = newOff[i] + int32(n)
+	}
+	for _, p := range added {
+		a, b := p[0], p[1]
+		newAdj[cursor[a]] = b
+		cursor[a]++
+		newAdj[cursor[b]] = a
+		cursor[b]++
+	}
+	g.csrOff, g.csrAdj = newOff, newAdj
+}
+
 // HasEdge reports whether the undirected edge {a,b} exists.
 func (g *Graph) HasEdge(a, b NodeID) bool {
 	_, ok := g.edges[edgeKey(a, b)]
@@ -327,7 +400,9 @@ func (g *Graph) dropFromIndex(id NodeID) {
 // removeEdgeHalf scan costs O(deg(neighbor)) per incident edge, which
 // goes quadratic around hubs during the expansion/compression cleanup
 // loops; the batch form is linear in the total degree touched. Duplicate
-// and already-removed IDs are ignored.
+// and already-removed IDs are ignored. On a frozen graph the CSR arrays
+// are compacted directly (the removal half of the delta path's
+// thaw-or-patch contract) instead of thawing.
 func (g *Graph) RemoveNodes(ids []NodeID) {
 	victim := make([]bool, len(g.labels))
 	any := false
@@ -340,7 +415,10 @@ func (g *Graph) RemoveNodes(ids []NodeID) {
 	if !any {
 		return
 	}
-	g.thaw()
+	if g.csrOff != nil {
+		g.removeNodesFrozen(victim)
+		return
+	}
 	dirty := make([]bool, len(g.labels))
 	for i, isVictim := range victim {
 		if !isVictim {
@@ -372,6 +450,46 @@ func (g *Graph) RemoveNodes(ids []NodeID) {
 			continue
 		}
 		g.adj[i] = nil
+		g.removed[i] = true
+		g.nRemoved++
+		g.dropFromIndex(NodeID(i))
+	}
+}
+
+// removeNodesFrozen is RemoveNodes over the frozen CSR: the edge map is
+// pruned from the victims' rows, then the offsets and neighbor arrays
+// are rebuilt in one pass that drops victim rows and filters victim
+// entries out of surviving rows — no thaw, one allocation sweep.
+func (g *Graph) removeNodesFrozen(victim []bool) {
+	oldOff, oldAdj := g.csrOff, g.csrAdj
+	for i, isVictim := range victim {
+		if !isVictim {
+			continue
+		}
+		id := NodeID(i)
+		for _, n := range oldAdj[oldOff[i]:oldOff[i+1]] {
+			delete(g.edges, edgeKey(id, n))
+		}
+	}
+	newOff := make([]int32, len(oldOff))
+	newAdj := make([]NodeID, 0, len(oldAdj))
+	for i := 0; i < len(oldOff)-1; i++ {
+		newOff[i] = int32(len(newAdj))
+		if victim[i] {
+			continue
+		}
+		for _, n := range oldAdj[oldOff[i]:oldOff[i+1]] {
+			if !victim[n] {
+				newAdj = append(newAdj, n)
+			}
+		}
+	}
+	newOff[len(newOff)-1] = int32(len(newAdj))
+	g.csrOff, g.csrAdj = newOff, newAdj
+	for i, isVictim := range victim {
+		if !isVictim {
+			continue
+		}
 		g.removed[i] = true
 		g.nRemoved++
 		g.dropFromIndex(NodeID(i))

@@ -115,13 +115,15 @@ func NewIVF(flat *Index, o IVFOptions) *IVF {
 }
 
 // train runs seeded spherical k-means over the flat arena and fills the
-// centroid arena and inverted lists.
+// centroid arena and inverted lists. Tombstoned rows (an index rebuilt
+// over a mutated flat) are excluded from initialization, means and
+// lists.
 func (x *IVF) train(seed int64, iters int) {
-	n, dim := x.flat.Len(), x.flat.dim
+	n, dim := x.flat.rows(), x.flat.dim
 	x.centroids = make([]float32, x.nlist*dim)
 
-	// Initialize with distinct target vectors at splitmix-spread positions,
-	// deterministic in the seed.
+	// Initialize with distinct live target vectors at splitmix-spread
+	// positions, deterministic in the seed.
 	picked := make(map[int]struct{}, x.nlist)
 	state := uint64(seed)
 	for c := 0; c < x.nlist; c++ {
@@ -129,7 +131,7 @@ func (x *IVF) train(seed int64, iters int) {
 		for {
 			state = splitmix(state)
 			pos = int(state % uint64(n))
-			if _, dup := picked[pos]; !dup {
+			if _, dup := picked[pos]; !dup && !x.flat.isDead(pos) {
 				break
 			}
 		}
@@ -142,6 +144,9 @@ func (x *IVF) train(seed int64, iters int) {
 	for it := 0; it < iters; it++ {
 		moved := false
 		for i := 0; i < n; i++ {
+			if x.flat.isDead(i) {
+				continue
+			}
 			best := x.nearestCentroid(x.flat.row(i))
 			if assign[i] != best {
 				moved = true
@@ -158,6 +163,9 @@ func (x *IVF) train(seed int64, iters int) {
 			counts[c] = 0
 		}
 		for i := 0; i < n; i++ {
+			if x.flat.isDead(i) {
+				continue
+			}
 			c := int(assign[i])
 			counts[c]++
 			row := x.flat.row(i)
@@ -181,6 +189,9 @@ func (x *IVF) train(seed int64, iters int) {
 	// deterministic candidate order.
 	x.lists = make([][]int32, x.nlist)
 	for i := 0; i < n; i++ {
+		if x.flat.isDead(i) {
+			continue
+		}
 		c := x.nearestCentroid(x.flat.row(i))
 		x.lists[c] = append(x.lists[c], int32(i))
 	}
@@ -205,6 +216,57 @@ func (x *IVF) nearestCentroid(v []float32) int32 {
 
 // Flat returns the exact index the IVF was built over.
 func (x *IVF) Flat() *Index { return x.flat }
+
+// Append adds documents to the underlying flat index and assigns each
+// new row to its nearest existing centroid's inverted list — no
+// re-clustering, so ingest latency stays O(new rows × nlist) and the
+// established partitioning (and its fingerprint seed) is preserved.
+// Appended positions are strictly increasing, keeping every list in
+// ascending order for deterministic candidate iteration.
+func (x *IVF) Append(ids []string, arena []float32) error {
+	base := x.flat.rows()
+	if err := x.flat.Append(ids, arena); err != nil {
+		return err
+	}
+	if len(x.lists) == 0 {
+		// Built over an empty corpus: queries delegate to the flat scan,
+		// which now covers the appended rows.
+		return nil
+	}
+	for i := range ids {
+		p := base + i
+		c := x.nearestCentroid(x.flat.row(p))
+		x.lists[c] = append(x.lists[c], int32(p))
+	}
+	return nil
+}
+
+// Remove tombstones the documents in the underlying flat index. The
+// inverted lists keep the dead positions as per-list tombstones — the
+// scoring paths skip them — so removal never rewrites list storage;
+// Compact (a rebuild) reclaims them.
+func (x *IVF) Remove(ids []string) int { return x.flat.Remove(ids) }
+
+// CloneWithFlat returns an IVF over the given clone of the underlying
+// flat index, deep-copying the mutable inverted lists and sharing the
+// immutable centroid arena — the ingest clone-mutate-swap path.
+func (x *IVF) CloneWithFlat(flat *Index) *IVF {
+	nx := &IVF{
+		flat:      flat,
+		centroids: x.centroids,
+		nlist:     x.nlist,
+		nprobe:    x.nprobe,
+		seed:      x.seed,
+		adaptive:  x.adaptive,
+	}
+	if x.lists != nil {
+		nx.lists = make([][]int32, len(x.lists))
+		for c, l := range x.lists {
+			nx.lists[c] = append([]int32(nil), l...)
+		}
+	}
+	return nx
+}
 
 // Clusters returns the number of partitions (nlist).
 func (x *IVF) Clusters() int { return x.nlist }
@@ -293,13 +355,27 @@ func (x *IVF) topk(query []float32, k, nprobe, minCands int) []Scored {
 
 	probes := x.probeOrder(q, x.nlist)
 	cands := make([]int32, 0, n/x.nlist*nprobe+nprobe)
+	live := 0
 	for p, c := range probes {
-		if p >= nprobe && len(cands) >= minCands {
+		if p >= nprobe && live >= minCands {
 			break
 		}
 		cands = append(cands, x.lists[c]...)
+		if x.flat.nDead == 0 {
+			live = len(cands)
+			continue
+		}
+		// Tombstoned list entries contribute nothing to the ranking, so
+		// the adaptive candidate quota counts live rows only — otherwise
+		// removals concentrated in the query's nearest partitions would
+		// silently shrink the effective pool below minCandidateFactor×k.
+		for _, pos := range x.lists[c] {
+			if !x.flat.isDead(int(pos)) {
+				live++
+			}
+		}
 	}
-	if len(cands) == 0 {
+	if live == 0 {
 		return x.flat.TopK(query, k)
 	}
 	return x.flat.topKPositions(q, cands, k)

@@ -66,6 +66,20 @@ func dotRowsSQ8Go(codes, q []int8, out []int32, dim int) {
 	}
 }
 
+// zapDead overwrites the scores of tombstoned rows in a tile (positions
+// base, base+1, ...) with -Inf, so selection heaps clamped to the live
+// count provably evict them. A no-op (one branch) on unmutated indexes.
+func (x *Index) zapDead(scores []float32, base int) {
+	if x.nDead == 0 {
+		return
+	}
+	for j := range scores {
+		if x.dead[base+j] {
+			scores[j] = negInf
+		}
+	}
+}
+
 // dotOne scores a single arena row against the normalized query with
 // the same kernel (and thus the same rounding) as the tiled scans, so
 // scattered-position paths (IVF probes, token blocking, SQ8 re-rank)
@@ -214,12 +228,14 @@ func (h *topkHeap) positions() []int32 {
 // arena read over the batch — the MatchAll and serve-batch hot path.
 func (x *Index) TopKBatch(queries [][]float32, k int) [][]Scored {
 	out := make([][]Scored, len(queries))
-	n := x.Len()
-	if k <= 0 || n == 0 || len(queries) == 0 {
+	n := x.rows()
+	if k <= 0 || x.Len() == 0 || len(queries) == 0 {
 		return out
 	}
-	if k > n {
-		k = n
+	if k > x.Len() {
+		// Clamp to the live count: tombstoned rows score -Inf below and a
+		// heap no larger than the live count provably evicts them all.
+		k = x.Len()
 	}
 	dim := x.dim
 	b := len(queries)
@@ -248,6 +264,7 @@ func (x *Index) TopKBatch(queries [][]float32, k int) [][]Scored {
 		rows := x.data[r0*dim : (r0+m)*dim]
 		for i := range heaps {
 			dotRows(rows, qs[i*dim:(i+1)*dim], scores[:m], dim)
+			x.zapDead(scores[:m], r0)
 			heaps[i].merge(scores[:m], int32(r0))
 		}
 	}

@@ -13,6 +13,7 @@ package match
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/tdmatch/tdmatch/internal/embed"
@@ -28,11 +29,14 @@ type Scored struct {
 // given a (not necessarily normalized) query vector, return the k most
 // cosine-similar indexed documents, best first, with deterministic ID
 // tie-breaking. Implementations are safe for concurrent queries once
-// built.
+// built; Append and Remove are not safe concurrently with queries —
+// the serving layer mutates a clone and swaps it in atomically.
 type VectorIndex interface {
-	// Len returns the number of indexed documents.
+	// Len returns the number of live (not removed) indexed documents.
 	Len() int
-	// IDs returns the indexed document IDs in index order.
+	// IDs returns the indexed document IDs in index order, including
+	// tombstoned entries of removed documents (which never surface in
+	// rankings).
 	IDs() []string
 	// Dim returns the vector dimensionality.
 	Dim() int
@@ -43,12 +47,21 @@ type VectorIndex interface {
 	// TopK per query. Implementations amortize one arena read across the
 	// whole batch.
 	TopKBatch(queries [][]float32, k int) [][]Scored
+	// Append adds documents to the index: arena is row-major with
+	// vector i at arena[i*Dim() : (i+1)*Dim()] (copied, then normalized
+	// like built rows). IDs must not collide with live indexed IDs.
+	Append(ids []string, arena []float32) error
+	// Remove tombstones the documents with the given IDs and returns how
+	// many were present. Tombstoned rows stop appearing in rankings but
+	// keep their storage until the index is rebuilt (Compact).
+	Remove(ids []string) int
 	// Fingerprint returns a stable 64-bit digest of the index's serving
-	// configuration: implementation kind, corpus size, dimensionality and
+	// configuration: implementation kind, corpus size, dimensionality,
 	// (for approximate indexes) the partition parameters and clustering
-	// seed. Serving-layer result caches include it in their keys, so
-	// selecting a differently-configured index invalidates every cached
-	// ranking without an explicit flush.
+	// seed, and the mutation epoch — every Append/Remove bumps it.
+	// Serving-layer result caches include it in their keys, so selecting
+	// a differently-configured index — or mutating one — invalidates
+	// every cached ranking without an explicit flush.
 	Fingerprint() uint64
 }
 
@@ -59,11 +72,19 @@ var (
 
 // Index holds the match targets: document IDs with their normalized
 // embedding vectors, stored in one contiguous arena so the scan is a
-// sequential sweep over memory. Build once, query many times.
+// sequential sweep over memory. Build once, query many times; the
+// incremental ingest path appends rows at the arena's tail and removes
+// documents by tombstoning their row (zeroed storage, skipped by every
+// selection path) — reclaiming tombstones is a rebuild.
 type Index struct {
 	ids  []string
 	data []float32 // row-major arena: vector i is data[i*dim : (i+1)*dim]
 	dim  int
+
+	pos   map[string]int32 // id -> live row, built lazily on first mutation
+	dead  []bool           // tombstones, nil until the first Remove
+	nDead int
+	epoch uint64 // mutation counter, mixed into Fingerprint
 }
 
 // NewIndex builds an index over target documents. Vectors are copied into
@@ -110,6 +131,13 @@ func NewIndexArena(ids []string, arena []float32, dim int) (*Index, error) {
 // row returns the mutable arena slice of vector i.
 func (x *Index) row(i int) []float32 { return x.data[i*x.dim : (i+1)*x.dim] }
 
+// rows returns the number of arena rows, including tombstoned ones —
+// the iteration bound of every scan.
+func (x *Index) rows() int { return len(x.ids) }
+
+// isDead reports whether row i is tombstoned.
+func (x *Index) isDead(i int) bool { return x.dead != nil && x.dead[i] }
+
 // Vector returns the normalized vector of target i. Callers must not
 // mutate it.
 func (x *Index) Vector(i int) []float32 { return x.row(i) }
@@ -118,8 +146,9 @@ func (x *Index) Vector(i int) []float32 { return x.row(i) }
 // Callers must not mutate it.
 func (x *Index) Arena() []float32 { return x.data }
 
-// Len returns the number of indexed documents.
-func (x *Index) Len() int { return len(x.ids) }
+// Len returns the number of live indexed documents (appended rows
+// count, tombstoned ones do not).
+func (x *Index) Len() int { return len(x.ids) - x.nDead }
 
 // IDs returns the indexed document IDs in index order.
 func (x *Index) IDs() []string { return x.ids }
@@ -127,12 +156,110 @@ func (x *Index) IDs() []string { return x.ids }
 // Dim returns the vector dimensionality.
 func (x *Index) Dim() int { return x.dim }
 
-// Fingerprint returns the serving-configuration digest of the flat index:
-// its kind tag, size and dimensionality. Two flat indexes over equally
-// many vectors of equal dimension share a fingerprint — callers caching
-// results across distinct models must mix in their own model identity.
+// Fingerprint returns the serving-configuration digest of the flat
+// index: its kind tag, size, dimensionality and mutation epoch. Every
+// Append/Remove bumps the epoch, so fingerprint-keyed result caches
+// can never serve a ranking computed before a mutation. Two virgin flat
+// indexes over equally many vectors of equal dimension share a
+// fingerprint — callers caching results across distinct models must mix
+// in their own model identity.
 func (x *Index) Fingerprint() uint64 {
-	return mixFingerprint(fingerprintFlat, uint64(len(x.ids)), uint64(x.dim))
+	return mixFingerprint(fingerprintFlat, uint64(len(x.ids)), uint64(x.dim), x.epoch)
+}
+
+// negInf is the sentinel score tombstoned rows receive inside the
+// selection kernels: any live cosine score (>= -1) beats it, so dead
+// rows can flow through the tiled scoring unmodified and still never
+// surface in a ranking.
+var negInf = float32(math.Inf(-1))
+
+// lookup resolves a live document ID to its arena row, building the
+// position map on first use (virgin read-only indexes never pay for it).
+func (x *Index) lookup(id string) (int32, bool) {
+	if x.pos == nil {
+		x.pos = make(map[string]int32, len(x.ids))
+		for i, docID := range x.ids {
+			if !x.isDead(i) {
+				x.pos[docID] = int32(i)
+			}
+		}
+	}
+	p, ok := x.pos[id]
+	return p, ok
+}
+
+// Append adds documents at the arena's tail: arena is row-major with
+// vector i at arena[i*dim : (i+1)*dim]; rows are copied and normalized
+// exactly like built rows (nil-padded zero rows score 0). IDs must not
+// collide with live indexed IDs — a previously removed ID may be
+// re-appended.
+func (x *Index) Append(ids []string, arena []float32) error {
+	if len(arena) != len(ids)*x.dim {
+		return fmt.Errorf("match: append arena holds %d floats for %d vectors of dim %d", len(arena), len(ids), x.dim)
+	}
+	for _, id := range ids {
+		if _, live := x.lookup(id); live {
+			return fmt.Errorf("match: append of already-indexed document %q", id)
+		}
+	}
+	base := len(x.ids)
+	x.ids = append(x.ids, ids...)
+	x.data = append(x.data, arena...)
+	if x.dead != nil {
+		x.dead = append(x.dead, make([]bool, len(ids))...)
+	}
+	for i, id := range ids {
+		p := base + i
+		embed.Normalize(x.row(p))
+		x.pos[id] = int32(p)
+	}
+	x.epoch++
+	return nil
+}
+
+// Remove tombstones the documents with the given IDs, returning how
+// many were present: their rows are zeroed and skipped by every
+// selection path, their IDs freed for re-append. Storage is reclaimed
+// only by rebuilding the index.
+func (x *Index) Remove(ids []string) int {
+	removed := 0
+	for _, id := range ids {
+		p, ok := x.lookup(id)
+		if !ok {
+			continue
+		}
+		if x.dead == nil {
+			x.dead = make([]bool, len(x.ids))
+		}
+		x.dead[p] = true
+		x.nDead++
+		removed++
+		delete(x.pos, id)
+		row := x.row(int(p))
+		for d := range row {
+			row[d] = 0
+		}
+	}
+	if removed > 0 {
+		x.epoch++
+	}
+	return removed
+}
+
+// Clone returns an independent deep copy: the ingest clone-mutate-swap
+// path appends to the clone while the original keeps serving queries.
+func (x *Index) Clone() *Index {
+	nx := &Index{
+		ids:   append([]string(nil), x.ids...),
+		data:  append([]float32(nil), x.data...),
+		dim:   x.dim,
+		nDead: x.nDead,
+		epoch: x.epoch,
+	}
+	if x.dead != nil {
+		nx.dead = append([]bool(nil), x.dead...)
+	}
+	return nx
 }
 
 // Fingerprint kind tags keep flat and IVF digests disjoint even for equal
@@ -182,7 +309,7 @@ func oneQuery(query []float32) [][]float32 {
 // embeddings with a pre-trained sentence embedder. Both indexes must be
 // built over the same ID sequence.
 func (x *Index) TopKCombined(other *Index, queryA, queryB []float32, wA, wB float64, k int) ([]Scored, error) {
-	if other == nil || other.Len() != x.Len() {
+	if other == nil || other.rows() != x.rows() {
 		return nil, fmt.Errorf("match: combined indexes differ in size")
 	}
 	for i := range x.ids {
@@ -200,11 +327,20 @@ func (x *Index) TopKCombined(other *Index, queryA, queryB []float32, wA, wB floa
 	if total == 0 {
 		total = 1
 	}
-	return TopKFunc(x.ids, func(i int) float64 {
+	scored := TopKFunc(x.ids, func(i int) float64 {
+		if x.isDead(i) {
+			return math.Inf(-1)
+		}
 		sa := float64(embed.Dot(qa, x.row(i)))
 		sb := float64(embed.Dot(qb, other.row(i)))
 		return (wA*sa + wB*sb) / total
-	}, k), nil
+	}, k)
+	// Tombstoned rows surface only when k exceeds the live count; their
+	// -Inf sentinel scores sort last and are trimmed here.
+	for len(scored) > 0 && math.IsInf(scored[len(scored)-1].Score, -1) {
+		scored = scored[:len(scored)-1]
+	}
+	return scored, nil
 }
 
 // scoredHeap is a min-heap on Score (worst candidate on top).
@@ -275,6 +411,9 @@ func (x *Index) topKPositions(q []float32, positions []int32, k int) []Scored {
 	}
 	h := newTopkHeap(make([]float32, k), make([]int32, k), x.ids, k)
 	for _, p := range positions {
+		if x.isDead(int(p)) {
+			continue
+		}
 		h.consider(dotOne(x.row(int(p)), q), p)
 	}
 	return h.results()

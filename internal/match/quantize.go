@@ -38,7 +38,7 @@ func NewIndexSQ8(flat *Index, rerank int) *IndexSQ8 {
 	if rerank <= 0 {
 		rerank = DefaultSQ8Rerank
 	}
-	n, dim := flat.Len(), flat.dim
+	n, dim := flat.rows(), flat.dim
 	x := &IndexSQ8{
 		flat:   flat,
 		codes:  make([]int8, n*dim),
@@ -84,6 +84,59 @@ func quantizeRow(v []float32, out []int8) float32 {
 // Flat returns the exact index the quantized index was built over.
 func (x *IndexSQ8) Flat() *Index { return x.flat }
 
+// Append adds documents to the underlying flat index and
+// quantize-and-appends their int8 codes and scales, so the quantized
+// scan covers the new rows without re-quantizing the existing ones.
+func (x *IndexSQ8) Append(ids []string, arena []float32) error {
+	base := x.flat.rows()
+	if err := x.flat.Append(ids, arena); err != nil {
+		return err
+	}
+	dim := x.flat.dim
+	x.codes = append(x.codes, make([]int8, len(ids)*dim)...)
+	x.scales = append(x.scales, make([]float32, len(ids))...)
+	for i := range ids {
+		p := base + i
+		x.scales[p] = quantizeRow(x.flat.row(p), x.codes[p*dim:(p+1)*dim])
+	}
+	return nil
+}
+
+// Remove tombstones the documents in the underlying flat index and
+// zeroes their codes and scales, so the quantized scan scores them 0
+// and the selection kernels (which consult the flat tombstones) never
+// let them into the re-rank pool.
+func (x *IndexSQ8) Remove(ids []string) int {
+	var positions []int32
+	for _, id := range ids {
+		if p, ok := x.flat.lookup(id); ok {
+			positions = append(positions, p)
+		}
+	}
+	removed := x.flat.Remove(ids)
+	dim := x.flat.dim
+	for _, p := range positions {
+		row := x.codes[int(p)*dim : (int(p)+1)*dim]
+		for d := range row {
+			row[d] = 0
+		}
+		x.scales[p] = 0
+	}
+	return removed
+}
+
+// CloneWithFlat returns an SQ8 index over the given clone of the
+// underlying flat index, deep-copying the mutable code and scale
+// arenas — the ingest clone-mutate-swap path.
+func (x *IndexSQ8) CloneWithFlat(flat *Index) *IndexSQ8 {
+	return &IndexSQ8{
+		flat:   flat,
+		codes:  append([]int8(nil), x.codes...),
+		scales: append([]float32(nil), x.scales...),
+		rerank: x.rerank,
+	}
+}
+
 // Rerank returns the re-rank candidate multiplier: the quantized scan
 // selects Rerank()*k candidates for the exact float32 re-rank.
 func (x *IndexSQ8) Rerank() int { return x.rerank }
@@ -124,8 +177,8 @@ func (x *IndexSQ8) TopK(query []float32, k int) []Scored {
 // arena.
 func (x *IndexSQ8) TopKBatch(queries [][]float32, k int) [][]Scored {
 	out := make([][]Scored, len(queries))
-	n := x.flat.Len()
-	if k <= 0 || n == 0 || len(queries) == 0 {
+	n := x.flat.rows()
+	if k <= 0 || x.flat.Len() == 0 || len(queries) == 0 {
 		return out
 	}
 	dim := x.flat.dim
@@ -167,6 +220,9 @@ func (x *IndexSQ8) TopKBatch(queries [][]float32, k int) [][]Scored {
 			for j := 0; j < m; j++ {
 				scores[j] = float32(iscores[j]) * (qs * x.scales[r0+j])
 			}
+			// Tombstoned rows must not steal re-rank slots: zap them to
+			// -Inf so the candidate pool holds live rows only.
+			x.flat.zapDead(scores[:m], r0)
 			heaps[i].merge(scores[:m], int32(r0))
 		}
 	}

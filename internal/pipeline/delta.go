@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"time"
+
+	"github.com/tdmatch/tdmatch/internal/embed"
+	"github.com/tdmatch/tdmatch/internal/graph"
+	"github.com/tdmatch/tdmatch/internal/walk"
+)
+
+// runGraphDelta patches the built graph with the pending Delta:
+// removals first (frozen-CSR compaction, term nodes kept), then
+// insertions, which reuse the build's tokenization, canonicalizer (new
+// terms are learned through the retained merger chain) and filtering
+// policy (only the vocabulary-defining side creates data nodes under
+// intersect filtering). Two known approximations, both repaired by a
+// Compact rebuild: expansion relations are not fetched for delta
+// documents, and the per-document TF-IDF token filter (FilterTFIDF) is
+// not applied to them — its document-frequency statistics belong to
+// the batch build — so delta documents connect to all their terms.
+func runGraphDelta(s *State) error {
+	d := s.Delta
+	s.Build.RemoveDocs(d.Remove)
+
+	intersect := s.Cfg.Graph.Filter == graph.FilterIntersect
+	if len(d.AddFirst) > 0 {
+		createTerms := s.Build.PrimaryFirst || !intersect
+		gd, err := s.Build.InsertDocs(s.First, d.AddFirst, graph.First, createTerms)
+		if err != nil {
+			return err
+		}
+		d.NewNodes = append(d.NewNodes, gd.NewNodes...)
+		d.Affected = append(d.Affected, gd.Affected...)
+		s.Stats.FilteredTerms += gd.FilteredTerms
+	}
+	if len(d.AddSecond) > 0 {
+		createTerms := !s.Build.PrimaryFirst || !intersect
+		gd, err := s.Build.InsertDocs(s.Second, d.AddSecond, graph.Second, createTerms)
+		if err != nil {
+			return err
+		}
+		d.NewNodes = append(d.NewNodes, gd.NewNodes...)
+		d.Affected = append(d.Affected, gd.Affected...)
+		s.Stats.FilteredTerms += gd.FilteredTerms
+	}
+	// A term touched by documents of both sides appears in both insert
+	// results; dedup so the walk stage seeds each node once.
+	if len(d.AddFirst) > 0 && len(d.AddSecond) > 0 {
+		seen := make(map[graph.NodeID]struct{}, len(d.Affected))
+		uniq := d.Affected[:0]
+		for _, id := range d.Affected {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				uniq = append(uniq, id)
+			}
+		}
+		d.Affected = uniq
+	}
+	s.Stats.MergedTerms = s.Build.Canon.Mappings()
+	return nil
+}
+
+// runWalksDelta generates the fine-tuning walk corpus: walks seeded
+// only from the delta's affected set (new nodes plus their existing
+// neighbors). Pure removals leave no seeds and produce no corpus.
+// Second-order (node2vec) configurations fine-tune with first-order
+// walks — the delta corpus is a local perturbation, not a full
+// retraining.
+func runWalksDelta(s *State) error {
+	d := s.Delta
+	if len(d.Affected) == 0 {
+		s.Seqs = embed.Sequences{Offsets: []int32{0}}
+		return nil
+	}
+	start := time.Now()
+	s.Seqs = walk.GeneratePackedFrom(s.Build.Graph, d.Affected, s.Cfg.Walk)
+	s.Stats.Walks += s.Seqs.Len()
+	s.Stats.TrainTime += time.Since(start)
+	return nil
+}
+
+// runTrainDelta warm-starts training from the existing arenas: rows of
+// pre-existing nodes are preserved (and only nudged where the delta
+// walks visit them), appended vocabulary rows are initialized fresh and
+// fine-tuned into the existing space. Pure removals skip training — the
+// embedding space is untouched.
+func runTrainDelta(s *State) error {
+	d := s.Delta
+	if len(d.Affected) == 0 && len(d.NewNodes) == 0 {
+		return nil
+	}
+	start := time.Now()
+	cfg := s.Cfg.Embed
+	cfg.Initial = s.Embed
+	em, err := embed.TrainPacked(s.Seqs, s.Build.Graph.Cap(), cfg)
+	if err != nil {
+		return err
+	}
+	s.Embed = em
+	s.Stats.TrainTime += time.Since(start)
+	return nil
+}

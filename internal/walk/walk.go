@@ -61,9 +61,21 @@ func (c Config) withDefaults() Config {
 // must receive an embedding). Freeze the graph first so neighbor lists
 // are read from sequential CSR memory.
 func GeneratePacked(g *graph.Graph, cfg Config) embed.Sequences {
-	cfg = cfg.withDefaults()
 	var starts []graph.NodeID
 	g.Nodes(func(id graph.NodeID) { starts = append(starts, id) })
+	return GeneratePackedFrom(g, starts, cfg)
+}
+
+// GeneratePackedFrom is GeneratePacked restricted to an explicit start
+// set: NumWalks walks are seeded from each given node only. This is the
+// delta-training entry point — after an incremental ingest, walks are
+// seeded from the new and affected nodes alone, so warm-start
+// fine-tuning reads a corpus proportional to the delta's neighborhood
+// instead of the whole graph. Each (node, walk) pair keeps its own RNG
+// stream, so a restricted run generates exactly the walks a full run
+// would for those nodes.
+func GeneratePackedFrom(g *graph.Graph, starts []graph.NodeID, cfg Config) embed.Sequences {
+	cfg = cfg.withDefaults()
 	total := len(starts) * cfg.NumWalks
 	if total == 0 {
 		return embed.Sequences{Offsets: []int32{0}}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"github.com/tdmatch/tdmatch/internal/textproc"
 )
 
 // savedModel is the gob-encoded form of a trained model: the learned
@@ -13,11 +15,17 @@ import (
 // the configured serving indexes. The graph itself is not persisted — it
 // is only needed for training.
 //
-// Version 3 adds the SQ8Rerank serving parameter (gob leaves it zero —
-// meaning the default — when decoding older payloads). Version 2 stores
-// the vectors as one contiguous arena (VectorIDs + Arena) matching the
-// in-memory index layout; version 1 payloads with the per-document
-// Vectors map are still readable.
+// Version 4 adds the incremental-ingest payload: the delta chain
+// (base + deltas — documents ingested into or removed from the model
+// since the base corpora were written, re-applied at Bind so a
+// snapshot stays loadable against the pre-ingest corpus files), the
+// trained term vectors (TermIDs + TermArena) that make a restored
+// model fold-in ingestable, the tokenizer's MaxNGram and the staleness
+// counter. Version 3 added the SQ8Rerank serving parameter (gob leaves
+// it zero — meaning the default — when decoding older payloads).
+// Version 2 stores the vectors as one contiguous arena (VectorIDs +
+// Arena) matching the in-memory index layout; version 1 payloads with
+// the per-document Vectors map are still readable.
 type savedModel struct {
 	Version    int
 	Dim        int
@@ -28,7 +36,8 @@ type savedModel struct {
 	Vectors map[string][]float32
 
 	// VectorIDs and Arena are the version-2 encoding: document i's vector
-	// is Arena[i*Dim : (i+1)*Dim], IDs sorted for determinism.
+	// is Arena[i*Dim : (i+1)*Dim], IDs sorted for determinism. The arena
+	// covers every current document, ingested ones included.
 	VectorIDs []string
 	Arena     []float32
 
@@ -41,9 +50,40 @@ type savedModel struct {
 	ExactRecall bool
 	SQ8Rerank   int
 	Seed        int64
+
+	// Deltas is the version-4 delta chain, oldest first.
+	Deltas []savedDelta
+	// TermIDs and TermArena are the version-4 trained term vectors
+	// (term i's vector is TermArena[i*Dim : (i+1)*Dim]), enabling
+	// fold-in ingest on a restored model.
+	TermIDs   []string
+	TermArena []float32
+	// MaxNGram is the tokenizer's term length bound, needed to tokenize
+	// fold-in ingested documents exactly like the build did.
+	MaxNGram int
+	// Staleness is the delta-document count not yet folded into a full
+	// retrain at save time.
+	Staleness int
 }
 
-const savedModelVersion = 3
+// savedDelta is one Ingest or Remove call in the persistence delta
+// chain: ingested documents travel with their content (the corpus
+// files on disk predate them), removals by ID.
+type savedDelta struct {
+	Added   []savedDoc
+	Removed []string
+}
+
+// savedDoc is one ingested document's persisted content.
+type savedDoc struct {
+	Side    uint8
+	ID      string
+	Parent  string
+	Columns []string
+	Texts   []string
+}
+
+const savedModelVersion = 4
 
 // Save writes the trained document embeddings (as one contiguous arena)
 // and the serving-index configuration to w. The graph is not saved; a
@@ -61,6 +101,7 @@ func (m *Model) Save(w io.Writer) error {
 	for i, id := range ids {
 		copy(arena[i*m.dim:(i+1)*m.dim], m.vectors[id])
 	}
+	termIDs, termArena := m.termVectors()
 	enc := gob.NewEncoder(w)
 	return enc.Encode(savedModel{
 		Version:     savedModelVersion,
@@ -75,7 +116,45 @@ func (m *Model) Save(w io.Writer) error {
 		ExactRecall: m.cfg.ExactRecall,
 		SQ8Rerank:   m.cfg.SQ8Rerank,
 		Seed:        m.cfg.Seed,
+		Deltas:      m.deltas,
+		TermIDs:     termIDs,
+		TermArena:   termArena,
+		MaxNGram:    m.cfg.MaxNGram,
+		Staleness:   m.staleness,
 	})
+}
+
+// termVectors gathers the trained term (data and external node) vectors
+// for the snapshot: from the live trainer arena on a trained model,
+// from the restored fold state otherwise. Sorted by term for
+// determinism; nil when the model carries neither.
+func (m *Model) termVectors() ([]string, []float32) {
+	var terms map[string][]float32
+	switch {
+	case m.ps != nil:
+		g := m.ps.Build.Graph
+		nodes := g.DataNodes()
+		terms = make(map[string][]float32, len(nodes))
+		for _, node := range nodes {
+			if v := m.ps.Embed.Vector(int32(node)); v != nil {
+				terms[g.Label(node)] = v
+			}
+		}
+	case m.fold != nil:
+		terms = m.fold.terms
+	default:
+		return nil, nil
+	}
+	ids := make([]string, 0, len(terms))
+	for term := range terms {
+		ids = append(ids, term)
+	}
+	sort.Strings(ids)
+	arena := make([]float32, len(ids)*m.dim)
+	for i, term := range ids {
+		copy(arena[i*m.dim:(i+1)*m.dim], terms[term])
+	}
+	return ids, arena
 }
 
 // SaveFile writes the model to a file.
@@ -133,6 +212,10 @@ func (s *Snapshot) Info() ModelInfo {
 	if s.sm.Version < 2 {
 		docs = len(s.sm.Vectors)
 	}
+	deltaDocs := 0
+	for _, d := range s.sm.Deltas {
+		deltaDocs += len(d.Added) + len(d.Removed)
+	}
 	return ModelInfo{
 		Version:     s.sm.Version,
 		Dim:         s.sm.Dim,
@@ -144,12 +227,20 @@ func (s *Snapshot) Info() ModelInfo {
 		IVFNProbe:   s.sm.IVFNProbe,
 		ExactRecall: s.sm.ExactRecall,
 		SQ8Rerank:   s.sm.SQ8Rerank,
+		DeltaDocs:   deltaDocs,
+		Staleness:   s.sm.Staleness,
 	}
 }
 
 // Bind reconstructs the matcher over its corpora, rebuilding the serving
 // indexes the model was saved with (the LoadModel back half). The corpora
-// must carry the names the model was trained under.
+// must carry the names the model was trained under. A version-4
+// snapshot's delta chain is re-applied to the given corpora in order —
+// ingested documents are appended (skipped when already present, for
+// callers whose corpus files were refreshed), removed ones deleted — so
+// a snapshot saved after live ingests binds correctly against the
+// pre-ingest corpus files. When the snapshot stores term vectors the
+// restored model supports fold-in Ingest.
 func (s *Snapshot) Bind(first, second *Corpus) (*Model, error) {
 	if first == nil || second == nil {
 		return nil, fmt.Errorf("tdmatch: Bind requires two corpora")
@@ -158,6 +249,24 @@ func (s *Snapshot) Bind(first, second *Corpus) (*Model, error) {
 	if sm.FirstName != first.Name() || sm.SecondName != second.Name() {
 		return nil, fmt.Errorf("tdmatch: model was trained on corpora %q/%q, got %q/%q",
 			sm.FirstName, sm.SecondName, first.Name(), second.Name())
+	}
+	for _, delta := range sm.Deltas {
+		for _, sd := range delta.Added {
+			c := first.c
+			if sd.Side == 2 {
+				c = second.c
+			}
+			if _, present := c.Doc(sd.ID); present {
+				continue
+			}
+			if err := c.Append(documentOfSaved(sd)); err != nil {
+				return nil, fmt.Errorf("tdmatch: applying snapshot delta: %w", err)
+			}
+		}
+		// One compaction pass per side and record; unknown IDs (the other
+		// side's) are ignored by RemoveBatch.
+		first.c.RemoveBatch(delta.Removed)
+		second.c.RemoveBatch(delta.Removed)
 	}
 	vectors := sm.Vectors
 	if sm.Version >= 2 {
@@ -177,12 +286,35 @@ func (s *Snapshot) Bind(first, second *Corpus) (*Model, error) {
 	cfg.ExactRecall = sm.ExactRecall
 	cfg.SQ8Rerank = sm.SQ8Rerank
 	cfg.Seed = sm.Seed
+	if sm.MaxNGram > 0 {
+		cfg.MaxNGram = sm.MaxNGram
+	}
 	m := &Model{
-		cfg:     cfg,
-		first:   first,
-		second:  second,
-		dim:     sm.Dim,
-		vectors: vectors,
+		cfg:       cfg,
+		first:     first,
+		second:    second,
+		dim:       sm.Dim,
+		vectors:   vectors,
+		deltas:    sm.Deltas,
+		staleness: sm.Staleness,
+	}
+	if len(sm.TermIDs) > 0 {
+		if len(sm.TermArena) != len(sm.TermIDs)*sm.Dim {
+			return nil, fmt.Errorf("tdmatch: term arena holds %d floats for %d terms of dim %d",
+				len(sm.TermArena), len(sm.TermIDs), sm.Dim)
+		}
+		terms := make(map[string][]float32, len(sm.TermIDs))
+		for i, term := range sm.TermIDs {
+			terms[term] = sm.TermArena[i*sm.Dim : (i+1)*sm.Dim : (i+1)*sm.Dim]
+		}
+		m.fold = &foldState{
+			pre: textproc.Preprocessor{
+				RemoveStopwords: true,
+				Stem:            true,
+				MaxNGram:        cfg.MaxNGram,
+			},
+			terms: terms,
+		}
 	}
 	if err := m.buildIndexes(); err != nil {
 		return nil, err
@@ -204,7 +336,7 @@ func LoadModelFile(path string, first, second *Corpus) (*Model, error) {
 // serving indexes — the metadata a serving daemon needs to validate a
 // snapshot against its corpora and report what it is serving.
 type ModelInfo struct {
-	// Version is the snapshot format version (1 through 3).
+	// Version is the snapshot format version (1 through 4).
 	Version int
 	// Dim is the embedding dimensionality.
 	Dim int
@@ -222,6 +354,11 @@ type ModelInfo struct {
 	IVFNProbe   int
 	ExactRecall bool
 	SQ8Rerank   int
+	// DeltaDocs counts the documents in the snapshot's delta chain
+	// (ingested plus removed since the base corpora); Staleness is the
+	// saved model's un-compacted delta count.
+	DeltaDocs int
+	Staleness int
 }
 
 // ReadModelInfo decodes only the snapshot metadata from a stream written

@@ -1,0 +1,222 @@
+package tdmatch
+
+import (
+	"encoding/gob"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// writePersistFixtures regenerates the committed snapshot fixtures:
+//
+//	go test -run TestWritePersistFixtures -write-persist-fixtures
+//
+// Only needed when the fixture model or a snapshot version changes.
+var writePersistFixtures = flag.Bool("write-persist-fixtures", false,
+	"regenerate testdata/persist/*.gob")
+
+// persistFixtureDir holds one committed snapshot per format version,
+// all encoding the same trained model, plus a v4 snapshot with a live
+// delta chain.
+const persistFixtureDir = "testdata/persist"
+
+// persistFixtureModel trains the deterministic model the fixtures
+// encode (Workers 1: the committed vectors must be reproducible).
+func persistFixtureModel(t *testing.T) *Model {
+	t.Helper()
+	movies, reviews := fixtureCorpora(t)
+	cfg := smallConfig()
+	cfg.Workers = 1
+	model, err := Build(movies, reviews, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// encodeFixture writes one savedModel as a gob file.
+func encodeFixture(t *testing.T, path string, sm savedModel) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(sm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWritePersistFixtures regenerates the committed fixtures; a no-op
+// (skipped) without the -write-persist-fixtures flag.
+func TestWritePersistFixtures(t *testing.T) {
+	if !*writePersistFixtures {
+		t.Skip("pass -write-persist-fixtures to regenerate")
+	}
+	if err := os.MkdirAll(persistFixtureDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	model := persistFixtureModel(t)
+
+	ids := make([]string, 0, len(model.vectors))
+	for id := range model.vectors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	arena := make([]float32, len(ids)*model.dim)
+	vectors := make(map[string][]float32, len(ids))
+	for i, id := range ids {
+		copy(arena[i*model.dim:(i+1)*model.dim], model.vectors[id])
+		vectors[id] = model.vectors[id]
+	}
+	base := savedModel{
+		Dim:        model.dim,
+		FirstName:  model.first.Name(),
+		SecondName: model.second.Name(),
+	}
+
+	v1 := base
+	v1.Version = 1
+	v1.Vectors = vectors
+	encodeFixture(t, filepath.Join(persistFixtureDir, "v1.gob"), v1)
+
+	v2 := base
+	v2.Version = 2
+	v2.VectorIDs, v2.Arena = ids, arena
+	encodeFixture(t, filepath.Join(persistFixtureDir, "v2.gob"), v2)
+
+	v3 := v2
+	v3.Version = 3
+	encodeFixture(t, filepath.Join(persistFixtureDir, "v3.gob"), v3)
+
+	// v4: the current Save output (term vectors, MaxNGram, no deltas).
+	if err := model.SaveFile(filepath.Join(persistFixtureDir, "v4.gob")); err != nil {
+		t.Fatal(err)
+	}
+
+	// v4delta: the same model after one ingest and one removal, saved
+	// with its delta chain.
+	mutated := model.clone()
+	if err := mutated.Ingest([]IngestDoc{
+		{Side: 2, ID: "reviews:delta", Values: []string{"Willis returns in a Tarantino crime sequel"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mutated.Remove([]string{"reviews:p3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mutated.SaveFile(filepath.Join(persistFixtureDir, "v4delta.gob")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotBackCompat is the consolidated persistence back-compat
+// coverage: every committed snapshot version (v1 per-document map, v2
+// arena, v3 arena+SQ8 field, v4 ingest payload) must load against the
+// fixture corpora and serve identical TopK rankings — same documents,
+// same order — since all four encode the same trained vectors.
+func TestSnapshotBackCompat(t *testing.T) {
+	type ranked map[string][]string
+	rankAll := func(t *testing.T, m *Model) ranked {
+		t.Helper()
+		out := ranked{}
+		for _, q := range append(m.first.IDs(), m.second.IDs()...) {
+			if m.Vector(q) == nil {
+				continue
+			}
+			matches, err := m.TopK(q, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids := make([]string, len(matches))
+			for i, mt := range matches {
+				ids[i] = mt.ID
+			}
+			out[q] = ids
+		}
+		return out
+	}
+
+	var baseline ranked
+	var baselineFrom string
+	for _, tc := range []struct {
+		file    string
+		version int
+		ingest  bool // fold-in ingest must be available
+	}{
+		{"v1.gob", 1, false},
+		{"v2.gob", 2, false},
+		{"v3.gob", 3, false},
+		{"v4.gob", 4, true},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			f, err := os.Open(filepath.Join(persistFixtureDir, tc.file))
+			if err != nil {
+				t.Fatalf("committed fixture missing (regenerate with -write-persist-fixtures): %v", err)
+			}
+			defer f.Close()
+			snap, err := ReadSnapshot(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := snap.Info().Version; got != tc.version {
+				t.Fatalf("fixture version = %d, want %d", got, tc.version)
+			}
+			movies, reviews := fixtureCorpora(t)
+			model, err := snap.Bind(movies, reviews)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rankAll(t, model)
+			if len(got) == 0 {
+				t.Fatal("no servable queries")
+			}
+			if baseline == nil {
+				baseline, baselineFrom = got, tc.file
+			} else if !reflect.DeepEqual(got, baseline) {
+				t.Errorf("%s rankings diverge from %s", tc.file, baselineFrom)
+			}
+			if gotIngest := model.fold != nil || model.ps != nil; gotIngest != tc.ingest {
+				t.Errorf("ingest support = %v, want %v", gotIngest, tc.ingest)
+			}
+		})
+	}
+
+	// The delta-chain fixture additionally mutates the corpora at Bind
+	// and serves the ingested document.
+	t.Run("v4delta.gob", func(t *testing.T) {
+		f, err := os.Open(filepath.Join(persistFixtureDir, "v4delta.gob"))
+		if err != nil {
+			t.Fatalf("committed fixture missing: %v", err)
+		}
+		defer f.Close()
+		snap, err := ReadSnapshot(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := snap.Info()
+		if info.DeltaDocs != 2 || info.Staleness != 2 {
+			t.Errorf("delta fixture info = %+v, want 2 delta docs at staleness 2", info)
+		}
+		movies, reviews := fixtureCorpora(t)
+		model, err := snap.Bind(movies, reviews)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := reviews.c.Doc("reviews:delta"); !ok {
+			t.Error("delta-chain ingest not applied to the corpus")
+		}
+		if _, ok := reviews.c.Doc("reviews:p3"); ok {
+			t.Error("delta-chain removal not applied to the corpus")
+		}
+		if _, err := model.TopK("reviews:delta", 3); err != nil {
+			t.Errorf("ingested document not servable after load: %v", err)
+		}
+		if _, err := model.TopK("reviews:p3", 3); err == nil {
+			t.Error("removed document still servable after load")
+		}
+	})
+}

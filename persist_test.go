@@ -187,24 +187,9 @@ func TestLoadModelArenaValidation(t *testing.T) {
 	}
 }
 
-func TestLoadModelVersion1(t *testing.T) {
-	// A v1 payload (per-document Vectors map) must still load.
-	movies, reviews := fixtureCorpora(t)
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(savedModel{
-		Version: 1, Dim: 2, FirstName: "movies", SecondName: "reviews",
-		Vectors: map[string][]float32{"movies:t0": {1, 0}, "reviews:p0": {0, 1}},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	loaded, err := LoadModel(&buf, movies, reviews)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if v := loaded.Vector("movies:t0"); len(v) != 2 || v[0] != 1 {
-		t.Errorf("v1 vector = %v", v)
-	}
-}
+// Version-by-version load coverage lives in persist_compat_test.go
+// (TestSnapshotBackCompat), which loads the committed v1–v4 fixtures
+// and asserts identical rankings across formats.
 
 func TestReadModelInfo(t *testing.T) {
 	movies, reviews := fixtureCorpora(t)

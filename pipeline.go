@@ -7,12 +7,11 @@ import (
 	"sync"
 	"time"
 
-	"github.com/tdmatch/tdmatch/internal/compress"
 	"github.com/tdmatch/tdmatch/internal/corpus"
 	"github.com/tdmatch/tdmatch/internal/embed"
-	"github.com/tdmatch/tdmatch/internal/expand"
 	"github.com/tdmatch/tdmatch/internal/graph"
 	"github.com/tdmatch/tdmatch/internal/match"
+	"github.com/tdmatch/tdmatch/internal/pipeline"
 	"github.com/tdmatch/tdmatch/internal/textproc"
 	"github.com/tdmatch/tdmatch/internal/walk"
 )
@@ -58,8 +57,13 @@ type Model struct {
 	first  *Corpus
 	second *Corpus
 
-	g       *graph.Graph
-	docNode map[string]graph.NodeID
+	// ps is the retained pipeline state — the graph, node maps,
+	// canonicalizer and trainer arenas every incremental Ingest patches.
+	// Models restored from a snapshot carry no pipeline state (ps nil)
+	// and ingest via fold (when the snapshot stores term vectors).
+	ps   *pipeline.State
+	fold *foldState
+
 	vectors map[string][]float32
 	dim     int
 	// firstFlat/secondFlat are the exact arena-backed indexes; they always
@@ -70,45 +74,57 @@ type Model struct {
 	secondFlat *match.Index
 	firstIdx   match.VectorIndex
 	secondIdx  match.VectorIndex
-	blkMu      sync.Mutex
-	firstBlk   *match.Blocker
-	secondBlk  *match.Blocker
-	extMu      sync.Mutex
-	extCache   [2]extIndexCache
-	stats      Stats
+
+	// deltas is the persistence delta chain: one record per Ingest or
+	// Remove call since the model was built (or loaded), re-applied by
+	// Snapshot.Bind so snapshots stay loadable against the pre-ingest
+	// corpus files. staleness counts delta documents not yet folded into
+	// a full retrain (reset by Compact).
+	deltas    []savedDelta
+	staleness int
+
+	blkMu     sync.Mutex
+	firstBlk  *match.Blocker
+	secondBlk *match.Blocker
+	extMu     sync.Mutex
+	extCache  [2]extIndexCache
+	stats     Stats
 }
 
 // Build runs the full pipeline over two corpora and returns a ready model.
-// It is a fixed sequence of explicit stages — graph creation (§II),
-// expansion (§III-A), compression (§III-B), embedding training (§IV-A)
-// and index construction (§IV-B) — each of which fills its slice of Stats.
+// The pipeline is an explicit stage list (internal/pipeline) — graph
+// creation (§II), expansion (§III-A), compression (§III-B), walk
+// generation and embedding training (§IV-A) — followed by index
+// construction (§IV-B); each stage fills its slice of Stats. The stage
+// state is retained by the model, so Ingest and Remove can later run the
+// delta stages against it.
 func Build(first, second *Corpus, cfg Config) (*Model, error) {
 	if first == nil || second == nil {
 		return nil, fmt.Errorf("tdmatch: Build requires two corpora")
 	}
 	m := &Model{cfg: cfg.withDefaults(), first: first, second: second}
 	start := time.Now()
-	if err := m.buildGraph(); err != nil {
+	st := &pipeline.State{Cfg: m.pipelineConfig(), First: first.c, Second: second.c}
+	if err := pipeline.Run(st, pipeline.FullStages()); err != nil {
 		return nil, err
 	}
-	m.expandGraph()
-	m.compressGraph()
-	// The graph is structurally final: compact it into the CSR layout so
-	// walk generation reads sequential memory (any later mutation thaws).
-	m.g.Freeze()
-	if err := m.trainEmbeddings(); err != nil {
-		return nil, err
-	}
+	m.ps = st
+	m.dim = m.cfg.Dim
+	m.copyStageStats()
+	m.gatherVectors(st.Build.DocNode)
 	if err := m.buildIndexes(); err != nil {
 		return nil, err
 	}
+	// The packed walk corpus is only needed between the walk and train
+	// stages; release it instead of pinning it in the retained state.
+	st.Seqs = embed.Sequences{}
 	m.stats.BuildTime = time.Since(start)
 	return m, nil
 }
 
-// buildGraph runs graph creation (§II): tokenize both corpora, filter and
-// merge data nodes, and connect them to their metadata nodes.
-func (m *Model) buildGraph() error {
+// pipelineConfig translates the public Config into the internal stage
+// parameters.
+func (m *Model) pipelineConfig() pipeline.Config {
 	cfg := m.cfg
 	bc := graph.BuildConfig{
 		Pre: textproc.Preprocessor{
@@ -133,62 +149,23 @@ func (m *Model) buildGraph() error {
 	if lex := buildLexicon(cfg.SynonymGroups); lex != nil {
 		bc.Mergers = append(bc.Mergers, lex)
 	}
-	res, err := graph.Build(m.first.c, m.second.c, bc)
-	if err != nil {
-		return err
+	pc := pipeline.Config{
+		Graph:               bc,
+		MaxRelationsPerNode: cfg.MaxRelationsPerNode,
+		Compress:            cfg.Compression == CompressMSP,
+		MSPRatio:            cfg.CompressionRatio,
+		Seed:                cfg.Seed,
+		Walk: walk.Config{
+			NumWalks:    cfg.NumWalks,
+			Length:      cfg.WalkLength,
+			Seed:        cfg.Seed,
+			Workers:     cfg.Workers,
+			KindWeights: kindWeights(cfg.WalkBias),
+		},
 	}
-	m.g = res.Graph
-	m.docNode = res.DocNode
-	m.stats.GraphNodes = m.g.NumNodes()
-	m.stats.GraphEdges = m.g.NumEdges()
-	m.stats.FilteredTerms = res.FilteredTerms
-	m.stats.MergedTerms = res.Canon.Mappings()
-	return nil
-}
-
-// expandGraph adds external-resource relations to the graph (§III-A); a
-// no-op recording unchanged sizes when no resource is configured.
-func (m *Model) expandGraph() {
-	if m.cfg.Resource != nil {
-		expand.Expand(m.g, resourceAdapter{m.cfg.Resource}, expand.Options{
-			MaxRelationsPerNode: m.cfg.MaxRelationsPerNode,
-		})
+	if cfg.Resource != nil {
+		pc.Resource = resourceAdapter{cfg.Resource}
 	}
-	m.stats.ExpandedNodes = m.g.NumNodes()
-	m.stats.ExpandedEdges = m.g.NumEdges()
-}
-
-// compressGraph applies the §III-B MSP compression when configured and
-// rebuilds the doc-node map over the surviving metadata nodes.
-func (m *Model) compressGraph() {
-	if m.cfg.Compression == CompressMSP {
-		m.g = compress.MSP(m.g, compress.Options{Ratio: m.cfg.CompressionRatio, Seed: m.cfg.Seed})
-		// Metadata node IDs changed: rebuild the doc-node map by label.
-		rebuilt := make(map[string]graph.NodeID, len(m.docNode))
-		for docID := range m.docNode {
-			if id, ok := m.g.MetaNode(docID); ok {
-				rebuilt[docID] = id
-			}
-		}
-		m.docNode = rebuilt
-	}
-	m.stats.CompressedNodes = m.g.NumNodes()
-	m.stats.CompressedEdges = m.g.NumEdges()
-}
-
-// trainEmbeddings generates random walks, trains Word2Vec over them
-// (§IV-A) and extracts the metadata-node vectors the indexes serve.
-func (m *Model) trainEmbeddings() error {
-	cfg := m.cfg
-	trainStart := time.Now()
-	wcfg := walk.Config{
-		NumWalks:    cfg.NumWalks,
-		Length:      cfg.WalkLength,
-		Seed:        cfg.Seed,
-		Workers:     cfg.Workers,
-		KindWeights: kindWeights(cfg.WalkBias),
-	}
-	var seqs embed.Sequences
 	if cfg.ReturnParam > 0 || cfg.InOutParam > 0 {
 		p, q := cfg.ReturnParam, cfg.InOutParam
 		if p <= 0 {
@@ -197,15 +174,10 @@ func (m *Model) trainEmbeddings() error {
 		if q <= 0 {
 			q = 1
 		}
-		walks := walk.GenerateSecondOrder(m.g, wcfg, walk.SecondOrder{P: p, Q: q})
-		seqs = walk.PackWalks(walks)
-	} else {
-		seqs = walk.GeneratePacked(m.g, wcfg)
+		pc.SecondOrder = &walk.SecondOrder{P: p, Q: q}
 	}
-	m.stats.Walks = seqs.Len()
-
 	mode, window := m.objective()
-	em, err := embed.TrainPacked(seqs, m.g.Cap(), embed.Config{
+	pc.Embed = embed.Config{
 		Dim:       cfg.Dim,
 		Window:    window,
 		Negative:  cfg.Negative,
@@ -214,20 +186,38 @@ func (m *Model) trainEmbeddings() error {
 		Seed:      cfg.Seed,
 		Workers:   cfg.Workers,
 		Subsample: cfg.Subsample,
-	})
-	if err != nil {
-		return err
 	}
-	m.dim = cfg.Dim
-	// Gather the document rows out of the embedder's full training arena
-	// (every graph node has a row there) into one doc-sized arena, so the
-	// vocabulary-sized syn0 block becomes collectable; the map values are
-	// views into the compact arena, which buildFlat and Save copy from.
-	m.vectors = make(map[string][]float32, len(m.docNode))
-	docArena := make([]float32, len(m.docNode)*m.dim)
+	return pc
+}
+
+// copyStageStats mirrors the stage-layer statistics into the public
+// Stats struct.
+func (m *Model) copyStageStats() {
+	ss := m.ps.Stats
+	m.stats.GraphNodes = ss.GraphNodes
+	m.stats.GraphEdges = ss.GraphEdges
+	m.stats.ExpandedNodes = ss.ExpandedNodes
+	m.stats.ExpandedEdges = ss.ExpandedEdges
+	m.stats.CompressedNodes = ss.CompressedNodes
+	m.stats.CompressedEdges = ss.CompressedEdges
+	m.stats.FilteredTerms = ss.FilteredTerms
+	m.stats.MergedTerms = ss.MergedTerms
+	m.stats.Walks = ss.Walks
+	m.stats.TrainTime = ss.TrainTime
+}
+
+// gatherVectors extracts the rows of the given documents out of the
+// trainer's vocabulary-sized arena into one compact per-document arena;
+// the vector map values are views into it. Used after a full build (all
+// documents) and after a delta run (the new documents only).
+func (m *Model) gatherVectors(docNode map[string]graph.NodeID) {
+	if m.vectors == nil {
+		m.vectors = make(map[string][]float32, len(docNode))
+	}
+	docArena := make([]float32, len(docNode)*m.dim)
 	used := 0
-	for docID, node := range m.docNode {
-		v := em.Vector(int32(node))
+	for docID, node := range docNode {
+		v := m.ps.Embed.Vector(int32(node))
 		if v == nil {
 			continue
 		}
@@ -236,8 +226,6 @@ func (m *Model) trainEmbeddings() error {
 		m.vectors[docID] = row
 		used++
 	}
-	m.stats.TrainTime = time.Since(trainStart)
-	return nil
 }
 
 // buildIndexes constructs the per-side serving indexes (§IV-B): always
@@ -366,12 +354,14 @@ func (m *Model) TopK(docID string, k int) ([]Match, error) {
 	return toMatches(idx.TopK(q, k)), nil
 }
 
-// extIndex returns the cached external-scorer index over the given target
-// side, rebuilding it only when the caller passes a different vector map
-// (identity, not content: mutating a cached map between calls is not
-// supported) or dimension. side is 1 for the first corpus, 2 for the
-// second.
-func (m *Model) extIndex(side int, c *corpus.Corpus, extVectors map[string][]float32, extDim int) (*match.Index, error) {
+// extIndex returns the cached external-scorer index over the given
+// target side, rebuilding it only when the caller passes a different
+// vector map (identity, not content: mutating a cached map between
+// calls is not supported) or dimension. side is 1 for the first corpus,
+// 2 for the second; the index is built position-aligned with that
+// side's flat index (including tombstoned rows, which never surface),
+// so TopKCombined stays correct after ingests and removals.
+func (m *Model) extIndex(side int, flat *match.Index, extVectors map[string][]float32, extDim int) (*match.Index, error) {
 	m.extMu.Lock()
 	defer m.extMu.Unlock()
 	cached := &m.extCache[side-1]
@@ -379,7 +369,7 @@ func (m *Model) extIndex(side int, c *corpus.Corpus, extVectors map[string][]flo
 		reflect.ValueOf(cached.src).Pointer() == reflect.ValueOf(extVectors).Pointer() {
 		return cached.idx, nil
 	}
-	ids := c.IDs()
+	ids := flat.IDs()
 	extVecs := make([][]float32, len(ids))
 	for i, id := range ids {
 		extVecs[i] = extVectors[id]
@@ -399,14 +389,13 @@ func (m *Model) extIndex(side int, c *corpus.Corpus, extVectors map[string][]flo
 // plain average). The external index is cached per side on the identity of
 // extVectors, so repeated calls with the same map pay the build once.
 func (m *Model) TopKCombined(docID string, k int, extVectors map[string][]float32, extDim int, weight float64) ([]Match, error) {
-	var side *corpus.Corpus
 	var sideNo int
 	var idx *match.Index
 	switch m.sideOf(docID) {
 	case 1:
-		side, sideNo, idx = m.second.c, 2, m.secondFlat
+		sideNo, idx = 2, m.secondFlat
 	case 2:
-		side, sideNo, idx = m.first.c, 1, m.firstFlat
+		sideNo, idx = 1, m.firstFlat
 	default:
 		return nil, fmt.Errorf("tdmatch: unknown document %q", docID)
 	}
@@ -418,7 +407,7 @@ func (m *Model) TopKCombined(docID string, k int, extVectors map[string][]float3
 	if extQ == nil {
 		return toMatches(idx.TopK(q, k)), nil
 	}
-	extIdx, err := m.extIndex(sideNo, side, extVectors, extDim)
+	extIdx, err := m.extIndex(sideNo, idx, extVectors, extDim)
 	if err != nil {
 		return nil, err
 	}
@@ -607,23 +596,34 @@ func runPool(n, workers int, run func(i int)) {
 	wg.Wait()
 }
 
+// graph returns the trained graph, nil for models restored with
+// LoadModel (which do not retain it).
+func (m *Model) graph() *graph.Graph {
+	if m.ps == nil || m.ps.Build == nil {
+		return nil
+	}
+	return m.ps.Build.Graph
+}
+
 // GraphSize returns the live node and edge counts of the trained graph.
 // Models restored with LoadModel carry no graph and report zeros.
 func (m *Model) GraphSize() (nodes, edges int) {
-	if m.g == nil {
+	g := m.graph()
+	if g == nil {
 		return 0, 0
 	}
-	return m.g.NumNodes(), m.g.NumEdges()
+	return g.NumNodes(), g.NumEdges()
 }
 
 // WriteGraphDOT renders the trained graph in Graphviz DOT format for
 // inspection. It fails for models restored with LoadModel, which do not
 // retain the graph.
 func (m *Model) WriteGraphDOT(w io.Writer, name string) error {
-	if m.g == nil {
+	g := m.graph()
+	if g == nil {
 		return fmt.Errorf("tdmatch: model has no graph (restored from a save?)")
 	}
-	return m.g.WriteDOT(w, name)
+	return g.WriteDOT(w, name)
 }
 
 func toMatches(scored []match.Scored) []Match {
@@ -677,10 +677,16 @@ func (m *Model) TopKBlocked(docID string, k int) ([]Match, error) {
 	}
 	m.blkMu.Lock()
 	if *blocker == nil {
-		texts := make([]string, targets.Len())
-		for i, id := range targets.IDs() {
-			d, _ := targets.Doc(id)
-			texts[i] = d.Text()
+		// Position-align the blocker with the flat index (not the corpus):
+		// after removals the index keeps tombstoned rows, whose documents
+		// are gone from the corpus — they get no postings and are skipped
+		// by the scoring kernel anyway.
+		indexIDs := idx.IDs()
+		texts := make([]string, len(indexIDs))
+		for i, id := range indexIDs {
+			if d, ok := targets.Doc(id); ok {
+				texts[i] = d.Text()
+			}
 		}
 		*blocker = match.NewBlocker(texts)
 	}

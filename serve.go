@@ -50,6 +50,17 @@ type ServeStats struct {
 	BatchedQueries uint64 `json:"batched_queries"`
 	// Reloads counts successful model swaps (initial load excluded).
 	Reloads uint64 `json:"reloads"`
+	// Ingests / IngestedDocs count successful Ingest calls and the
+	// documents they added; Removes / RemovedDocs count Remove calls and
+	// the documents they deleted. Each call swaps the model generation,
+	// so cached rankings from before the mutation can never resurface.
+	Ingests      uint64 `json:"ingests"`
+	IngestedDocs uint64 `json:"ingested_docs"`
+	Removes      uint64 `json:"removes"`
+	RemovedDocs  uint64 `json:"removed_docs"`
+	// Staleness is the served model's delta-document count since its
+	// last full (re)build — the compaction signal.
+	Staleness int `json:"staleness"`
 	// Errors counts queries that failed (unknown document, no embedding).
 	Errors uint64 `json:"errors"`
 }
@@ -94,10 +105,19 @@ type Server struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
+	// mutMu serializes model swaps (Reload, Ingest, Remove) so a clone
+	// being mutated can never race another swap and lose its update.
+	// Queries never take it.
+	mutMu sync.Mutex
+
 	queries        atomic.Uint64
 	batches        atomic.Uint64
 	batchedQueries atomic.Uint64
 	reloads        atomic.Uint64
+	ingests        atomic.Uint64
+	ingestedDocs   atomic.Uint64
+	removes        atomic.Uint64
+	removedDocs    atomic.Uint64
 	errors         atomic.Uint64
 }
 
@@ -153,9 +173,53 @@ func (s *Server) Reload(m *Model) error {
 	if m == nil {
 		return errors.New("tdmatch: Reload requires a model")
 	}
+	s.mutMu.Lock()
+	s.swap(m)
+	s.mutMu.Unlock()
+	s.reloads.Add(1)
+	return nil
+}
+
+// swap installs a model under a new generation and purges the cache;
+// callers hold mutMu (NewServer's initial store excepted — no queries
+// exist yet).
+func (s *Server) swap(m *Model) {
 	s.cur.Store(&served{model: m, gen: s.gen.Add(1), fp: m.indexFingerprint()})
 	s.cache.purge()
-	s.reloads.Add(1)
+}
+
+// Ingest adds documents to the served model without downtime: the
+// current model is cloned, the clone ingests (Model.Ingest — graph
+// patch, warm-start fine-tune or term fold-in, index append), and the
+// clone is swapped in through the same atomic generation bump a Reload
+// uses. In-flight queries finish against the old model; the generation
+// and the mutated index fingerprints both key the result cache, so no
+// pre-ingest ranking can be served afterwards.
+func (s *Server) Ingest(docs []IngestDoc) error {
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	next := s.cur.Load().model.clone()
+	if err := next.Ingest(docs); err != nil {
+		return err
+	}
+	s.swap(next)
+	s.ingests.Add(1)
+	s.ingestedDocs.Add(uint64(len(docs)))
+	return nil
+}
+
+// Remove deletes documents from the served model without downtime, the
+// removal counterpart of Ingest: clone, Model.Remove, atomic swap.
+func (s *Server) Remove(ids []string) error {
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	next := s.cur.Load().model.clone()
+	if err := next.Remove(ids); err != nil {
+		return err
+	}
+	s.swap(next)
+	s.removes.Add(1)
+	s.removedDocs.Add(uint64(len(ids)))
 	return nil
 }
 
@@ -228,6 +292,11 @@ func (s *Server) Stats() ServeStats {
 		Batches:        s.batches.Load(),
 		BatchedQueries: s.batchedQueries.Load(),
 		Reloads:        s.reloads.Load(),
+		Ingests:        s.ingests.Load(),
+		IngestedDocs:   s.ingestedDocs.Load(),
+		Removes:        s.removes.Load(),
+		RemovedDocs:    s.removedDocs.Load(),
+		Staleness:      s.cur.Load().model.Staleness(),
 		Errors:         s.errors.Load(),
 	}
 }

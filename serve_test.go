@@ -336,3 +336,141 @@ func TestServerDisabledCacheAndBatching(t *testing.T) {
 		t.Errorf("disabled cache/batching still counted: %+v", st)
 	}
 }
+
+// TestServerIngestServesImmediatelyAndInvalidatesCache is the live-
+// ingest contract: after Server.Ingest the very same (query, k) that
+// was cached pre-ingest must be answered against the new corpus — the
+// generation bump and mutated index fingerprints make stale entries
+// unreachable — while the original model object stays untouched.
+func TestServerIngestServesImmediatelyAndInvalidatesCache(t *testing.T) {
+	m := buildServeTestModel(t, 1)
+	s := NewServer(m, ServeConfig{})
+	defer s.Close()
+
+	query := m.first.IDs()[1] // Pulp Fiction
+	k := m.second.Len() + 1   // covers every review, current and future
+	before, err := s.TopK(query, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query again so the ranking is resident in the cache.
+	if _, err := s.TopK(query, k); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CacheHits == 0 {
+		t.Fatalf("pre-ingest ranking not cached: %+v", st)
+	}
+
+	if err := s.Ingest([]IngestDoc{
+		{Side: 2, ID: "reviews:live", Values: []string{"another Tarantino crime story with Willis"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.TopK(query, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, mt := range after {
+		if mt.ID == "reviews:live" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ingested doc absent from post-ingest ranking — stale cache?\nbefore: %v\nafter:  %v", before, after)
+	}
+	// The ingested doc answers queries itself.
+	if _, err := s.TopK("reviews:live", 3); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Ingests != 1 || st.IngestedDocs != 1 || st.Staleness != 1 {
+		t.Errorf("ingest counters = %+v", st)
+	}
+
+	// Remove swaps again and the doc disappears from rankings and
+	// queries.
+	if err := s.Remove([]string{"reviews:live"}); err != nil {
+		t.Fatal(err)
+	}
+	gone, err := s.TopK(query, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range gone {
+		if mt.ID == "reviews:live" {
+			t.Error("removed doc still ranked after the swap")
+		}
+	}
+	if _, err := s.TopK("reviews:live", 3); err == nil {
+		t.Error("removed doc still answers queries")
+	}
+	st = s.Stats()
+	if st.Removes != 1 || st.RemovedDocs != 1 || st.Staleness != 2 {
+		t.Errorf("remove counters = %+v", st)
+	}
+	// A failed mutation leaves the served model alone.
+	if err := s.Ingest([]IngestDoc{{Side: 9, ID: "bad"}}); err == nil {
+		t.Error("invalid ingest must fail")
+	}
+	if err := s.Remove([]string{"nosuch:doc"}); err == nil {
+		t.Error("removing an unknown doc must fail")
+	}
+	if st := s.Stats(); st.Ingests != 1 || st.Removes != 1 {
+		t.Errorf("failed mutations bumped counters: %+v", st)
+	}
+
+	// The original model object was never mutated (Server.Ingest clones).
+	if m.Staleness() != 0 {
+		t.Errorf("original model staleness = %d, want 0", m.Staleness())
+	}
+	if _, ok := m.second.c.Doc("reviews:live"); ok {
+		t.Error("original model's corpus gained the ingested doc")
+	}
+}
+
+// TestServerIngestUnderConcurrentQueries hammers TopK from several
+// goroutines while ingests and removals swap the model — every query
+// must succeed against whichever generation it lands on. Run with
+// -race in CI.
+func TestServerIngestUnderConcurrentQueries(t *testing.T) {
+	m := buildServeTestModel(t, 1)
+	s := NewServer(m, ServeConfig{Workers: 4})
+	defer s.Close()
+	ids := m.second.IDs()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.TopK(ids[(w+i)%len(ids)], 3); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("reviews:live%d", i)
+		if err := s.Ingest([]IngestDoc{{Side: 2, ID: id, Values: []string{"a Shyamalan thriller with Willis"}}}); err != nil {
+			t.Error(err)
+			break
+		}
+		if err := s.Remove([]string{id}); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if st := s.Stats(); st.Ingests != 5 || st.Removes != 5 || st.Staleness != 10 {
+		t.Errorf("mutation counters = %+v", st)
+	}
+}

@@ -34,11 +34,15 @@ import (
 )
 
 // defaultBench selects the benchmarks that define the build/serve perf
-// trajectory.
+// trajectory. BenchmarkIngestSingleDoc vs BenchmarkEndToEndPipeline is
+// the ingest-vs-full-rebuild ratio (same corpora and configuration);
+// BenchmarkIngestServerSingleDoc adds the serving layer's
+// clone-and-swap on top.
 const defaultBench = "BenchmarkWord2VecSkipGram$|BenchmarkWord2VecCBOW$|BenchmarkRandomWalks$|" +
 	"BenchmarkGraphBuild$|BenchmarkTopKMatch$|BenchmarkTopKBatch$|BenchmarkTopKIVF$|BenchmarkTopKSQ8$|" +
 	"BenchmarkMatchAllSerialFlat$|BenchmarkMatchAllParallelFlat$|BenchmarkMatchAllParallelIVF$|" +
-	"BenchmarkMatchAllParallelSQ8$|BenchmarkEndToEndPipeline$|BenchmarkServeTopKCached$"
+	"BenchmarkMatchAllParallelSQ8$|BenchmarkEndToEndPipeline$|BenchmarkServeTopKCached$|" +
+	"BenchmarkIngestSingleDoc$|BenchmarkIngestServerSingleDoc$"
 
 // Result is one benchmark measurement.
 type Result struct {
