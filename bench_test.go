@@ -397,6 +397,51 @@ func BenchmarkMatchAllParallelSQ8(b *testing.B) {
 	benchMatchAll(b, tdmatch.IndexSQ8, runtime.GOMAXPROCS(0))
 }
 
+// --- Sharded scatter-gather serving. ---
+
+// benchMatchAllSharded reshards the memoized model for the measured
+// region and restores the build default afterwards, so the other
+// MatchAll benchmarks keep their configuration.
+func benchMatchAllSharded(b *testing.B, kind tdmatch.IndexKind, shards, workers int) {
+	model := matchAllModel(b, kind)
+	model.Reshard(shards)
+	defer model.Reshard(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all := model.MatchAllWorkers(true, 10, workers)
+		if len(all) < matchAllDocs/2 {
+			b.Fatalf("MatchAll covered only %d queries", len(all))
+		}
+	}
+}
+
+// BenchmarkMatchAllShardedFlat runs the exact scan through the
+// scatter-gather wrapper — 4 explicit shards, GOMAXPROCS workers —
+// against BenchmarkMatchAllParallelFlat's chunk-only parallelism.
+func BenchmarkMatchAllShardedFlat(b *testing.B) {
+	benchMatchAllSharded(b, tdmatch.IndexFlat, 4, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkTopKBatchSharded measures the blocked multi-query kernel
+// through a 4-way Sharded wrapper over the same 10k targets as
+// BenchmarkTopKBatch — the scatter/merge overhead on top of the
+// per-shard tiled scans.
+func BenchmarkTopKBatchSharded(b *testing.B) {
+	idx, vecs := benchTopKIndex(b)
+	sh, err := match.NewSharded(idx, 4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := vecs[:32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := sh.TopKBatch(queries, 20); len(got) != 32 {
+			b.Fatal("short result")
+		}
+	}
+}
+
 // benchEndToEndInputs builds the corpora and configuration shared by
 // the full-Build and incremental-ingest benchmarks, so their ns/op
 // ratio is the ingest-vs-full-rebuild ratio on identical inputs.

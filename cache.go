@@ -167,10 +167,22 @@ func (c *resultCache) len() int {
 	return n
 }
 
-// counters returns the cumulative hit and miss counts.
+// counters returns the cumulative hit and miss counts as a consistent
+// pair: the hit counter is re-read after the miss counter and the pair
+// retried (bounded) until no hit slipped in between, so a stats snapshot
+// under load never reports a (hits, misses) combination that implies
+// more probes than happened.
 func (c *resultCache) counters() (hits, misses uint64) {
 	if c == nil {
 		return 0, 0
 	}
-	return c.hits.Load(), c.misses.Load()
+	hits = c.hits.Load()
+	for i := 0; ; i++ {
+		misses = c.misses.Load()
+		again := c.hits.Load()
+		if again == hits || i == 3 {
+			return hits, misses
+		}
+		hits = again
+	}
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms, sorted
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.50, 51 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(lats, c.p); got != c.want {
+			t.Errorf("percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	if got := percentile(one, 0.99); got != 7*time.Millisecond {
+		t.Errorf("percentile(single, .99) = %v", got)
+	}
+}
+
+func TestParseConcurrency(t *testing.T) {
+	got, err := parseConcurrency(" 1, 8 ,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 8 || got[2] != 2 {
+		t.Fatalf("parseConcurrency = %v", got)
+	}
+	for _, bad := range []string{"", "0", "-2", "a", "1,,x"} {
+		if _, err := parseConcurrency(bad); err == nil {
+			t.Errorf("parseConcurrency(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunLevelSmoke drives a real in-process server for a short window
+// at two concurrency levels and checks the report is sane: nonzero
+// query count and QPS, zero errors, ordered percentiles.
+func TestRunLevelSmoke(t *testing.T) {
+	model, ids, err := buildSynthModel(60, 16, "flat", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := newInproc(model, 2, 0, false, -1)
+	defer tg.Close()
+	if err := tg.topk(ids[0], 5); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	for _, dist := range []string{"zipf", "uniform"} {
+		for _, conc := range []int{1, 2} {
+			lv := runLevel(tg, ids, 5, conc, 150*time.Millisecond, 0, dist, 1)
+			if lv.Queries == 0 || lv.QPS <= 0 {
+				t.Fatalf("%s c=%d: no throughput: %+v", dist, conc, lv)
+			}
+			if lv.Errors != 0 {
+				t.Fatalf("%s c=%d: %d errors", dist, conc, lv.Errors)
+			}
+			if lv.P50Ns > lv.P95Ns || lv.P95Ns > lv.P99Ns {
+				t.Fatalf("%s c=%d: percentiles out of order: %+v", dist, conc, lv)
+			}
+		}
+	}
+}
+
+// TestRunLevelPacing checks -qps throttling: a 200ms window offered 50
+// QPS must complete far fewer queries than the closed loop would.
+func TestRunLevelPacing(t *testing.T) {
+	model, ids, err := buildSynthModel(60, 16, "flat", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := newInproc(model, 0, 0, false, -1)
+	defer tg.Close()
+	lv := runLevel(tg, ids, 5, 2, 200*time.Millisecond, 50, "uniform", 1)
+	// 50 QPS over 200ms is ~10 queries; allow generous slack for timer
+	// jitter but fail if the throttle clearly did not engage.
+	if lv.Queries == 0 || lv.Queries > 30 {
+		t.Fatalf("pacing off: %d queries in %.0fms at 50 QPS", lv.Queries, lv.DurationSec*1000)
+	}
+}

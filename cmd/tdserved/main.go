@@ -60,6 +60,7 @@ func main() {
 		cacheSize  = flag.Int("cache", 0, "result-cache entries (0 = model default 4096, negative disables)")
 		batchWin   = flag.Duration("batch-window", 0, "micro-batch coalescing window (0 = model default 200µs, negative disables)")
 		workers    = flag.Int("workers", 0, "serving worker-pool size (0 = model default, GOMAXPROCS)")
+		shards     = flag.Int("shards", 0, "scatter-gather shards per serving index (0 = model/auto, negative disables)")
 		defaultK   = flag.Int("k", 5, "matches returned when a request omits k")
 	)
 	flag.Parse()
@@ -73,7 +74,7 @@ func main() {
 		CacheSize:   *cacheSize,
 		BatchWindow: *batchWin,
 		Workers:     *workers,
-	}, *defaultK)
+	}, *defaultK, *shards)
 	if err != nil {
 		log.Fatalf("tdserved: %v", err)
 	}
@@ -104,20 +105,24 @@ func main() {
 type daemon struct {
 	firstPath, secondPath, modelPath string
 	defaultK                         int
-	server                           *tdmatch.Server
-	started                          time.Time
+	// shards is the -shards override applied to every loaded model
+	// (0 leaves the model's own Config.ServeShards resolution in place).
+	shards  int
+	server  *tdmatch.Server
+	started time.Time
 
 	reloadMu sync.Mutex
 	modelInf atomic.Pointer[tdmatch.ModelInfo]
 }
 
 // newDaemon loads the corpora and snapshot and wraps them in a Server.
-func newDaemon(firstPath, secondPath, modelPath string, sc tdmatch.ServeConfig, defaultK int) (*daemon, error) {
+func newDaemon(firstPath, secondPath, modelPath string, sc tdmatch.ServeConfig, defaultK, shards int) (*daemon, error) {
 	d := &daemon{
 		firstPath:  firstPath,
 		secondPath: secondPath,
 		modelPath:  modelPath,
 		defaultK:   defaultK,
+		shards:     shards,
 		started:    time.Now(),
 	}
 	model, info, err := d.load()
@@ -159,6 +164,11 @@ func (d *daemon) load() (*tdmatch.Model, tdmatch.ModelInfo, error) {
 	}
 	if err := validateCoverage(model, info, first, second); err != nil {
 		return nil, info, err
+	}
+	if d.shards != 0 {
+		// Applied on every load (startup and reload) before the model
+		// starts serving, so the -shards override survives hot reloads.
+		model.Reshard(d.shards)
 	}
 	return model, info, nil
 }
@@ -289,7 +299,11 @@ func (d *daemon) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New(`"id" is required`))
 		return
 	}
-	if req.K <= 0 {
+	if req.K < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`"k" must be positive, got %d`, req.K))
+		return
+	}
+	if req.K == 0 {
 		req.K = d.defaultK
 	}
 	matches, err := d.server.TopK(req.ID, req.K)
@@ -310,7 +324,17 @@ func (d *daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New(`"ids" is required`))
 		return
 	}
-	if req.K <= 0 {
+	for i, id := range req.IDs {
+		if id == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf(`"ids"[%d] is empty`, i))
+			return
+		}
+	}
+	if req.K < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`"k" must be positive, got %d`, req.K))
+		return
+	}
+	if req.K == 0 {
 		req.K = d.defaultK
 	}
 	results := d.server.TopKBatch(req.IDs, req.K)

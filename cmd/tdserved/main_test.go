@@ -85,7 +85,7 @@ func fixtureConfig(seed int64) tdmatch.Config {
 // startDaemon wires a daemon over the fixture files behind httptest.
 func startDaemon(t *testing.T, firstPath, secondPath, modelPath string) (*daemon, *httptest.Server) {
 	t.Helper()
-	d, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{Workers: 4}, 5)
+	d, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{Workers: 4}, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestWrongCorpusFilesRefusedAtStartup(t *testing.T) {
 
 	// Swapped format: a text file where the table was — document IDs get
 	// the p-prefix, matching none of the snapshot's t-prefixed vectors.
-	if _, err := newDaemon(secondPath, secondPath, modelPath, tdmatch.ServeConfig{}, 5); err == nil {
+	if _, err := newDaemon(secondPath, secondPath, modelPath, tdmatch.ServeConfig{}, 5, 0); err == nil {
 		t.Error("daemon started over a text file in place of the trained table")
 	}
 
@@ -251,12 +251,12 @@ func TestWrongCorpusFilesRefusedAtStartup(t *testing.T) {
 	if err := os.WriteFile(tinyTxt, []byte("one lonely review\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newDaemon(tiny, tinyTxt, modelPath, tdmatch.ServeConfig{}, 5); err == nil {
+	if _, err := newDaemon(tiny, tinyTxt, modelPath, tdmatch.ServeConfig{}, 5, 0); err == nil {
 		t.Error("daemon started with fewer documents than stored vectors")
 	}
 
 	// The matching files still work.
-	if _, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{}, 5); err != nil {
+	if _, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{}, 5, 0); err != nil {
 		t.Errorf("daemon refused the correct corpora: %v", err)
 	}
 }
@@ -281,6 +281,58 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/topk: status %d, want 405", resp.StatusCode)
+	}
+
+	// Malformed k and doc IDs: 400 with a JSON error body, never a 500.
+	var body map[string]string
+	if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: "reviews:p0", K: -3}, &body); status != http.StatusBadRequest {
+		t.Errorf("topk with k=-3: status %d, want 400", status)
+	}
+	if body["error"] == "" {
+		t.Errorf("topk with k=-3: body %v, want a JSON error", body)
+	}
+	body = nil
+	if status := postJSON(t, ts.URL+"/v1/batch", batchRequest{IDs: []string{"reviews:p0"}, K: -1}, &body); status != http.StatusBadRequest {
+		t.Errorf("batch with k=-1: status %d, want 400", status)
+	}
+	if body["error"] == "" {
+		t.Errorf("batch with k=-1: body %v, want a JSON error", body)
+	}
+	body = nil
+	if status := postJSON(t, ts.URL+"/v1/batch", batchRequest{IDs: []string{"reviews:p0", ""}, K: 2}, &body); status != http.StatusBadRequest {
+		t.Errorf("batch with empty id: status %d, want 400", status)
+	}
+	if body["error"] == "" {
+		t.Errorf("batch with empty id: body %v, want a JSON error", body)
+	}
+}
+
+// TestStatsReportsShardCounters: a daemon started with -shards=2 must
+// surface nonzero per-shard scatter counters for the side that served
+// the (cache-cold) queries.
+func TestStatsReportsShardCounters(t *testing.T) {
+	firstPath, secondPath, modelPath, _ := trainFixture(t, fixtureConfig(1))
+	_, ts := startDaemon(t, firstPath, secondPath, modelPath) // shards=2
+	if status := postJSON(t, ts.URL+"/v1/topk", topkRequest{ID: "reviews:p0"}, nil); status != http.StatusOK {
+		t.Fatalf("topk status %d", status)
+	}
+	var st statsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.FirstShards) != 2 || len(st.SecondShards) != 2 {
+		t.Fatalf("shard stats = %+v / %+v, want 2 shards per side", st.FirstShards, st.SecondShards)
+	}
+	// A reviews-side query scans the first (movies) index.
+	for si, sh := range st.FirstShards {
+		if sh.Batches == 0 || sh.Queries == 0 {
+			t.Errorf("first-side shard %d counters = %+v, want nonzero", si, sh)
+		}
 	}
 }
 

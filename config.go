@@ -173,6 +173,13 @@ type Config struct {
 	// 0 selects the default. Each entry holds one (document, k) ranking,
 	// so the default is ~4096 × k Match values of resident memory.
 	ServeCacheSize int
+	// ServeShards partitions each side's serving index into contiguous
+	// shards for scatter-gather top-k: query batches are scored per shard
+	// in parallel on the worker pool and the per-shard heaps merged into
+	// the exact global ranking, bit-identical to unsharded serving. 0
+	// selects an automatic count from GOMAXPROCS and the corpus size
+	// (small corpora stay unsharded); 1 or negative disables sharding.
+	ServeShards int
 	// ServeBatchWindow is how long Server.TopK holds an uncached query to
 	// coalesce it with concurrent ones into a single worker-pool pass
 	// (default 200µs — well under network latency, wide enough to gather
@@ -263,4 +270,29 @@ func (c Config) withDefaults() Config {
 		c.ServeBatchWindow = d.ServeBatchWindow
 	}
 	return c
+}
+
+// autoShardRows is the row count one shard should cover before auto
+// sharding splits further: below it the scatter bookkeeping costs more
+// than the partial scans save, so small corpora stay unsharded.
+const autoShardRows = 256
+
+// serveShards resolves the effective shard count for a serving index
+// over n rows: explicit positive counts are honored exactly, negative
+// disables sharding, and 0 selects min(GOMAXPROCS, n/autoShardRows).
+func (c Config) serveShards(n int) int {
+	if c.ServeShards > 0 {
+		return c.ServeShards
+	}
+	if c.ServeShards < 0 {
+		return 1
+	}
+	shards := n / autoShardRows
+	if gm := runtime.GOMAXPROCS(0); shards > gm {
+		shards = gm
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
 }

@@ -354,6 +354,13 @@ func (m *Model) clone() *Model {
 // cloneServing rewires a serving index onto the cloned flat index.
 func cloneServing(idx match.VectorIndex, flat *match.Index) match.VectorIndex {
 	switch v := idx.(type) {
+	case *match.Sharded:
+		sh, err := v.CloneWithInner(cloneServing(v.Inner(), flat))
+		if err != nil {
+			// Unreachable: the original wrapped this inner kind already.
+			return cloneServing(v.Inner(), flat)
+		}
+		return sh
 	case *match.IVF:
 		return v.CloneWithFlat(flat)
 	case *match.IndexSQ8:

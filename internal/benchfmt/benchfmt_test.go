@@ -1,0 +1,88 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAppendPreservesEntries checks the append-only contract: appending
+// to a fresh file, then appending again, yields both entries in order.
+func TestAppendPreservesEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if n, err := Append(path, Entry{Label: "a", GOOS: "linux", Benchmarks: []Result{{Name: "X", NsPerOp: 1}}}); err != nil || n != 1 {
+		t.Fatalf("first append: n=%d err=%v", n, err)
+	}
+	if n, err := Append(path, Entry{Label: "b", GOOS: "linux", Benchmarks: []Result{{Name: "Y", NsPerOp: 2}}}); err != nil || n != 2 {
+		t.Fatalf("second append: n=%d err=%v", n, err)
+	}
+	traj, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Entries) != 2 || traj.Entries[0].Label != "a" || traj.Entries[1].Label != "b" {
+		t.Fatalf("unexpected trajectory: %+v", traj)
+	}
+}
+
+// TestReadMissingFile checks a missing path starts an empty trajectory.
+func TestReadMissingFile(t *testing.T) {
+	traj, err := Read(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || len(traj.Entries) != 0 {
+		t.Fatalf("missing file: traj=%+v err=%v", traj, err)
+	}
+}
+
+// TestReadLegacyReport checks the pre-trajectory single-report format is
+// migrated into the first entry.
+func TestReadLegacyReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	legacy := `{"goos":"linux","goarch":"amd64","benchtime":"2x","benchmarks":[{"name":"Old","iterations":3,"ns_per_op":42,"bytes_per_op":0,"allocs_per_op":0}]}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traj, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Entries) != 1 || traj.Entries[0].Benchmarks[0].Name != "Old" {
+		t.Fatalf("legacy migration failed: %+v", traj)
+	}
+}
+
+// TestReadGarbage checks unparseable content errors instead of silently
+// truncating the trajectory.
+func TestReadGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("expected error reading garbage file")
+	}
+}
+
+// TestLatencyFieldsOmittedWhenZero checks plain benchmark results keep
+// the pre-PR6 wire shape: no p50_ns/p99_ns/qps keys unless set.
+func TestLatencyFieldsOmittedWhenZero(t *testing.T) {
+	plain, err := json.Marshal(Result{Name: "X", NsPerOp: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"p50_ns", "p95_ns", "p99_ns", "qps", "concurrency"} {
+		if strings.Contains(string(plain), key) {
+			t.Fatalf("zero-valued %q serialized in %s", key, plain)
+		}
+	}
+	loaded, err := json.Marshal(Result{Name: "Y", P50Ns: 100, P95Ns: 200, P99Ns: 300, QPS: 4, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"p50_ns", "p95_ns", "p99_ns", "qps", "concurrency"} {
+		if !strings.Contains(string(loaded), key) {
+			t.Fatalf("set %q missing from %s", key, loaded)
+		}
+	}
+}

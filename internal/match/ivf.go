@@ -353,9 +353,24 @@ func (x *IVF) topk(query []float32, k, nprobe, minCands int) []Scored {
 	copy(q, query)
 	embed.Normalize(q)
 
+	cands, live := x.gatherCands(q, nprobe, minCands)
+	if live == 0 {
+		return x.flat.TopK(query, k)
+	}
+	return x.flat.topKPositions(q, cands, k)
+}
+
+// gatherCands collects the probe candidates for one normalized query:
+// the inverted lists of the nprobe nearest partitions, extended past
+// nprobe until the pool holds at least minCands live rows (the adaptive
+// quota; 0 disables extension). It returns the candidate positions in
+// probe order and the number of live (not tombstoned) rows among them —
+// the single source of candidate truth for the serial probe path and
+// the sharded scatter planner.
+func (x *IVF) gatherCands(q []float32, nprobe, minCands int) (cands []int32, live int) {
+	n := x.flat.rows()
 	probes := x.probeOrder(q, x.nlist)
-	cands := make([]int32, 0, n/x.nlist*nprobe+nprobe)
-	live := 0
+	cands = make([]int32, 0, n/x.nlist*nprobe+nprobe)
 	for p, c := range probes {
 		if p >= nprobe && live >= minCands {
 			break
@@ -375,10 +390,7 @@ func (x *IVF) topk(query []float32, k, nprobe, minCands int) []Scored {
 			}
 		}
 	}
-	if live == 0 {
-		return x.flat.TopK(query, k)
-	}
-	return x.flat.topKPositions(q, cands, k)
+	return cands, live
 }
 
 // probeOrder returns the indexes of the nprobe centroids closest to the

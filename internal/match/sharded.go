@@ -1,0 +1,618 @@
+package match
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tdmatch/tdmatch/internal/embed"
+)
+
+// Sharded is a scatter-gather wrapper over a flat, IVF or SQ8 index: the
+// arena's row range is partitioned into contiguous shards, a query batch
+// is scored per shard (each shard runs the same blocked kernels the
+// unsharded index would, restricted to its row range), and the per-shard
+// fixed-size selection heaps are merged into the exact global top-k.
+//
+// Rankings are bit-identical to the wrapped index's, including tombstone
+// and SQ8 re-rank semantics: every kernel scores rows with the same
+// dot-product routines in the same per-row order, tombstoned rows score
+// -Inf in every shard exactly as in the full scan, and the selection tie
+// rule (score descending, then ascending ID) is a strict total order —
+// so the union of per-shard top-k sets provably contains the global
+// top-k, and merging selects exactly the rows the unsharded heap would.
+// Fingerprint therefore delegates to the wrapped index unchanged:
+// resharding never invalidates result caches because it never changes
+// results.
+//
+// Like the indexes it wraps, a Sharded index is safe for concurrent
+// queries once built; Append and Remove are not safe concurrently with
+// queries. Appended rows extend the last shard (its upper bound tracks
+// the arena tail); rebalancing is a re-wrap (NewSharded) away.
+type Sharded struct {
+	inner VectorIndex
+	flat  *Index // the arena owner underneath inner
+	// cuts holds the interior shard boundaries: shard i spans rows
+	// [cuts[i-1], cuts[i]), with cuts[-1] = 0 and the last bound read
+	// dynamically from the arena so appends land in the last shard.
+	cuts    []int
+	workers int
+	stats   []shardCounter
+}
+
+var _ VectorIndex = (*Sharded)(nil)
+
+// shardCounter is one shard's scatter counters, written atomically from
+// concurrent shard tasks.
+type shardCounter struct {
+	batches atomic.Uint64
+	queries atomic.Uint64
+}
+
+// ShardStat is a point-in-time snapshot of one shard's scatter counters:
+// how many scatter tasks (one per query batch) and how many individual
+// queries the shard has scored.
+type ShardStat struct {
+	Batches uint64 `json:"batches"`
+	Queries uint64 `json:"queries"`
+}
+
+// flatOf resolves the arena-owning flat index underneath a wrappable
+// index kind, or nil for kinds scatter-gather cannot partition.
+func flatOf(inner VectorIndex) *Index {
+	switch v := inner.(type) {
+	case *Index:
+		return v
+	case *IVF:
+		return v.flat
+	case *IndexSQ8:
+		return v.flat
+	}
+	return nil
+}
+
+// NewSharded wraps a flat, IVF or SQ8 index for scatter-gather serving
+// with the given shard count (clamped to at least 1; shards beyond the
+// row count are harmless and stay empty). workers bounds the scatter
+// concurrency of direct TopK/TopKBatch calls on the wrapper (<= 0
+// selects GOMAXPROCS); callers driving shards through their own pool via
+// Plan ignore it. Shard boundaries split the current arena evenly;
+// appended rows extend the last shard.
+func NewSharded(inner VectorIndex, shards, workers int) (*Sharded, error) {
+	flat := flatOf(inner)
+	if flat == nil {
+		return nil, fmt.Errorf("match: cannot shard index of type %T", inner)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := flat.rows()
+	cuts := make([]int, shards-1)
+	for i := range cuts {
+		cuts[i] = (i + 1) * n / shards
+	}
+	return &Sharded{
+		inner:   inner,
+		flat:    flat,
+		cuts:    cuts,
+		workers: workers,
+		stats:   make([]shardCounter, shards),
+	}, nil
+}
+
+// Inner returns the wrapped index.
+func (s *Sharded) Inner() VectorIndex { return s.inner }
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.cuts) + 1 }
+
+// CloneWithInner returns a sharded wrapper with the same boundaries and
+// scatter width over the given clone of the wrapped index — the ingest
+// clone-mutate-swap path. Counters start at zero on the clone.
+func (s *Sharded) CloneWithInner(inner VectorIndex) (*Sharded, error) {
+	flat := flatOf(inner)
+	if flat == nil {
+		return nil, fmt.Errorf("match: cannot shard index of type %T", inner)
+	}
+	return &Sharded{
+		inner:   inner,
+		flat:    flat,
+		cuts:    append([]int(nil), s.cuts...),
+		workers: s.workers,
+		stats:   make([]shardCounter, len(s.cuts)+1),
+	}, nil
+}
+
+// ShardStats snapshots the per-shard scatter counters.
+func (s *Sharded) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.stats))
+	for i := range s.stats {
+		out[i] = ShardStat{
+			Batches: s.stats[i].batches.Load(),
+			Queries: s.stats[i].queries.Load(),
+		}
+	}
+	return out
+}
+
+// bounds returns shard si's row range [lo, hi). The last shard's upper
+// bound is the live arena tail, so appended rows are always covered.
+func (s *Sharded) bounds(si int) (lo, hi int) {
+	if si > 0 {
+		lo = s.cuts[si-1]
+	}
+	if si < len(s.cuts) {
+		hi = s.cuts[si]
+	} else {
+		hi = s.flat.rows()
+	}
+	return lo, hi
+}
+
+// shardOf returns the shard covering arena position p.
+func (s *Sharded) shardOf(p int32) int {
+	lo, hi := 0, len(s.cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(p) < s.cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// note records one scatter task of b queries against shard si.
+func (s *Sharded) note(si, b int) {
+	s.stats[si].batches.Add(1)
+	s.stats[si].queries.Add(uint64(b))
+}
+
+// Len returns the number of live indexed documents.
+func (s *Sharded) Len() int { return s.inner.Len() }
+
+// IDs returns the indexed document IDs in index order.
+func (s *Sharded) IDs() []string { return s.inner.IDs() }
+
+// Dim returns the vector dimensionality.
+func (s *Sharded) Dim() int { return s.inner.Dim() }
+
+// Append adds documents to the wrapped index; the new rows extend the
+// last shard's range.
+func (s *Sharded) Append(ids []string, arena []float32) error {
+	return s.inner.Append(ids, arena)
+}
+
+// Remove tombstones the documents in the wrapped index; every shard's
+// kernels skip tombstoned rows exactly as the unsharded scan does.
+func (s *Sharded) Remove(ids []string) int { return s.inner.Remove(ids) }
+
+// Fingerprint returns the wrapped index's fingerprint unchanged:
+// scatter-gather is bit-identical to the unsharded scan, so shard layout
+// is deliberately not part of the serving-result digest and resharding
+// never invalidates fingerprint-keyed caches.
+func (s *Sharded) Fingerprint() uint64 { return s.inner.Fingerprint() }
+
+// TopK returns the k targets most similar to query, best first with ID
+// tie-breaking — the single-query case of TopKBatch.
+func (s *Sharded) TopK(query []float32, k int) []Scored {
+	return s.TopKBatch(oneQuery(query), k)[0]
+}
+
+// TopKBatch answers one TopK per query: the batch is planned once,
+// scattered across the shards on the wrapper's internal worker pool, and
+// the per-shard selection heaps are merged into exact global rankings,
+// position-aligned with queries and bit-identical to the wrapped
+// index's TopKBatch.
+func (s *Sharded) TopKBatch(queries [][]float32, k int) [][]Scored {
+	p := s.Plan(queries, k)
+	s.Scatter(p)
+	return p.Merge()
+}
+
+// Scatter runs every shard task of the plan on the wrapper's internal
+// worker pool (serially when one worker suffices). Callers with their
+// own pool can instead invoke RunShard per shard themselves and only
+// call Merge.
+func (s *Sharded) Scatter(p ShardPlan) {
+	n := s.Shards()
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n <= 1 {
+		for si := 0; si < n; si++ {
+			p.RunShard(si)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= n {
+					return
+				}
+				p.RunShard(si)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ShardPlan is one query batch prepared for scatter-gather execution:
+// RunShard scores the batch against one shard (calls are independent and
+// safe to run concurrently, one call per shard), and Merge — called
+// after every shard ran — combines the per-shard selection heaps into
+// the exact global rankings. Plans are single-use.
+type ShardPlan interface {
+	// RunShard scores the planned batch against shard si.
+	RunShard(si int)
+	// Merge combines the per-shard results into global rankings,
+	// position-aligned with the planned queries.
+	Merge() [][]Scored
+}
+
+// Plan prepares a query batch for scatter-gather execution without
+// running it: queries are normalized (and for IVF, probed; for SQ8,
+// quantized) once, so each RunShard does only its shard's share of the
+// scan. TopKBatch is Plan + Scatter + Merge; callers that multiplex many
+// batches over one worker pool schedule the RunShard calls themselves.
+func (s *Sharded) Plan(queries [][]float32, k int) ShardPlan {
+	switch v := s.inner.(type) {
+	case *IVF:
+		return s.planIVF(v, queries, k)
+	case *IndexSQ8:
+		return s.planSQ8(v, queries, k)
+	default:
+		return s.planFlat(queries, k)
+	}
+}
+
+// emptyPlan answers degenerate batches (k <= 0, no queries, empty
+// index) with the unsharded paths' nil-filled result slice.
+type emptyPlan struct{ b int }
+
+// RunShard is a no-op: an empty plan has no work to scatter.
+func (p *emptyPlan) RunShard(int) {}
+
+// Merge returns one nil ranking per planned query.
+func (p *emptyPlan) Merge() [][]Scored { return make([][]Scored, p.b) }
+
+// planFlat prepares an exact scan batch: normalize queries once, then
+// each shard runs the blocked tile kernel over its own row range.
+func (s *Sharded) planFlat(queries [][]float32, k int) ShardPlan {
+	x := s.flat
+	b := len(queries)
+	if k <= 0 || x.Len() == 0 || b == 0 {
+		return &emptyPlan{b: b}
+	}
+	if k > x.Len() {
+		// Same clamp as the unsharded kernel: tombstoned rows score -Inf
+		// and a heap no larger than the live count provably evicts them.
+		k = x.Len()
+	}
+	dim := x.dim
+	qs := make([]float32, b*dim)
+	for i, q := range queries {
+		row := qs[i*dim : (i+1)*dim]
+		copy(row, q)
+		embed.Normalize(row)
+	}
+	return &flatPlan{s: s, x: x, b: b, k: k, qs: qs, parts: make([][]topkHeap, s.Shards())}
+}
+
+// flatPlan is the scatter state of one exact-scan batch.
+type flatPlan struct {
+	s     *Sharded
+	x     *Index
+	b, k  int
+	qs    []float32   // normalized queries, row-major
+	parts [][]topkHeap // per-shard per-query selection heaps
+}
+
+// RunShard scores the batch against shard si with the tiled multi-query
+// kernel restricted to the shard's row range.
+func (p *flatPlan) RunShard(si int) {
+	p.s.note(si, p.b)
+	lo, hi := p.s.bounds(si)
+	if lo >= hi {
+		return
+	}
+	x, dim, k := p.x, p.x.dim, p.k
+	scoreBack := make([]float32, p.b*k)
+	posBack := make([]int32, p.b*k)
+	heaps := make([]topkHeap, p.b)
+	for i := range heaps {
+		heaps[i] = newTopkHeap(scoreBack[i*k:(i+1)*k], posBack[i*k:(i+1)*k], x.ids, k)
+	}
+	tile := tileRowsFor(dim)
+	if tile > hi-lo {
+		tile = hi - lo
+	}
+	scores := make([]float32, tile)
+	for r0 := lo; r0 < hi; r0 += tile {
+		m := tile
+		if r0+m > hi {
+			m = hi - r0
+		}
+		rows := x.data[r0*dim : (r0+m)*dim]
+		for i := range heaps {
+			dotRows(rows, p.qs[i*dim:(i+1)*dim], scores[:m], dim)
+			x.zapDead(scores[:m], r0)
+			heaps[i].merge(scores[:m], int32(r0))
+		}
+	}
+	p.parts[si] = heaps
+}
+
+// Merge combines the per-shard heaps: every shard resident is offered to
+// one global size-k heap per query, whose strict total order (score,
+// then ID) reproduces the unsharded selection exactly.
+func (p *flatPlan) Merge() [][]Scored {
+	out := make([][]Scored, p.b)
+	scoreBack := make([]float32, p.k)
+	posBack := make([]int32, p.k)
+	for i := 0; i < p.b; i++ {
+		g := newTopkHeap(scoreBack, posBack, p.x.ids, p.k)
+		for _, heaps := range p.parts {
+			if heaps == nil {
+				continue
+			}
+			h := &heaps[i]
+			for j := 0; j < h.n; j++ {
+				g.consider(h.score[j], h.pos[j])
+			}
+		}
+		out[i] = g.results()
+	}
+	return out
+}
+
+// planIVF prepares a probed batch: probe order, candidate gathering and
+// the adaptive live-count quota run once per query at plan time —
+// exactly as the unsharded path computes them — and the resulting
+// candidate positions are bucketed by shard for the scatter. When the
+// configured probes cover every partition the plan delegates to the
+// exact scan, mirroring IVF.TopKBatch's delegation.
+func (s *Sharded) planIVF(v *IVF, queries [][]float32, k int) ShardPlan {
+	n := v.flat.Len()
+	b := len(queries)
+	if k <= 0 || n == 0 || b == 0 {
+		return &emptyPlan{b: b}
+	}
+	if v.nprobe >= v.nlist || len(v.lists) == 0 || (v.adaptive && minCandidateFactor*k >= n) {
+		return s.planFlat(queries, k)
+	}
+	minCands := 0
+	if v.adaptive {
+		minCands = minCandidateFactor * k
+	}
+	dim := v.flat.dim
+	nsh := s.Shards()
+	p := &ivfPlan{
+		s:  s,
+		v:  v,
+		b:  b,
+		qs: make([]float32, b*dim),
+		kq: make([]int, b),
+		// cands[si][i] holds query i's probe candidates within shard si.
+		cands:  make([][][]int32, nsh),
+		direct: make([][]Scored, b),
+		has:    make([]bool, b),
+		parts:  make([][]topkHeap, nsh),
+	}
+	for si := range p.cands {
+		p.cands[si] = make([][]int32, b)
+	}
+	for i, q := range queries {
+		row := p.qs[i*dim : (i+1)*dim]
+		copy(row, q)
+		embed.Normalize(row)
+		cands, live := v.gatherCands(row, v.nprobe, minCands)
+		if live == 0 {
+			// Rare: every probed partition is fully tombstoned. The
+			// unsharded path answers with a flat scan; do the same here,
+			// serially — correctness over parallelism for a cold corner.
+			p.direct[i] = v.flat.TopK(q, k)
+			p.has[i] = true
+			continue
+		}
+		ki := k
+		if ki > len(cands) {
+			ki = len(cands)
+		}
+		p.kq[i] = ki
+		for _, pos := range cands {
+			si := s.shardOf(pos)
+			p.cands[si][i] = append(p.cands[si][i], pos)
+		}
+	}
+	return p
+}
+
+// ivfPlan is the scatter state of one probed batch.
+type ivfPlan struct {
+	s      *Sharded
+	v      *IVF
+	b      int
+	qs     []float32
+	kq     []int       // per-query heap size: min(k, len(candidates))
+	cands  [][][]int32 // [shard][query] candidate positions
+	direct [][]Scored  // answered at plan time (all-tombstoned probes)
+	has    []bool      // direct[i] is authoritative
+	parts  [][]topkHeap
+}
+
+// RunShard scores each query's candidates that fall inside shard si,
+// skipping tombstones — the same per-candidate kernel as the unsharded
+// probe scan.
+func (p *ivfPlan) RunShard(si int) {
+	p.s.note(si, p.b)
+	x := p.v.flat
+	dim := x.dim
+	heaps := make([]topkHeap, p.b)
+	for i := 0; i < p.b; i++ {
+		poss := p.cands[si][i]
+		if p.has[i] || len(poss) == 0 {
+			continue
+		}
+		ki := p.kq[i]
+		h := newTopkHeap(make([]float32, ki), make([]int32, ki), x.ids, ki)
+		q := p.qs[i*dim : (i+1)*dim]
+		for _, pos := range poss {
+			if x.isDead(int(pos)) {
+				continue
+			}
+			h.consider(dotOne(x.row(int(pos)), q), pos)
+		}
+		heaps[i] = h
+	}
+	p.parts[si] = heaps
+}
+
+// Merge combines the per-shard candidate heaps per query (plan-time
+// direct answers pass through untouched).
+func (p *ivfPlan) Merge() [][]Scored {
+	out := make([][]Scored, p.b)
+	for i := 0; i < p.b; i++ {
+		if p.has[i] {
+			out[i] = p.direct[i]
+			continue
+		}
+		ki := p.kq[i]
+		g := newTopkHeap(make([]float32, ki), make([]int32, ki), p.v.flat.ids, ki)
+		for _, heaps := range p.parts {
+			if heaps == nil {
+				continue
+			}
+			h := &heaps[i]
+			for j := 0; j < h.n; j++ {
+				g.consider(h.score[j], h.pos[j])
+			}
+		}
+		out[i] = g.results()
+	}
+	return out
+}
+
+// planSQ8 prepares a quantized batch: queries are normalized and
+// quantized once; each shard runs the int8 tile kernel over its row
+// range into a heap of the full re-rank width, so the merged global
+// top-r candidate set — and therefore the exact float32 re-rank that
+// follows — is bit-identical to the unsharded two-phase scan.
+func (s *Sharded) planSQ8(v *IndexSQ8, queries [][]float32, k int) ShardPlan {
+	n := v.flat.rows()
+	b := len(queries)
+	if k <= 0 || v.flat.Len() == 0 || b == 0 {
+		return &emptyPlan{b: b}
+	}
+	dim := v.flat.dim
+	r := k * v.rerank
+	if r > n || r < 0 { // r < 0: k*rerank overflowed
+		r = n
+	}
+	p := &sq8Plan{
+		s:      s,
+		v:      v,
+		b:      b,
+		k:      k,
+		r:      r,
+		qf:     make([]float32, b*dim),
+		qc:     make([]int8, b*dim),
+		qscale: make([]float32, b),
+		parts:  make([][]topkHeap, s.Shards()),
+	}
+	for i, q := range queries {
+		row := p.qf[i*dim : (i+1)*dim]
+		copy(row, q)
+		embed.Normalize(row)
+		p.qscale[i] = quantizeRow(row, p.qc[i*dim:(i+1)*dim])
+	}
+	return p
+}
+
+// sq8Plan is the scatter state of one quantized batch.
+type sq8Plan struct {
+	s       *Sharded
+	v       *IndexSQ8
+	b, k, r int
+	qf      []float32 // normalized queries (exact re-rank input)
+	qc      []int8    // quantized queries
+	qscale  []float32
+	parts   [][]topkHeap
+}
+
+// RunShard runs the int8 tile kernel over shard si's row range, feeding
+// per-query heaps of the full re-rank width r.
+func (p *sq8Plan) RunShard(si int) {
+	p.s.note(si, p.b)
+	lo, hi := p.s.bounds(si)
+	if lo >= hi {
+		return
+	}
+	v, dim, r := p.v, p.v.flat.dim, p.r
+	scoreBack := make([]float32, p.b*r)
+	posBack := make([]int32, p.b*r)
+	heaps := make([]topkHeap, p.b)
+	for i := range heaps {
+		heaps[i] = newTopkHeap(scoreBack[i*r:(i+1)*r], posBack[i*r:(i+1)*r], v.flat.ids, r)
+	}
+	tile := tileRowsFor(dim)
+	if tile > hi-lo {
+		tile = hi - lo
+	}
+	iscores := make([]int32, tile)
+	scores := make([]float32, tile)
+	for r0 := lo; r0 < hi; r0 += tile {
+		m := tile
+		if r0+m > hi {
+			m = hi - r0
+		}
+		rows := v.codes[r0*dim : (r0+m)*dim]
+		for i := range heaps {
+			dotRowsSQ8(rows, p.qc[i*dim:(i+1)*dim], iscores[:m], dim)
+			qs := p.qscale[i]
+			for j := 0; j < m; j++ {
+				scores[j] = float32(iscores[j]) * (qs * v.scales[r0+j])
+			}
+			v.flat.zapDead(scores[:m], r0)
+			heaps[i].merge(scores[:m], int32(r0))
+		}
+	}
+	p.parts[si] = heaps
+}
+
+// Merge selects each query's global top-r quantized candidates from the
+// per-shard heaps, then re-ranks them exactly against the float32 arena
+// — the same candidate set, in the same ascending-position order, as the
+// unsharded quantized scan hands its re-rank.
+func (p *sq8Plan) Merge() [][]Scored {
+	out := make([][]Scored, p.b)
+	scoreBack := make([]float32, p.r)
+	posBack := make([]int32, p.r)
+	dim := p.v.flat.dim
+	for i := 0; i < p.b; i++ {
+		g := newTopkHeap(scoreBack, posBack, p.v.flat.ids, p.r)
+		for _, heaps := range p.parts {
+			if heaps == nil {
+				continue
+			}
+			h := &heaps[i]
+			for j := 0; j < h.n; j++ {
+				g.consider(h.score[j], h.pos[j])
+			}
+		}
+		out[i] = p.v.flat.topKPositions(p.qf[i*dim:(i+1)*dim], g.positions(), p.k)
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package match
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// shardedKinds enumerates the wrappable index configurations the parity
+// tests cover: the exact scan, IVF under adaptive / strict / exhaustive
+// probing, and the quantized two-phase scan.
+var shardedKinds = []struct {
+	name  string
+	build func(flat *Index) VectorIndex
+}{
+	{"flat", func(flat *Index) VectorIndex { return flat }},
+	{"ivf-adaptive", func(flat *Index) VectorIndex {
+		return NewIVF(flat, IVFOptions{Clusters: 6, Seed: 3})
+	}},
+	{"ivf-nprobe", func(flat *Index) VectorIndex {
+		return NewIVF(flat, IVFOptions{Clusters: 6, NProbe: 2, Seed: 3})
+	}},
+	{"ivf-exact", func(flat *Index) VectorIndex {
+		return NewIVF(flat, IVFOptions{Clusters: 6, ExactRecall: true, Seed: 3})
+	}},
+	{"sq8", func(flat *Index) VectorIndex { return NewIndexSQ8(flat, 2) }},
+}
+
+// shardedTestIndex builds one wrapped index over n deterministic vectors,
+// with vector duplicates injected so exact score ties exercise the ID
+// tie-break in the merge.
+func shardedTestIndex(t *testing.T, kind int, n, dim int) VectorIndex {
+	t.Helper()
+	ids, vecs := mutVecs(n, dim, 11)
+	for i := 5; i+7 < n; i += 13 {
+		vecs[i+7] = vecs[i] // duplicate rows => tied scores
+	}
+	flat, err := NewIndex(ids, vecs, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shardedKinds[kind].build(flat)
+}
+
+// assertShardedParity checks TopK and TopKBatch of the sharded wrapper
+// against the wrapped index, bit for bit (scores and tie-broken IDs).
+func assertShardedParity(t *testing.T, inner VectorIndex, sh *Sharded, queries [][]float32, k int) {
+	t.Helper()
+	want := inner.TopKBatch(queries, k)
+	got := sh.TopKBatch(queries, k)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopKBatch(k=%d, %d shards) diverged:\n got %v\nwant %v",
+			k, sh.Shards(), got, want)
+	}
+	for _, q := range queries {
+		if got, want := sh.TopK(q, k), inner.TopK(q, k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("TopK(k=%d, %d shards) diverged:\n got %v\nwant %v", k, sh.Shards(), got, want)
+		}
+	}
+}
+
+// TestShardedParity: sharded scatter-gather rankings must be
+// bit-identical to the wrapped index's across index kinds and shard
+// counts — virgin, after appends, and after removals that tombstone
+// whole shard regions, including k above the live count.
+func TestShardedParity(t *testing.T) {
+	const n, dim = 60, 16
+	for kind := range shardedKinds {
+		for _, shards := range []int{1, 2, 3, 8} {
+			t.Run(fmt.Sprintf("%s/%dshards", shardedKinds[kind].name, shards), func(t *testing.T) {
+				inner := shardedTestIndex(t, kind, n, dim)
+				sh, err := NewSharded(inner, shards, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, queryVecs := mutVecs(9, dim, 99)
+				flat := flatOf(inner)
+				queries := append(queryVecs, flat.Vector(0), flat.Vector(n-1))
+				for _, k := range []int{1, 5, n, n + 10} {
+					assertShardedParity(t, inner, sh, queries, k)
+				}
+
+				// Mutations flow through the wrapper: appends extend the last
+				// shard, removals tombstone rows in place.
+				appIDs, appVecs := mutVecs(12, dim, 31)
+				for i, id := range appIDs {
+					appIDs[i] = "app-" + id
+				}
+				if err := sh.Append(appIDs, flatten(appVecs, dim)); err != nil {
+					t.Fatal(err)
+				}
+				var doomed []string
+				for i, id := range inner.IDs() {
+					// Tombstone a dense prefix (empties the first shards at
+					// high shard counts) plus a scatter of later rows.
+					if i < 18 || i%7 == 0 {
+						doomed = append(doomed, id)
+					}
+				}
+				if got := sh.Remove(doomed); got != len(doomed) {
+					t.Fatalf("Remove = %d, want %d", got, len(doomed))
+				}
+				for _, k := range []int{1, 5, inner.Len(), inner.Len() + 10} {
+					assertShardedParity(t, inner, sh, queries, k)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedAllDeadProbes pins the IVF corner where every candidate of
+// a query's probe set is tombstoned (live == 0): the unsharded path
+// falls back to a flat scan, and the sharded plan must answer
+// identically via its plan-time direct path.
+func TestShardedAllDeadProbes(t *testing.T) {
+	const dim = 4
+	var ids []string
+	var vecs [][]float32
+	for i := 0; i < 20; i++ {
+		v := make([]float32, dim)
+		if i < 10 {
+			v[0], v[1] = 1, float32(i)/100 // tight cluster A
+		} else {
+			v[1], v[0] = 1, float32(i)/100 // tight cluster B
+		}
+		ids = append(ids, fmt.Sprintf("d%02d", i))
+		vecs = append(vecs, v)
+	}
+	flat, err := NewIndex(ids, vecs, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivf := NewIVF(flat, IVFOptions{Clusters: 2, NProbe: 1, Seed: 1})
+	sh, err := NewSharded(ivf, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Remove(ids[:10]); got != 10 {
+		t.Fatalf("Remove = %d, want 10", got)
+	}
+	// A query inside cluster A probes only tombstoned rows.
+	queries := [][]float32{{1, 0.03, 0, 0}, {0, 1, 0.01, 0}}
+	assertShardedParity(t, ivf, sh, queries, 5)
+}
+
+// TestShardedDegenerate covers empty indexes, empty batches and
+// non-positive k: the wrapper must reproduce the unsharded nil-result
+// conventions exactly.
+func TestShardedDegenerate(t *testing.T) {
+	const dim = 8
+	empty, err := NewIndex(nil, nil, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shEmpty, err := NewSharded(empty, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float32, dim)
+	q[0] = 1
+	if got := shEmpty.TopK(q, 3); got != nil {
+		t.Errorf("empty-index TopK = %v, want nil", got)
+	}
+	ids, vecs := mutVecs(5, dim, 2)
+	flat, err := NewIndex(ids, vecs, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewSharded(flat, 8, 2) // more shards than rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShardedParity(t, flat, sh, [][]float32{q, vecs[2]}, 3)
+	if got := sh.TopK(q, 0); got != nil {
+		t.Errorf("k=0 TopK = %v, want nil", got)
+	}
+	if got := sh.TopKBatch(nil, 3); len(got) != 0 {
+		t.Errorf("empty-batch TopKBatch = %v, want empty", got)
+	}
+	if _, err := NewSharded(sh, 2, 1); err == nil {
+		t.Error("NewSharded over a Sharded index must fail")
+	}
+}
+
+// TestShardedStats: every scatter task is counted against its shard, so
+// after one b-query batch each shard reports one batch of b queries.
+func TestShardedStats(t *testing.T) {
+	const n, dim = 40, 8
+	ids, vecs := mutVecs(n, dim, 5)
+	flat, err := NewIndex(ids, vecs, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewSharded(flat, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := vecs[:6]
+	sh.TopKBatch(queries, 3)
+	stats := sh.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats len = %d, want 4", len(stats))
+	}
+	for si, st := range stats {
+		if st.Batches != 1 || st.Queries != uint64(len(queries)) {
+			t.Errorf("shard %d stats = %+v, want {1 %d}", si, st, len(queries))
+		}
+	}
+	if sh.Fingerprint() != flat.Fingerprint() {
+		t.Error("sharded fingerprint must equal the wrapped index's")
+	}
+	clone, err := sh.CloneWithInner(flat.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Shards() != sh.Shards() {
+		t.Errorf("clone shards = %d, want %d", clone.Shards(), sh.Shards())
+	}
+	for _, st := range clone.ShardStats() {
+		if st.Batches != 0 {
+			t.Error("clone counters must start at zero")
+		}
+	}
+}

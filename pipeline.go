@@ -258,10 +258,12 @@ func (m *Model) buildFlat(c *corpus.Corpus) (*match.Index, error) {
 	return match.NewIndexArena(ids, arena, m.dim)
 }
 
-// serveIndex wraps a flat index per Config.Index. side (0 or 1) offsets
+// serveIndex wraps a flat index per Config.Index, then per
+// Config.ServeShards for scatter-gather serving. side (0 or 1) offsets
 // the clustering seed so the two sides don't share centroid draws, and
 // addresses the Stats slot.
 func (m *Model) serveIndex(flat *match.Index, side int) match.VectorIndex {
+	var inner match.VectorIndex
 	switch m.cfg.Index {
 	case IndexIVF:
 		ivf := match.NewIVF(flat, match.IVFOptions{
@@ -271,12 +273,65 @@ func (m *Model) serveIndex(flat *match.Index, side int) match.VectorIndex {
 			Seed:        m.cfg.Seed + int64(side) + 1,
 		})
 		m.stats.IndexClusters[side] = ivf.Clusters()
-		return ivf
+		inner = ivf
 	case IndexSQ8:
-		return match.NewIndexSQ8(flat, m.cfg.SQ8Rerank)
+		inner = match.NewIndexSQ8(flat, m.cfg.SQ8Rerank)
 	default:
-		return flat
+		inner = flat
 	}
+	return m.shardWrap(inner)
+}
+
+// shardWrap wraps a serving index for scatter-gather when the resolved
+// shard count warrants it; an unwrappable or unsharded index is served
+// directly.
+func (m *Model) shardWrap(inner match.VectorIndex) match.VectorIndex {
+	shards := m.cfg.serveShards(len(inner.IDs()))
+	if shards <= 1 {
+		return inner
+	}
+	sh, err := match.NewSharded(inner, shards, m.cfg.Workers)
+	if err != nil {
+		return inner
+	}
+	return sh
+}
+
+// Reshard re-partitions both serving indexes for scatter-gather with the
+// given shard count (interpreted like Config.ServeShards: 0 = auto,
+// <= 1 disables). Only the wrapper is rebuilt — the underlying flat,
+// IVF or SQ8 index and its fingerprint are untouched, so resharding is
+// O(1) and never invalidates cached results. Not safe concurrently with
+// queries; the serving layer applies it before a model starts serving.
+func (m *Model) Reshard(shards int) {
+	m.cfg.ServeShards = shards
+	m.firstIdx = m.shardWrap(unshard(m.firstIdx))
+	m.secondIdx = m.shardWrap(unshard(m.secondIdx))
+}
+
+// unshard strips a scatter-gather wrapper, returning the serving index
+// it was built over.
+func unshard(idx match.VectorIndex) match.VectorIndex {
+	if sh, ok := idx.(*match.Sharded); ok {
+		return sh.Inner()
+	}
+	return idx
+}
+
+// ShardStat is a point-in-time snapshot of one serving shard's scatter
+// counters, surfaced per side by Model.ShardStats and /v1/stats.
+type ShardStat = match.ShardStat
+
+// ShardStats snapshots the per-shard scatter counters of both serving
+// indexes; a side serving unsharded reports nil.
+func (m *Model) ShardStats() (first, second []ShardStat) {
+	if sh, ok := m.firstIdx.(*match.Sharded); ok {
+		first = sh.ShardStats()
+	}
+	if sh, ok := m.secondIdx.(*match.Sharded); ok {
+		second = sh.ShardStats()
+	}
+	return first, second
 }
 
 // objective picks Skip-gram window 3 when a table is involved and CBOW
@@ -463,6 +518,28 @@ func (m *Model) MatchAllWorkers(fromSecond bool, k, workers int) map[string][]Ma
 	}
 	ids := c.IDs()
 	results := make([][]Match, len(ids))
+	if sh, ok := idx.(*match.Sharded); ok {
+		// Sharded serving: one gather, then chunk×shard scatter tasks on
+		// the shared pool (shardedBatch) instead of chunk tasks.
+		queries := make([][]float32, 0, len(ids))
+		slots := make([]int, 0, len(ids))
+		for i, id := range ids {
+			if q := m.vectors[id]; q != nil {
+				queries = append(queries, q)
+				slots = append(slots, i)
+			}
+		}
+		for j, ranked := range shardedBatch(sh, queries, k, workers) {
+			results[slots[j]] = toMatches(ranked)
+		}
+		out := make(map[string][]Match, len(ids))
+		for i, id := range ids {
+			if results[i] != nil {
+				out[id] = results[i]
+			}
+		}
+		return out
+	}
 	size := batchChunk(len(ids), workers)
 	batches := (len(ids) + size - 1) / size
 	runPool(batches, workers, func(bi int) {
@@ -535,8 +612,37 @@ func (m *Model) TopKBatchWorkers(docIDs []string, k, workers int) []BatchResult 
 			chunks = append(chunks, chunk{idx: idx, slots: slots[lo:hi]})
 		}
 	}
-	addChunks(m.secondIdx, side1) // side-1 queries rank side-2 targets
-	addChunks(m.firstIdx, side2)
+	// Sharded sides scatter chunk×shard tasks over the pool instead of
+	// queueing whole chunks; both sides sharing one pool sequentially is
+	// fine — a request batch is served by one side in practice.
+	serveSharded := func(sh *match.Sharded, slots []int) {
+		queries := make([][]float32, 0, len(slots))
+		live := make([]int, 0, len(slots))
+		for _, slot := range slots {
+			q := m.vectors[out[slot].ID]
+			if q == nil {
+				out[slot].Err = fmt.Errorf("tdmatch: document %q has no embedding (pruned or isolated)", out[slot].ID)
+				continue
+			}
+			queries = append(queries, q)
+			live = append(live, slot)
+		}
+		for j, ranked := range shardedBatch(sh, queries, k, workers) {
+			out[live[j]].Matches = toMatches(ranked)
+		}
+	}
+	dispatch := func(idx match.VectorIndex, slots []int) {
+		if len(slots) == 0 {
+			return
+		}
+		if sh, ok := idx.(*match.Sharded); ok {
+			serveSharded(sh, slots)
+			return
+		}
+		addChunks(idx, slots)
+	}
+	dispatch(m.secondIdx, side1) // side-1 queries rank side-2 targets
+	dispatch(m.firstIdx, side2)
 	runPool(len(chunks), workers, func(ci int) {
 		ch := chunks[ci]
 		queries := make([][]float32, 0, len(ch.slots))
@@ -554,6 +660,43 @@ func (m *Model) TopKBatchWorkers(docIDs []string, k, workers int) []BatchResult 
 			out[live[j]].Matches = toMatches(ranked)
 		}
 	})
+	return out
+}
+
+// shardedBatch answers one query set against a sharded index by fanning
+// chunk×shard scatter tasks over the shared worker pool: the queries are
+// chunked matchBatch at a time, every chunk is planned up front (one
+// normalization/probe/quantization pass per chunk), and the plans' shard
+// tasks — nchunks × shards of them, each a partial-arena kernel pass —
+// are scheduled as one flat task list so no worker idles while any shard
+// of any chunk remains. Results are position-aligned with queries and
+// bit-identical to idx.TopKBatch.
+func shardedBatch(sh *match.Sharded, queries [][]float32, k, workers int) [][]match.Scored {
+	n := len(queries)
+	if n == 0 {
+		return nil
+	}
+	size := matchBatch
+	if size > n {
+		size = n
+	}
+	nchunks := (n + size - 1) / size
+	plans := make([]match.ShardPlan, nchunks)
+	for ci := range plans {
+		lo, hi := ci*size, (ci+1)*size
+		if hi > n {
+			hi = n
+		}
+		plans[ci] = sh.Plan(queries[lo:hi], k)
+	}
+	shards := sh.Shards()
+	runPool(nchunks*shards, workers, func(t int) {
+		plans[t/shards].RunShard(t % shards)
+	})
+	out := make([][]match.Scored, 0, n)
+	for _, p := range plans {
+		out = append(out, p.Merge()...)
+	}
 	return out
 }
 

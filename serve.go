@@ -63,6 +63,11 @@ type ServeStats struct {
 	Staleness int `json:"staleness"`
 	// Errors counts queries that failed (unknown document, no embedding).
 	Errors uint64 `json:"errors"`
+	// FirstShards / SecondShards report the per-shard scatter counters of
+	// each side's serving index under sharded serving (Config.ServeShards
+	// or tdserved -shards); nil when that side serves unsharded.
+	FirstShards  []ShardStat `json:"first_shards,omitempty"`
+	SecondShards []ShardStat `json:"second_shards,omitempty"`
 }
 
 // served pairs a model with its serving identity: gen is the swap
@@ -107,17 +112,21 @@ type Server struct {
 
 	// mutMu serializes model swaps (Reload, Ingest, Remove) so a clone
 	// being mutated can never race another swap and lose its update.
-	// Queries never take it.
-	mutMu sync.Mutex
+	// Queries never take it. It also guards the mutation counters below,
+	// so Stats can snapshot a mutation group consistent with the swapped
+	// model instead of racing field-by-field against an in-flight swap.
+	mutMu        sync.Mutex
+	reloads      uint64
+	ingests      uint64
+	ingestedDocs uint64
+	removes      uint64
+	removedDocs  uint64
 
+	// Query-side counters stay atomic: they are bumped on the query hot
+	// path, where taking mutMu would serialize queries against swaps.
 	queries        atomic.Uint64
 	batches        atomic.Uint64
 	batchedQueries atomic.Uint64
-	reloads        atomic.Uint64
-	ingests        atomic.Uint64
-	ingestedDocs   atomic.Uint64
-	removes        atomic.Uint64
-	removedDocs    atomic.Uint64
 	errors         atomic.Uint64
 }
 
@@ -175,8 +184,8 @@ func (s *Server) Reload(m *Model) error {
 	}
 	s.mutMu.Lock()
 	s.swap(m)
+	s.reloads++
 	s.mutMu.Unlock()
-	s.reloads.Add(1)
 	return nil
 }
 
@@ -203,8 +212,8 @@ func (s *Server) Ingest(docs []IngestDoc) error {
 		return err
 	}
 	s.swap(next)
-	s.ingests.Add(1)
-	s.ingestedDocs.Add(uint64(len(docs)))
+	s.ingests++
+	s.ingestedDocs += uint64(len(docs))
 	return nil
 }
 
@@ -218,8 +227,8 @@ func (s *Server) Remove(ids []string) error {
 		return err
 	}
 	s.swap(next)
-	s.removes.Add(1)
-	s.removedDocs.Add(uint64(len(ids)))
+	s.removes++
+	s.removedDocs += uint64(len(ids))
 	return nil
 }
 
@@ -279,26 +288,35 @@ func (s *Server) TopKBatch(docIDs []string, k int) []BatchResult {
 	return out
 }
 
-// Stats snapshots the serving counters. Individual counters are loaded
-// independently, so a snapshot taken under load may be internally skewed
-// by in-flight queries.
+// Stats snapshots the serving counters. The mutation group (reloads,
+// ingests, removes, the served model's staleness and shard counters) is
+// read under the swap lock, so it is always internally consistent — an
+// in-flight Ingest is either fully visible or not at all. Query-side
+// counters are monotonic atomics read without blocking queries; each is
+// individually exact, but a snapshot under load may sit mid-batch
+// (e.g. Queries already bumped for a query whose miss is still being
+// scored).
 func (s *Server) Stats() ServeStats {
-	hits, misses := s.cache.counters()
-	return ServeStats{
-		Queries:        s.queries.Load(),
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEntries:   s.cache.len(),
-		Batches:        s.batches.Load(),
-		BatchedQueries: s.batchedQueries.Load(),
-		Reloads:        s.reloads.Load(),
-		Ingests:        s.ingests.Load(),
-		IngestedDocs:   s.ingestedDocs.Load(),
-		Removes:        s.removes.Load(),
-		RemovedDocs:    s.removedDocs.Load(),
-		Staleness:      s.cur.Load().model.Staleness(),
-		Errors:         s.errors.Load(),
+	s.mutMu.Lock()
+	cur := s.cur.Load()
+	st := ServeStats{
+		Reloads:      s.reloads,
+		Ingests:      s.ingests,
+		IngestedDocs: s.ingestedDocs,
+		Removes:      s.removes,
+		RemovedDocs:  s.removedDocs,
+		Staleness:    cur.model.Staleness(),
 	}
+	st.FirstShards, st.SecondShards = cur.model.ShardStats()
+	s.mutMu.Unlock()
+
+	st.CacheHits, st.CacheMisses = s.cache.counters()
+	st.CacheEntries = s.cache.len()
+	st.Queries = s.queries.Load()
+	st.Batches = s.batches.Load()
+	st.BatchedQueries = s.batchedQueries.Load()
+	st.Errors = s.errors.Load()
+	return st
 }
 
 // answer resolves one query against a pinned model snapshot: cache probe,

@@ -1,0 +1,251 @@
+package tdmatch
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/tdmatch/tdmatch/internal/match"
+)
+
+// shardedCorpora builds movie/review corpora big enough that a 3-way
+// shard split puts several documents in every shard (the serve-test
+// pair has only 6 per side).
+func shardedCorpora(t testing.TB, n int) (*Corpus, *Corpus) {
+	t.Helper()
+	directors := []string{"shyamalan", "tarantino", "coppola", "mctiernan", "scorsese", "bigelow"}
+	genres := []string{"thriller", "drama", "crime", "action"}
+	stars := []string{"willis", "brando", "grier", "phoenix", "thurman"}
+	rows := make([][]string, n)
+	snippets := make([]string, n)
+	for i := 0; i < n; i++ {
+		d, g, s := directors[i%len(directors)], genres[i%len(genres)], stars[i%len(stars)]
+		rows[i] = []string{fmt.Sprintf("movie number %d", i), d, s, g}
+		snippets[i] = fmt.Sprintf("%s directs %s in a %s about movie number %d", d, s, g, i)
+	}
+	movies, err := NewTable("movies", []string{"title", "director", "star", "genre"}, rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reviews, err := NewText("reviews", snippets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return movies, reviews
+}
+
+// buildShardedModel trains a deterministic mid-sized model with the
+// given index kind and explicit ServeShards.
+func buildShardedModel(t testing.TB, kind IndexKind, shards int) *Model {
+	t.Helper()
+	movies, reviews := shardedCorpora(t, 48)
+	cfg := serveTestConfig(7)
+	cfg.Index = kind
+	cfg.ServeShards = shards
+	if kind == IndexIVF {
+		cfg.IVFClusters = 4
+	}
+	m, err := Build(movies, reviews, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// queryIDs returns the query-side documents with embeddings.
+func queryIDs(m *Model) []string {
+	var ids []string
+	for _, id := range m.second.IDs() {
+		if m.Vector(id) != nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// TestModelReshardParity checks the serving surface end to end: for
+// every index kind, a model resharded to 1/3/8 shards returns
+// bit-identical MatchAll, TopKBatch and TopK results to the unsharded
+// build, and Reshard is a reversible O(1) rewrap (fingerprints and
+// results unchanged after restoring shards=0).
+func TestModelReshardParity(t *testing.T) {
+	for _, kind := range []IndexKind{IndexFlat, IndexIVF, IndexSQ8} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m := buildShardedModel(t, kind, -1) // explicit unsharded baseline
+			ids := queryIDs(m)
+			if len(ids) < 10 {
+				t.Fatalf("only %d embedded query docs", len(ids))
+			}
+			const k = 5
+			baseAll := m.MatchAllWorkers(true, k, 2)
+			baseBatch := m.TopKBatchWorkers(ids, k, 2)
+
+			for _, shards := range []int{1, 3, 8} {
+				m.Reshard(shards)
+				if shards > 1 {
+					if _, ok := m.secondIdx.(*match.Sharded); !ok {
+						t.Fatalf("shards=%d: second index is %T, want *match.Sharded", shards, m.secondIdx)
+					}
+				}
+				if got := m.MatchAllWorkers(true, k, 2); !reflect.DeepEqual(got, baseAll) {
+					t.Errorf("shards=%d: MatchAll diverged", shards)
+				}
+				if got := m.TopKBatchWorkers(ids, k, 2); !reflect.DeepEqual(got, baseBatch) {
+					t.Errorf("shards=%d: TopKBatch diverged", shards)
+				}
+				for _, id := range ids[:4] {
+					got, err := m.TopK(id, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := batchResultOf(baseBatch, id)
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("shards=%d: TopK(%s) diverged\ngot:  %v\nwant: %v", shards, id, got, want)
+					}
+				}
+			}
+
+			// Restoring the default leaves results and identity untouched.
+			m.Reshard(0)
+			if got := m.TopKBatchWorkers(ids, k, 2); !reflect.DeepEqual(got, baseBatch) {
+				t.Error("Reshard(0) round-trip diverged")
+			}
+		})
+	}
+}
+
+// batchResultOf finds the ranking for id in a batch baseline.
+func batchResultOf(batch []BatchResult, id string) []Match {
+	for _, r := range batch {
+		if r.ID == id {
+			return r.Matches
+		}
+	}
+	return nil
+}
+
+// TestServerShardedParity runs two Servers over same-seed models — one
+// sharded 3 ways, one unsharded — through queries, a live ingest and a
+// removal, asserting identical rankings at every step. This pins the
+// clone-and-swap path: cloneServing must preserve the Sharded wrapper
+// and its shard layout across mutations.
+func TestServerShardedParity(t *testing.T) {
+	plain := NewServer(buildShardedModel(t, IndexFlat, -1), ServeConfig{CacheSize: -1, Workers: 2})
+	defer plain.Close()
+	sharded := NewServer(buildShardedModel(t, IndexFlat, 3), ServeConfig{CacheSize: -1, Workers: 2})
+	defer sharded.Close()
+
+	ids := queryIDs(plain.cur.Load().model)
+	const k = 6
+	check := func(stage string) {
+		t.Helper()
+		pb := plain.TopKBatch(ids, k)
+		sb := sharded.TopKBatch(ids, k)
+		if !reflect.DeepEqual(pb, sb) {
+			t.Fatalf("%s: sharded batch diverged from unsharded", stage)
+		}
+		for _, id := range ids[:3] {
+			p, perr := plain.TopK(id, k)
+			s, serr := sharded.TopK(id, k)
+			if (perr == nil) != (serr == nil) || !reflect.DeepEqual(p, s) {
+				t.Fatalf("%s: TopK(%s) diverged: %v/%v vs %v/%v", stage, id, p, perr, s, serr)
+			}
+		}
+	}
+	check("initial")
+
+	docs := []IngestDoc{
+		{Side: 2, ID: "reviews:live-a", Values: []string{"tarantino directs willis in a crime about movie number 3"}},
+		{Side: 2, ID: "reviews:live-b", Values: []string{"shyamalan directs phoenix in a thriller about movie number 12"}},
+	}
+	for _, s := range []*Server{plain, sharded} {
+		if err := s.Ingest(docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids = append(ids, "reviews:live-a", "reviews:live-b")
+	check("post-ingest")
+
+	for _, s := range []*Server{plain, sharded} {
+		if err := s.Remove([]string{ids[0], "reviews:live-a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids = ids[1 : len(ids)-2]
+	check("post-remove")
+
+	// The sharded server surfaces per-shard counters; the plain one
+	// omits them. Queries from second-side docs rank first-side targets,
+	// so the traffic lands on the first index's shards.
+	st := sharded.Stats()
+	if len(st.FirstShards) != 3 || len(st.SecondShards) != 3 {
+		t.Fatalf("shard stats = %+v / %+v, want 3 shards each", st.FirstShards, st.SecondShards)
+	}
+	var q uint64
+	for _, sh := range st.FirstShards {
+		q += sh.Queries
+	}
+	if q == 0 {
+		t.Error("sharded server served queries but shard counters are zero")
+	}
+	if pst := plain.Stats(); pst.FirstShards != nil || pst.SecondShards != nil {
+		t.Errorf("unsharded server reports shard stats: %+v / %+v", pst.FirstShards, pst.SecondShards)
+	}
+}
+
+// TestConfigServeShardsResolution pins the auto-shard policy: explicit
+// counts are honored exactly, negatives disable, and 0 scales with the
+// corpus so tiny indexes never pay scatter-gather overhead.
+func TestConfigServeShardsResolution(t *testing.T) {
+	cases := []struct {
+		cfg  int
+		n    int
+		want int
+	}{
+		{cfg: 5, n: 10, want: 5},       // explicit wins regardless of size
+		{cfg: -1, n: 100000, want: 1},  // negative disables
+		{cfg: 0, n: 100, want: 1},      // too small for auto
+		{cfg: 0, n: autoShardRows, want: 1},
+	}
+	for _, c := range cases {
+		cfg := Config{ServeShards: c.cfg}
+		if got := cfg.serveShards(c.n); got != c.want {
+			t.Errorf("serveShards(cfg=%d, n=%d) = %d, want %d", c.cfg, c.n, got, c.want)
+		}
+	}
+	// Large corpora shard up to GOMAXPROCS.
+	cfg := Config{}
+	if got := cfg.serveShards(1 << 20); got < 1 {
+		t.Errorf("serveShards(1M) = %d", got)
+	}
+}
+
+// TestModelShardStats checks the Model-level stats surface: nil for
+// unsharded sides, live counters for sharded ones.
+func TestModelShardStats(t *testing.T) {
+	m := buildShardedModel(t, IndexSQ8, 2)
+	first, second := m.ShardStats()
+	if len(first) != 2 || len(second) != 2 {
+		t.Fatalf("ShardStats lengths = %d/%d, want 2/2", len(first), len(second))
+	}
+	// A query from a second-side doc ranks first-side targets, so the
+	// first index's counters move.
+	ids := queryIDs(m)
+	if _, err := m.TopK(ids[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	first, _ = m.ShardStats()
+	var q uint64
+	for _, sh := range first {
+		q += sh.Queries
+	}
+	if q == 0 {
+		t.Error("TopK did not bump shard query counters")
+	}
+
+	m.Reshard(-1)
+	first, second = m.ShardStats()
+	if first != nil || second != nil {
+		t.Errorf("unsharded ShardStats = %v/%v, want nil/nil", first, second)
+	}
+}

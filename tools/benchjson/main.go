@@ -8,6 +8,9 @@
 // entry. CI regenerates the file as an artifact on every run; committed
 // snapshots mark the state at a PR boundary.
 //
+// The trajectory schema lives in internal/benchfmt and is shared with
+// cmd/tdload, whose latency/QPS measurements append to the same file.
+//
 // Usage:
 //
 //	go run ./tools/benchjson [-out BENCH_build.json] [-label pr4] [-benchtime 2x] [-bench regexp] [-pkg ./...]
@@ -15,13 +18,12 @@
 // The default benchmark set covers the training hot path (graph build,
 // random walks, Skip-gram and CBOW Word2Vec, end-to-end Build) and the
 // serving hot path (single and batched flat TopK, IVF and SQ8 TopK,
-// cached serve TopK, and the MatchAll family).
+// cached serve TopK, and the MatchAll family, sharded and unsharded).
 package main
 
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,45 +33,23 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/tdmatch/tdmatch/internal/benchfmt"
 )
 
 // defaultBench selects the benchmarks that define the build/serve perf
 // trajectory. BenchmarkIngestSingleDoc vs BenchmarkEndToEndPipeline is
 // the ingest-vs-full-rebuild ratio (same corpora and configuration);
 // BenchmarkIngestServerSingleDoc adds the serving layer's
-// clone-and-swap on top.
+// clone-and-swap on top. The Sharded pair measures the scatter-gather
+// serving path against its unsharded counterparts
+// (BenchmarkMatchAllParallelFlat, BenchmarkTopKBatch).
 const defaultBench = "BenchmarkWord2VecSkipGram$|BenchmarkWord2VecCBOW$|BenchmarkRandomWalks$|" +
 	"BenchmarkGraphBuild$|BenchmarkTopKMatch$|BenchmarkTopKBatch$|BenchmarkTopKIVF$|BenchmarkTopKSQ8$|" +
 	"BenchmarkMatchAllSerialFlat$|BenchmarkMatchAllParallelFlat$|BenchmarkMatchAllParallelIVF$|" +
-	"BenchmarkMatchAllParallelSQ8$|BenchmarkEndToEndPipeline$|BenchmarkServeTopKCached$|" +
+	"BenchmarkMatchAllParallelSQ8$|BenchmarkMatchAllShardedFlat$|BenchmarkTopKBatchSharded$|" +
+	"BenchmarkEndToEndPipeline$|BenchmarkServeTopKCached$|" +
 	"BenchmarkIngestSingleDoc$|BenchmarkIngestServerSingleDoc$"
-
-// Result is one benchmark measurement.
-type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-// Entry is one trajectory point: the benchmark results of one run plus
-// enough metadata to compare runs across machines and PRs.
-type Entry struct {
-	Label      string   `json:"label,omitempty"`
-	RecordedAt string   `json:"recorded_at,omitempty"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	CPU        string   `json:"cpu,omitempty"`
-	BenchTime  string   `json:"benchtime"`
-	Benchmarks []Result `json:"benchmarks"`
-}
-
-// Trajectory is the BENCH_build.json payload: entries in append order,
-// oldest first.
-type Trajectory struct {
-	Entries []Entry `json:"entries"`
-}
 
 // benchLine matches `go test -bench -benchmem` output rows, e.g.
 // "BenchmarkRandomWalks-8  50  6449439 ns/op  4118728 B/op  23 allocs/op".
@@ -96,7 +76,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	entry := Entry{
+	entry := benchfmt.Entry{
 		Label:      *label,
 		RecordedAt: start.UTC().Format(time.RFC3339),
 		GOOS:       runtime.GOOS,
@@ -123,7 +103,7 @@ func main() {
 		if m[5] != "" {
 			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
-		entry.Benchmarks = append(entry.Benchmarks, Result{
+		entry.Benchmarks = append(entry.Benchmarks, benchfmt.Result{
 			Name:        strings.TrimPrefix(m[1], "Benchmark"),
 			Iterations:  iters,
 			NsPerOp:     ns,
@@ -136,45 +116,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	traj, err := readTrajectory(*out)
+	count, err := benchfmt.Append(*out, entry)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	traj.Entries = append(traj.Entries, entry)
-
-	enc, err := json.MarshalIndent(traj, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	enc = append(enc, '\n')
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: appended entry %d (%d results) to %s in %s\n",
-		len(traj.Entries), len(entry.Benchmarks), *out, time.Since(start).Round(time.Millisecond))
-}
-
-// readTrajectory loads the existing trajectory file. A missing file
-// starts an empty trajectory; a legacy single-entry payload (one bare
-// report object, the pre-trajectory format) becomes the first entry.
-func readTrajectory(path string) (Trajectory, error) {
-	raw, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return Trajectory{}, nil
-	}
-	if err != nil {
-		return Trajectory{}, err
-	}
-	var traj Trajectory
-	if err := json.Unmarshal(raw, &traj); err == nil && traj.Entries != nil {
-		return traj, nil
-	}
-	var legacy Entry
-	if err := json.Unmarshal(raw, &legacy); err == nil && len(legacy.Benchmarks) > 0 {
-		return Trajectory{Entries: []Entry{legacy}}, nil
-	}
-	return Trajectory{}, fmt.Errorf("cannot parse %s as a trajectory or legacy report", path)
+		count, len(entry.Benchmarks), *out, time.Since(start).Round(time.Millisecond))
 }
