@@ -555,3 +555,96 @@ func rowsOf(s *datasets.Scenario) [][]string {
 	}
 	return rows
 }
+
+// --- Segmented core: ingest cost vs graph size, online compaction. ---
+
+// benchScaledModel builds the ingest-scaling model over IMDb corpora at
+// mult times the 1x baseline size (20 movies / 100 general sentences),
+// training config held fixed so only the graph size varies.
+func benchScaledModel(b *testing.B, mult int) *tdmatch.Model {
+	b.Helper()
+	s, err := datasets.IMDb(datasets.IMDbConfig{
+		Seed: 3, Movies: 20 * mult, WithTitle: true, GeneralSentences: 100 * mult,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	first, err := tdmatch.NewTable("movies", s.First.Columns, rowsOf(s), s.First.IDs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	texts := make([]string, 0, s.Second.Len())
+	for _, d := range s.Second.Docs {
+		texts = append(texts, d.Text())
+	}
+	second, err := tdmatch.NewText("reviews", texts, s.Second.IDs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := tdmatch.Defaults()
+	cfg.NumWalks = 8
+	cfg.WalkLength = 14
+	cfg.Dim = 40
+	cfg.Seed = 1
+	model, err := tdmatch.Build(first, second, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return model
+}
+
+// BenchmarkIngestSegmented measures per-document Model.Ingest against
+// corpora 1x, 4x and 16x the baseline size. The segmented core's claim
+// is O(delta) ingest: per-doc ns/op must stay flat (within roughly
+// ±20%) as the graph grows 16x — appends land in the mutable delta
+// segment and never touch sealed storage, where a monolithic design
+// would pay an index rebuild scaling with corpus size.
+func BenchmarkIngestSegmented(b *testing.B) {
+	for _, mult := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("scale%dx", mult), func(b *testing.B) {
+			model := benchScaledModel(b, mult)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := model.Ingest([]tdmatch.IngestDoc{{
+					Side:   2,
+					ID:     fmt.Sprintf("reviews:seg%d", i),
+					Values: []string{ingestBenchText},
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompactOnline measures one full online compaction through
+// the serving layer: an ingest makes the served model stale, then
+// Server.Compact clones it, retrains off-lock while queries keep
+// serving, replays any concurrent deltas and swaps — the cost of
+// POST /v1/compact.
+func BenchmarkCompactOnline(b *testing.B) {
+	first, second, cfg := benchEndToEndInputs(b)
+	cfg.Seed = 1
+	model, err := tdmatch.Build(first, second, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := tdmatch.NewServer(model, tdmatch.ServeConfig{})
+	defer srv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := srv.Ingest([]tdmatch.IngestDoc{{
+			Side:   2,
+			ID:     fmt.Sprintf("reviews:cmp%d", i),
+			Values: []string{ingestBenchText},
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Compact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

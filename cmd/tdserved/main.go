@@ -14,6 +14,7 @@
 //	POST /v1/batch   {"ids": ["second:p0", ...], "k": 5} → many, fanned out
 //	POST /v1/ingest  {"docs": [{"side": 2, "id": "...", "values": ["..."]}]}
 //	POST /v1/remove  {"ids": ["second:p0", ...]}
+//	POST /v1/compact retrain off-line, swap in the compacted model
 //	POST /v1/reload  reload corpora + snapshot from disk, swap atomically
 //	GET  /v1/stats   serving counters, cache hit rate, model metadata
 //	GET  /healthz    liveness: 200 with the served model's identity
@@ -231,6 +232,7 @@ func newHandler(d *daemon) http.Handler {
 	mux.HandleFunc("POST /v1/batch", d.handleBatch)
 	mux.HandleFunc("POST /v1/ingest", d.handleIngest)
 	mux.HandleFunc("POST /v1/remove", d.handleRemove)
+	mux.HandleFunc("POST /v1/compact", d.handleCompact)
 	mux.HandleFunc("POST /v1/reload", d.handleReload)
 	mux.HandleFunc("GET /v1/stats", d.handleStats)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
@@ -426,6 +428,27 @@ func (d *daemon) handleRemove(w http.ResponseWriter, r *http.Request) {
 		Status:    "ok",
 		Docs:      len(req.IDs),
 		Staleness: d.server.Stats().Staleness,
+	})
+}
+
+// handleCompact folds the delta chain into a full retrain: queries keep
+// hitting the old model while a clone recompacts off to the side, then
+// the daemon swaps atomically. A request arriving while a compaction is
+// already running is answered 409 rather than queued.
+func (d *daemon) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if err := d.server.Compact(); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, tdmatch.ErrCompacting) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	st := d.server.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"compactions": st.Compactions,
+		"staleness":   st.Staleness,
 	})
 }
 

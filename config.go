@@ -168,6 +168,16 @@ type Config struct {
 	// the ranking provably identical to IndexFlat.
 	SQ8Rerank int
 
+	// SegmentMaxDocs caps the mutable delta segment of the segmented
+	// serving indexes: ingested documents accumulate in a small flat
+	// delta segment, and once it reaches this many rows it is sealed
+	// into an immutable segment (wrapped per Index, like the base).
+	// Smaller values keep the always-rescanned delta tiny at the cost
+	// of more segments to merge per query; Compact collapses the stack
+	// back to one segment. 0 selects the default (512); negative
+	// disables auto-sealing so the delta grows until the next Compact.
+	SegmentMaxDocs int
+
 	// ServeCacheSize bounds the Server result cache in entries, summed
 	// across its shards (default 4096). Negative disables result caching;
 	// 0 selects the default. Each entry holds one (document, k) ranking,
@@ -227,6 +237,7 @@ func Defaults() Config {
 		Subsample:        1e-2,
 		ChooseObjective:  true,
 		Workers:          runtime.GOMAXPROCS(0),
+		SegmentMaxDocs:   512,
 		ServeCacheSize:   4096,
 		ServeBatchWindow: 200 * time.Microsecond,
 	}
@@ -262,6 +273,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = d.Workers
+	}
+	if c.SegmentMaxDocs == 0 {
+		c.SegmentMaxDocs = d.SegmentMaxDocs
 	}
 	if c.ServeCacheSize == 0 {
 		c.ServeCacheSize = d.ServeCacheSize

@@ -35,10 +35,26 @@ type IngestDoc struct {
 
 // Staleness returns the number of delta documents (ingested plus
 // removed) not yet folded into a full retrain. It grows with every
-// Ingest and Remove and resets to zero on Compact. Deployments watch it
+// Ingest and Remove and drops to zero on Compact. Deployments watch it
 // to decide when the incremental approximation has drifted enough to be
 // worth a rebuild.
-func (m *Model) Staleness() int { return m.staleness }
+//
+// The count is derived from the delta chain against the fold watermark
+// rather than kept as a resettable counter, so a mutation that lands
+// while a background compaction rebuilds (Server.Compact's replay
+// window) stays counted: Compact folds exactly the deltas its rebuild
+// saw, never ones appended afterwards.
+func (m *Model) Staleness() int {
+	folded := m.folded
+	if folded > len(m.deltas) {
+		folded = len(m.deltas)
+	}
+	n := m.staleBase
+	for _, d := range m.deltas[folded:] {
+		n += len(d.Added) + len(d.Removed)
+	}
+	return n
+}
 
 // Ingest adds documents to the model without a full rebuild — the
 // incremental counterpart of Build. On a trained model the delta
@@ -52,9 +68,10 @@ func (m *Model) Staleness() int { return m.staleness }
 // the sum of its known terms' trained vectors — cheaper and slightly
 // less faithful; the staleness counter tracks how far either
 // approximation has drifted and Compact is the full-rebuild escape
-// hatch. Two build features are skipped for delta documents until the
-// next Compact: external-resource expansion and the per-document
-// TF-IDF token filter (FilterTFIDF).
+// hatch. Delta documents get the full build treatment: the per-document
+// TF-IDF token filter (FilterTFIDF) scores them against the build's
+// retained document-frequency statistics, and external-resource
+// expansion fetches relations for the nodes they create.
 //
 // Ingest mutates the model and must not run concurrently with queries;
 // Server.Ingest wraps it in a clone-and-swap for live serving.
@@ -151,14 +168,18 @@ func (m *Model) Ingest(docs []IngestDoc) error {
 		return err
 	}
 	m.invalidateDerived()
-	m.staleness += len(docs)
 	m.deltas = append(m.deltas, savedDelta{Added: record})
 	return nil
 }
 
 // ingestWarm runs the delta pipeline stages against the retained state
-// and gathers the new documents' trained vectors.
+// and gathers the new documents' trained vectors. A spilled trainer
+// output arena is reloaded first, so serving-only processes that
+// called SpillTrainer keep full warm-start capability.
 func (m *Model) ingestWarm(addFirst, addSecond []corpus.Document) error {
+	if err := m.reloadSpill(); err != nil {
+		return err
+	}
 	st := m.ps
 	st.Delta = &pipeline.Delta{AddFirst: addFirst, AddSecond: addSecond}
 	err := pipeline.Run(st, pipeline.DeltaStages())
@@ -259,17 +280,20 @@ func (m *Model) Remove(ids []string) error {
 	m.firstIdx.Remove(firstIDs)
 	m.secondIdx.Remove(secondIDs)
 	m.invalidateDerived()
-	m.staleness += len(ids)
 	m.deltas = append(m.deltas, savedDelta{Removed: append([]string(nil), ids...)})
 	return nil
 }
 
 // Compact is the full-rebuild escape hatch: it re-runs the complete
 // build pipeline over the current corpora (including every ingested
-// document), replacing the incrementally-patched state with a freshly
-// trained one, and resets the staleness counter. The persistence delta
-// chain is kept — it records which documents are absent from the
-// original corpus files, which a rebuild does not change.
+// document), replacing the incrementally-patched state — and the whole
+// serving segment stack, collapsed back to one sealed base segment —
+// with a freshly trained one. The fold watermark advances to the end of
+// the delta chain as it stands now, so Staleness drops to zero; the
+// chain itself is kept — it records which documents are absent from the
+// original corpus files, which a rebuild does not change. For rebuilds
+// under live traffic use Server.Compact, which runs this off to the
+// side and replays mutations that land mid-rebuild.
 func (m *Model) Compact() error {
 	nm, err := Build(m.first, m.second, m.cfg)
 	if err != nil {
@@ -279,12 +303,14 @@ func (m *Model) Compact() error {
 	m.fold = nil
 	m.vectors = nm.vectors
 	m.dim = nm.dim
-	m.firstFlat = nm.firstFlat
-	m.secondFlat = nm.secondFlat
 	m.firstIdx = nm.firstIdx
 	m.secondIdx = nm.secondIdx
 	m.stats = nm.stats
-	m.staleness = 0
+	m.folded = len(m.deltas)
+	m.staleBase = 0
+	m.spillPath = ""
+	// Drops the blockers, the combined-scorer caches and the monolithic
+	// exact indexes; the latter rebuild lazily over the fresh stack.
 	m.invalidateDerived()
 	return nil
 }
@@ -309,8 +335,9 @@ func (m *Model) appendToIndex(idx match.VectorIndex, docs []corpus.Document) err
 }
 
 // invalidateDerived drops the lazily-built serving caches that depend
-// on corpus or index composition: the token blockers and the external
-// combined-scorer indexes.
+// on corpus or index composition: the token blockers, the external
+// combined-scorer indexes and the monolithic exact indexes (rebuilt on
+// the next TopKCombined/TopKBlocked call over the stack's live rows).
 func (m *Model) invalidateDerived() {
 	m.blkMu.Lock()
 	m.firstBlk, m.secondBlk = nil, nil
@@ -318,12 +345,21 @@ func (m *Model) invalidateDerived() {
 	m.extMu.Lock()
 	m.extCache = [2]extIndexCache{}
 	m.extMu.Unlock()
+	m.flatMu.Lock()
+	m.firstFlat, m.secondFlat = nil, nil
+	m.flatMu.Unlock()
 }
 
 // clone returns a deep-enough copy for the serving layer's
 // clone-mutate-swap: everything Ingest/Remove mutates is copied
-// (corpora, vector map, indexes, graph state, delta chain), immutable
-// artefacts (vector rows, trained arenas, centroids) are shared.
+// (corpora, vector map, graph overlay state, delta chain), immutable
+// artefacts (vector rows, trained arenas, sealed index segments) are
+// shared. Index cloning is O(delta + tombstones) — the sealed segment
+// stack is shared outright, only the mutable delta segment and the
+// tombstone overlay are copied — so cloning never re-touches the full
+// arena the way a monolithic index clone would. The monolithic exact
+// caches are not carried over; a clone rebuilds them on first
+// TopKCombined/TopKBlocked use.
 func (m *Model) clone() *Model {
 	first := &Corpus{c: m.first.c.Clone()}
 	second := &Corpus{c: m.second.c.Clone()}
@@ -333,7 +369,9 @@ func (m *Model) clone() *Model {
 		second:    second,
 		fold:      m.fold,
 		dim:       m.dim,
-		staleness: m.staleness,
+		folded:    m.folded,
+		staleBase: m.staleBase,
+		spillPath: m.spillPath,
 		stats:     m.stats,
 		deltas:    append([]savedDelta(nil), m.deltas...),
 	}
@@ -344,30 +382,22 @@ func (m *Model) clone() *Model {
 	if m.ps != nil {
 		nm.ps = m.ps.Clone(first.c, second.c)
 	}
-	nm.firstFlat = m.firstFlat.Clone()
-	nm.secondFlat = m.secondFlat.Clone()
-	nm.firstIdx = cloneServing(m.firstIdx, nm.firstFlat)
-	nm.secondIdx = cloneServing(m.secondIdx, nm.secondFlat)
+	nm.firstIdx = cloneIndex(m.firstIdx)
+	nm.secondIdx = cloneIndex(m.secondIdx)
 	return nm
 }
 
-// cloneServing rewires a serving index onto the cloned flat index.
-func cloneServing(idx match.VectorIndex, flat *match.Index) match.VectorIndex {
-	switch v := idx.(type) {
-	case *match.Sharded:
-		sh, err := v.CloneWithInner(cloneServing(v.Inner(), flat))
-		if err != nil {
-			// Unreachable: the original wrapped this inner kind already.
-			return cloneServing(v.Inner(), flat)
-		}
-		return sh
-	case *match.IVF:
-		return v.CloneWithFlat(flat)
-	case *match.IndexSQ8:
-		return v.CloneWithFlat(flat)
-	default:
-		return flat
+// cloneIndex clones a serving index for the swap chain: segment stacks
+// share their sealed segments (O(delta)); anything else falls back to
+// a full copy.
+func cloneIndex(idx match.VectorIndex) match.VectorIndex {
+	if seg, ok := idx.(*match.Segmented); ok {
+		return seg.Clone()
 	}
+	if flat, ok := idx.(*match.Index); ok {
+		return flat.Clone()
+	}
+	return idx
 }
 
 // foldState is the ingest state of a snapshot-restored model: the
@@ -412,6 +442,34 @@ func ingestDocument(c *corpus.Corpus, d IngestDoc) (corpus.Document, error) {
 		doc.Values = []corpus.Value{{Text: strings.Join(d.Values, " ")}}
 	}
 	return doc, nil
+}
+
+// shareTrainer marks the model's trainer arenas as shared: the serving
+// layer calls it when it takes a caller-owned model (NewServer,
+// Reload), so the first ingest on the swap chain warm-starts by
+// copying instead of fine-tuning arenas the caller may still read
+// (Save, further Ingest on their own reference). Later clones in the
+// chain own their arenas exclusively and fine-tune in place.
+func (m *Model) shareTrainer() {
+	if m.ps != nil {
+		m.ps.OwnsEmbed = false
+	}
+}
+
+// ingestDocsOfSaved converts persisted delta documents back into the
+// public ingest shape, for replaying a delta-chain suffix onto a
+// compacted model.
+func ingestDocsOfSaved(saved []savedDoc) []IngestDoc {
+	out := make([]IngestDoc, len(saved))
+	for i, sd := range saved {
+		out[i] = IngestDoc{
+			Side:   int(sd.Side),
+			ID:     sd.ID,
+			Values: append([]string(nil), sd.Texts...),
+			Parent: sd.Parent,
+		}
+	}
+	return out
 }
 
 // savedDocOf converts an ingested document into its persisted form.

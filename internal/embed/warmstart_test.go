@@ -79,3 +79,85 @@ func TestWarmStartPreservesUntouchedRows(t *testing.T) {
 		t.Error("warm start with mismatched dim must fail")
 	}
 }
+
+// TestInPlaceWarmStartBitIdentical: fine-tuning with InPlace must
+// produce exactly the vectors the copying warm start produces (single
+// worker for determinism), return the initial model itself, and keep
+// existing arena views valid when the arena does not move.
+func TestInPlaceWarmStartBitIdentical(t *testing.T) {
+	base := PackSequences([][]int32{
+		{0, 1, 2, 3, 0, 1, 2, 3},
+		{4, 5, 0, 4, 5, 0, 4, 5},
+	})
+	cfg := Config{Dim: 12, Window: 2, Negative: 3, Epochs: 2, Seed: 11, Workers: 1}
+	warmA, err := TrainPacked(base, 6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmB, err := TrainPacked(base, 6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	delta := PackSequences([][]int32{
+		{6, 0, 7, 6, 0, 7, 6},
+		{7, 1, 6, 7, 1, 6},
+	})
+	copyCfg := cfg
+	copyCfg.Initial = warmA
+	copied, err := TrainPacked(delta, 8, copyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipCfg := cfg
+	ipCfg.Initial = warmB
+	ipCfg.InPlace = true
+	tuned, err := TrainPacked(delta, 8, ipCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned != warmB {
+		t.Fatal("InPlace fine-tune must return the initial model itself")
+	}
+	if len(tuned.Vecs) != len(copied.Vecs) {
+		t.Fatalf("vocab = %d, want %d", len(tuned.Vecs), len(copied.Vecs))
+	}
+	for tok := range copied.Vecs {
+		for d := range copied.Vecs[tok] {
+			if tuned.Vecs[tok][d] != copied.Vecs[tok][d] {
+				t.Fatalf("row %d dim %d: in-place %v != copied %v", tok, d, tuned.Vecs[tok][d], copied.Vecs[tok][d])
+			}
+		}
+	}
+	for i := 0; i < len(copied.Out); i++ {
+		if tuned.Out[i] != copied.Out[i] {
+			t.Fatalf("output weights diverge at %d", i)
+		}
+	}
+	// Chained fine-tune: the second in-place call grows within headroom
+	// and must still match the copying path.
+	delta2 := PackSequences([][]int32{{8, 6, 0, 8, 6}})
+	copyCfg.Initial = copied
+	copied2, err := TrainPacked(delta2, 9, copyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipCfg.Initial = tuned
+	tuned2, err := TrainPacked(delta2, 9, ipCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tok := range copied2.Vecs {
+		for d := range copied2.Vecs[tok] {
+			if tuned2.Vecs[tok][d] != copied2.Vecs[tok][d] {
+				t.Fatalf("chained row %d dim %d diverges", tok, d)
+			}
+		}
+	}
+	// A shrinking vocabulary cannot be fine-tuned in place.
+	bad := ipCfg
+	bad.Initial = tuned2
+	if _, err := TrainPacked(delta, 4, bad); err == nil {
+		t.Error("in-place warm start with shrunken vocabulary must fail")
+	}
+}

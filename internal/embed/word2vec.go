@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -52,6 +53,15 @@ type Config struct {
 	// ingest path: sequences seeded from a delta's neighborhood adjust
 	// new rows into the existing embedding space without retraining it.
 	Initial *Model
+	// InPlace, with Initial set, fine-tunes Initial's own arenas instead
+	// of copying them: the arena is grown (with amortizing headroom) to
+	// the new vocabulary size and TrainPacked returns Initial itself.
+	// Output is bit-identical to the copying warm start, but the
+	// per-call cost is O(delta + new rows) instead of O(vocabulary) — the
+	// segmented-ingest hot path. The caller must own Initial exclusively:
+	// nothing may read its arenas while training runs, and the returned
+	// model aliases them. Ignored when Initial is nil.
+	InPlace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +184,44 @@ func unigramTable(counts []int64) []int32 {
 	return table
 }
 
+// unigramTableSparse builds the negative-sampling table from a sparse
+// token tally — the fine-tune path, where the distinct tokens of a
+// delta corpus are a sliver of the vocabulary. The table is sized by
+// the distinct-token count (typically the 1<<16 floor, cache-resident)
+// and holds the same 3/4-power distribution over the same tokens the
+// dense build would produce for that corpus.
+func unigramTableSparse(sparse map[int32]int64) []int32 {
+	unigramTableSize := tableSizeFor(len(sparse))
+	table := make([]int32, unigramTableSize)
+	if len(sparse) == 0 {
+		return table
+	}
+	toks := make([]int32, 0, len(sparse))
+	for tok := range sparse {
+		toks = append(toks, tok)
+	}
+	// Map iteration order is random; the cumulative fill below must walk
+	// tokens in ascending order, like the dense table, for determinism.
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	var total float64
+	for _, tok := range toks {
+		total += math.Pow(float64(sparse[tok]), 0.75)
+	}
+	i := 0
+	var cum float64
+	for _, tok := range toks {
+		cum += math.Pow(float64(sparse[tok]), 0.75) / total
+		limit := int(cum * float64(unigramTableSize))
+		for ; i < limit && i < unigramTableSize; i++ {
+			table[i] = tok
+		}
+	}
+	for ; i < unigramTableSize; i++ {
+		table[i] = table[i-1]
+	}
+	return table
+}
+
 // Train learns token embeddings from sequences of token IDs in
 // [0, vocabSize) — the [][]int32 adapter over TrainPacked for callers
 // that materialize their corpus as slice-of-slices.
@@ -195,14 +243,31 @@ func TrainPacked(seqs Sequences, vocabSize int, cfg Config) (*Model, error) {
 	}
 	cfg = cfg.withDefaults()
 
-	counts := make([]int64, vocabSize)
+	// A full build tallies token counts into a dense vocabulary-sized
+	// array. A warm-start fine-tune trains on a delta corpus whose
+	// distinct tokens are a sliver of the vocabulary, so it tallies
+	// sparsely — the whole setup stays O(delta tokens) per call instead
+	// of O(vocabulary), which is what keeps per-document ingest cost
+	// independent of how large the graph has grown.
+	fineTune := cfg.Initial != nil
+	var counts []int64
+	var sparseCounts map[int32]int64
+	if fineTune {
+		sparseCounts = make(map[int32]int64)
+	} else {
+		counts = make([]int64, vocabSize)
+	}
 	nSeqs := seqs.Len()
 	for si := 0; si < nSeqs; si++ {
 		for _, t := range seqs.Seq(si) {
 			if t < 0 || int(t) >= vocabSize {
 				return nil, fmt.Errorf("embed: token %d out of range in sequence %d", t, si)
 			}
-			counts[t]++
+			if fineTune {
+				sparseCounts[t]++
+			} else {
+				counts[t]++
+			}
 		}
 	}
 	totalTokens := int64(seqs.NumTokens())
@@ -216,22 +281,45 @@ func TrainPacked(seqs Sequences, vocabSize int, cfg Config) (*Model, error) {
 	// defaults to zero where the initial model did not retain it) and only
 	// the appended vocabulary rows get a fresh random initialization.
 	dim := cfg.Dim
-	syn0 := make([]float32, vocabSize*dim)
-	syn1 := make([]float32, vocabSize*dim)
+	var syn0, syn1 []float32
+	var inPlace *Model
+	syn0Moved := false
 	warmFloats := 0
-	if cfg.Initial != nil {
-		if cfg.Initial.Dim != dim {
-			return nil, fmt.Errorf("embed: warm start dim %d != configured dim %d", cfg.Initial.Dim, dim)
+	if cfg.Initial != nil && cfg.Initial.Dim != dim {
+		return nil, fmt.Errorf("embed: warm start dim %d != configured dim %d", cfg.Initial.Dim, dim)
+	}
+	switch {
+	case cfg.Initial != nil && cfg.InPlace:
+		inPlace = cfg.Initial
+		warmFloats = len(inPlace.Arena)
+		if warmFloats > vocabSize*dim {
+			return nil, fmt.Errorf("embed: warm start holds %d rows but vocabulary shrank to %d", warmFloats/dim, vocabSize)
 		}
+		// Grow the initial model's own arenas: the warm region is already
+		// in place and the extension is zeroed, exactly the state the
+		// copying path reaches — so the two paths stay bit-identical.
+		syn0, syn0Moved = growFloats(inPlace.Arena, vocabSize*dim)
+		syn1, _ = growFloats(inPlace.Out, vocabSize*dim)
+	case cfg.Initial != nil:
+		syn0 = make([]float32, vocabSize*dim)
+		syn1 = make([]float32, vocabSize*dim)
 		warmFloats = copy(syn0, cfg.Initial.Arena)
 		copy(syn1[:warmFloats], cfg.Initial.Out)
+	default:
+		syn0 = make([]float32, vocabSize*dim)
+		syn1 = make([]float32, vocabSize*dim)
 	}
 	initRng := newXorshift(uint64(cfg.Seed) ^ 0xabcdef)
 	for i := warmFloats; i < len(syn0); i++ {
 		syn0[i] = (initRng.float() - 0.5) / float32(dim)
 	}
 
-	table := unigramTable(counts)
+	var table []int32
+	if fineTune {
+		table = unigramTableSparse(sparseCounts)
+	} else {
+		table = unigramTable(counts)
+	}
 	trainedTarget := float64(totalTokens) * float64(cfg.Epochs)
 	// trainedTokens is the shared progress counter driving the linear
 	// learning-rate decay. Workers fold their local token counts in at
@@ -279,7 +367,11 @@ func TrainPacked(seqs Sequences, vocabSize int, cfg Config) (*Model, error) {
 				for si := worker; si < nSeqs; si += workers {
 					seq := seqs.Seq(si)
 					if cfg.Subsample > 0 {
-						subBuf = subsampleInto(subBuf[:0], seq, counts, totalTokens, cfg.Subsample, &rng)
+						if fineTune {
+							subBuf = subsampleSparseInto(subBuf[:0], seq, sparseCounts, totalTokens, cfg.Subsample, &rng)
+						} else {
+							subBuf = subsampleInto(subBuf[:0], seq, counts, totalTokens, cfg.Subsample, &rng)
+						}
 						seq = subBuf
 					}
 					for pos, center := range seq {
@@ -344,11 +436,45 @@ func TrainPacked(seqs Sequences, vocabSize int, cfg Config) (*Model, error) {
 		}(w)
 	}
 	wg.Wait()
+	if inPlace != nil {
+		inPlace.Arena, inPlace.Out = syn0, syn1
+		if syn0Moved || inPlace.Vecs == nil {
+			vecs := make([][]float32, vocabSize)
+			for i := range vecs {
+				vecs[i] = syn0[i*dim : (i+1)*dim : (i+1)*dim]
+			}
+			inPlace.Vecs = vecs
+		} else {
+			// The arena did not move: existing views stay valid, only the
+			// appended vocabulary rows need views — O(new rows), the common
+			// steady-state fine-tune cost.
+			for i := len(inPlace.Vecs); i < vocabSize; i++ {
+				inPlace.Vecs = append(inPlace.Vecs, syn0[i*dim:(i+1)*dim:(i+1)*dim])
+			}
+		}
+		return inPlace, nil
+	}
 	vecs := make([][]float32, vocabSize)
 	for i := range vecs {
 		vecs[i] = syn0[i*dim : (i+1)*dim : (i+1)*dim]
 	}
 	return &Model{Dim: dim, Arena: syn0, Vecs: vecs, Out: syn1}, nil
+}
+
+// growFloats returns s extended with zeros to length n, reporting
+// whether the backing array moved. Reallocations reserve ~25% headroom
+// so a stream of small fine-tune growths reallocates O(log) times.
+func growFloats(s []float32, n int) (out []float32, moved bool) {
+	if n <= cap(s) {
+		out = s[:n]
+		for i := len(s); i < n; i++ {
+			out[i] = 0
+		}
+		return out, false
+	}
+	out = make([]float32, n, n+n/4)
+	copy(out, s)
+	return out, true
 }
 
 // trainPair performs one positive + k negative updates for input vector in
@@ -414,6 +540,22 @@ func trainPair(in, syn1 []float32, dim int, target int32, table []int32, negativ
 func subsampleInto(dst, seq []int32, counts []int64, total int64, t float64, rng *xorshift) []int32 {
 	for _, tok := range seq {
 		freq := float64(counts[tok]) / float64(total)
+		if freq > t {
+			keep := float32(math.Sqrt(t / freq))
+			if rng.float() > keep {
+				continue
+			}
+		}
+		dst = append(dst, tok)
+	}
+	return dst
+}
+
+// subsampleSparseInto is subsampleInto over a sparse tally — the
+// fine-tune path's counterpart, identical policy.
+func subsampleSparseInto(dst, seq []int32, sparse map[int32]int64, total int64, t float64, rng *xorshift) []int32 {
+	for _, tok := range seq {
+		freq := float64(sparse[tok]) / float64(total)
 		if freq > t {
 			keep := float32(math.Sqrt(t / freq))
 			if rng.float() > keep {

@@ -7,6 +7,8 @@
 package expand
 
 import (
+	"sort"
+
 	"github.com/tdmatch/tdmatch/internal/graph"
 	"github.com/tdmatch/tdmatch/internal/kb"
 )
@@ -71,6 +73,98 @@ func Expand(g *graph.Graph, resource kb.Resource, opts Options) Stats {
 		st.SinksRemoved = RemoveSinks(g, true)
 	}
 	return st
+}
+
+// ExpandNodes grows g with resource relations fetched for the given
+// nodes only — the frozen-graph counterpart of Expand used by the
+// delta-ingest path. Edges are wired through PatchEdges, so a frozen
+// graph is patched in its overlay, never thawed. The Algorithm 2
+// cleaning pass is applied locally and before materialization: a
+// relation object that would enter the graph as a brand-new node with
+// degree <= 1 is simply never created (its count lands in
+// Stats.SinksRemoved), while relations to already-existing nodes always
+// materialize. New nodes connect only to the (pre-existing) seed nodes,
+// so the peel cannot cascade. Unlike the full pass, existing External
+// nodes whose degree the delta changes are not re-examined — that
+// global cleanup belongs to a Compact rebuild.
+//
+// It returns the nodes it created and the existing nodes that gained
+// edges, both in deterministic order, so the caller can extend the walk
+// seed set.
+func ExpandNodes(g *graph.Graph, resource kb.Resource, nodes []graph.NodeID, opts Options) (added, touched []graph.NodeID, st Stats) {
+	if resource == nil {
+		return nil, nil, st
+	}
+	// Plan first: group relation objects by label, separating objects that
+	// already exist in the graph from prospective new nodes, deduplicating
+	// (seed, object) pairs like PatchEdges would.
+	type plan struct {
+		seeds []graph.NodeID
+		seen  map[graph.NodeID]struct{}
+	}
+	newObjs := map[string]*plan{}
+	var newOrder []string // first-seen order: node IDs must be deterministic
+	var existingPairs [][2]graph.NodeID
+	existingTouched := map[graph.NodeID]struct{}{}
+	for _, id := range nodes {
+		if k := g.Kind(id); k != graph.Data && k != graph.External {
+			continue
+		}
+		if g.Removed(id) {
+			continue
+		}
+		rels := resource.Related(g.Label(id))
+		if len(rels) == 0 {
+			continue
+		}
+		if opts.MaxRelationsPerNode > 0 && len(rels) > opts.MaxRelationsPerNode {
+			rels = rels[:opts.MaxRelationsPerNode]
+		}
+		for _, r := range rels {
+			if obj, ok := g.DataNode(r.Object); ok {
+				if obj != id && !g.HasEdge(id, obj) {
+					existingPairs = append(existingPairs, [2]graph.NodeID{id, obj})
+					existingTouched[obj] = struct{}{}
+				}
+				continue
+			}
+			p := newObjs[r.Object]
+			if p == nil {
+				p = &plan{seen: map[graph.NodeID]struct{}{}}
+				newObjs[r.Object] = p
+				newOrder = append(newOrder, r.Object)
+			}
+			if _, dup := p.seen[id]; !dup {
+				p.seen[id] = struct{}{}
+				p.seeds = append(p.seeds, id)
+			}
+		}
+	}
+
+	var pairs [][2]graph.NodeID
+	for _, label := range newOrder {
+		p := newObjs[label]
+		if !opts.KeepSinks && len(p.seeds) <= 1 {
+			st.SinksRemoved++
+			continue
+		}
+		obj := g.EnsureExternal(label)
+		added = append(added, obj)
+		st.NodesAdded++
+		for _, seed := range p.seeds {
+			pairs = append(pairs, [2]graph.NodeID{seed, obj})
+		}
+	}
+	pairs = append(pairs, existingPairs...)
+	st.EdgesAdded = len(pairs)
+	g.PatchEdges(pairs)
+
+	touched = make([]graph.NodeID, 0, len(existingTouched))
+	for id := range existingTouched {
+		touched = append(touched, id)
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	return added, touched, st
 }
 
 // RemoveSinks deletes nodes connected to at most one other node ("nodes

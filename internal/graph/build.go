@@ -93,6 +93,15 @@ type Result struct {
 	ConnectMeta bool
 	// FilteredTerms counts second-corpus terms dropped by filtering.
 	FilteredTerms int
+	// TFIDFTopK, when > 0, records that the build ran under FilterTFIDF
+	// with this per-document token budget; DF and DFDocs then hold each
+	// side's document-frequency statistics (indexed Side-1) so the delta
+	// path filters ingested documents with the same scoring. Removals do
+	// not decrement DF — the statistics drift slightly until the next
+	// full rebuild, like any IDF corpus snapshot.
+	TFIDFTopK int
+	DF        [2]map[string]int
+	DFDocs    [2]int
 }
 
 // docTerms holds the processed representation of one document.
@@ -105,7 +114,7 @@ type docTerms struct {
 	columns  []string
 }
 
-func processCorpus(c *corpus.Corpus, pre textproc.Preprocessor, tfidfTopK int) []docTerms {
+func processCorpus(c *corpus.Corpus, pre textproc.Preprocessor, tfidfTopK int) ([]docTerms, map[string]int) {
 	out := make([]docTerms, len(c.Docs))
 	var df map[string]int
 	var tokensPerDoc [][]string
@@ -136,7 +145,7 @@ func processCorpus(c *corpus.Corpus, pre textproc.Preprocessor, tfidfTopK int) [
 		}
 		out[i] = processDoc(d, pre, keep)
 	}
-	return out
+	return out, df
 }
 
 // processDoc tokenizes one document into its per-value term lists; keep,
@@ -220,8 +229,8 @@ func Build(a, b *corpus.Corpus, cfg BuildConfig) (*Result, error) {
 		}
 	}
 
-	docsA := processCorpus(a, pre, tfidfK)
-	docsB := processCorpus(b, pre, tfidfK)
+	docsA, dfA := processCorpus(a, pre, tfidfK)
+	docsB, dfB := processCorpus(b, pre, tfidfK)
 
 	// Under intersect filtering, the vocabulary-defining ("primary") corpus
 	// is the one with fewer distinct tokens (§II-B).
@@ -281,6 +290,11 @@ func Build(a, b *corpus.Corpus, cfg BuildConfig) (*Result, error) {
 		Pre:          pre,
 		PrimaryFirst: primaryIsA,
 		ConnectMeta:  cfg.ConnectMetadata && !cfg.DisableMetadataEdges,
+		TFIDFTopK:    tfidfK,
+	}
+	if tfidfK > 0 {
+		res.DF = [2]map[string]int{dfA, dfB}
+		res.DFDocs = [2]int{len(a.Docs), len(b.Docs)}
 	}
 
 	addCorpus := func(c *corpus.Corpus, docs []docTerms, side Side, createTerms bool) error {

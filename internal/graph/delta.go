@@ -50,7 +50,31 @@ func (r *Result) InsertDocs(c *corpus.Corpus, docs []corpus.Document, side Side,
 	seenNew := map[string]struct{}{}
 	terms := make([]docTerms, len(docs))
 	for i, doc := range docs {
-		terms[i] = processDoc(doc, r.Pre, nil)
+		// Under FilterTFIDF the delta document gets the same per-document
+		// token budget as build documents, scored against the retained
+		// document-frequency statistics; the doc's own tokens then join
+		// them, so later ingests see an up-to-date corpus snapshot.
+		var keep map[string]struct{}
+		if r.TFIDFTopK > 0 && side >= First {
+			if r.DF[side-1] == nil {
+				r.DF[side-1] = make(map[string]int)
+			}
+			df, nDocs := r.DF[side-1], r.DFDocs[side-1]
+			var toks []string
+			for _, v := range doc.Values {
+				toks = append(toks, r.Pre.Tokens(v.Text)...)
+			}
+			keep = topTFIDF(toks, df, nDocs, r.TFIDFTopK)
+			distinct := map[string]struct{}{}
+			for _, t := range toks {
+				distinct[t] = struct{}{}
+			}
+			for t := range distinct {
+				df[t]++
+			}
+			r.DFDocs[side-1]++
+		}
+		terms[i] = processDoc(doc, r.Pre, keep)
 		for _, perValue := range terms[i].perValue {
 			for _, t := range perValue {
 				if _, known := g.dataIndex[t]; known {

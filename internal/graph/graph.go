@@ -87,11 +87,28 @@ type Graph struct {
 	csrOff []int32
 	csrAdj []NodeID
 
+	// The frozen CSR is an immutable sealed segment: PatchEdges on a
+	// frozen graph never rewrites it. Appended neighbors live in the
+	// ovAdj overlay (keyed by node, appended in patch order) and their
+	// edge keys in ovEdges, so patching costs O(patch) instead of
+	// O(total edges) and sibling clones can share the CSR arrays.
+	// Nodes added while frozen are not in csrOff at all — their
+	// adjacency is overlay-only. mergeOverlay folds everything back
+	// into one CSR; thaw folds it into per-node slices.
+	ovAdj   map[NodeID][]NodeID
+	ovEdges map[uint64]struct{}
+
 	dataIndex map[string]NodeID // canonical term -> data/external node
 	metaIndex map[string]NodeID // label -> metadata/attribute node
 
-	edges    map[uint64]struct{}
-	nRemoved int
+	// edges holds the sealed edge set. After a frozen Clone both
+	// siblings share it (edgesShared set on both); any path that must
+	// write it calls ownEdges first, paying the O(E) copy only on the
+	// rare removal/thaw paths — the delta-ingest hot path writes
+	// ovEdges only.
+	edges       map[uint64]struct{}
+	edgesShared bool
+	nRemoved    int
 }
 
 // New returns an empty graph with capacity hints.
@@ -118,6 +135,9 @@ func New(nodeHint int) *Graph {
 // walk generation.
 func (g *Graph) Freeze() {
 	if g.csrOff != nil {
+		// Already frozen: fold any patch overlay so the CSR is current —
+		// Freeze's contract is that walks may index the raw arrays.
+		g.mergeOverlay()
 		return
 	}
 	total := 0
@@ -147,29 +167,126 @@ func (g *Graph) Frozen() bool { return g.csrOff != nil }
 
 // CSR returns the frozen adjacency arrays — node i's neighbors are
 // neighbors[offsets[i]:offsets[i+1]] — or (nil, nil) when the graph is
-// not frozen. Hot loops (walk generation) index these directly instead of
-// paying the per-step Neighbors branch and slice construction. Callers
-// must not mutate the returned slices.
+// not frozen or a patch overlay is pending (the raw CSR would then miss
+// patched edges; use NeighborParts instead). Hot loops (walk
+// generation) index these directly instead of paying the per-step
+// Neighbors branch and slice construction. Callers must not mutate the
+// returned slices.
 func (g *Graph) CSR() (offsets []int32, neighbors []NodeID) {
+	if g.hasOverlay() {
+		return nil, nil
+	}
 	return g.csrOff, g.csrAdj
 }
 
-// thaw rebuilds the mutable per-node adjacency slices from the CSR and
-// drops it. Called by every mutating method so a frozen graph stays fully
-// functional at the cost of one rebuild.
+// NeighborParts returns id's adjacency as up to two allocation-free
+// views: the sealed CSR row and the patch-overlay tail (either may be
+// empty). Their concatenation, in that order, is exactly Neighbors(id).
+// On a thawed graph the whole list is returned as base. Callers must
+// not mutate the returned slices.
+func (g *Graph) NeighborParts(id NodeID) (base, overlay []NodeID) {
+	if g.csrOff == nil {
+		return g.adj[id], nil
+	}
+	if int(id)+1 < len(g.csrOff) {
+		base = g.csrAdj[g.csrOff[id]:g.csrOff[id+1]]
+	}
+	return base, g.ovAdj[id]
+}
+
+// ownEdges makes the sealed edge map private to this graph, copying it
+// if a frozen Clone left it shared with a sibling. Every writer of
+// g.edges must call it first.
+func (g *Graph) ownEdges() {
+	if !g.edgesShared {
+		return
+	}
+	own := make(map[uint64]struct{}, len(g.edges))
+	for k := range g.edges {
+		own[k] = struct{}{}
+	}
+	g.edges = own
+	g.edgesShared = false
+}
+
+// hasOverlay reports whether the frozen CSR is extended by a patch
+// overlay (appended neighbors or overlay-only nodes).
+func (g *Graph) hasOverlay() bool {
+	return len(g.ovAdj) > 0 || (g.csrOff != nil && len(g.labels)+1 > len(g.csrOff))
+}
+
+// foldOverlayEdges merges the overlay edge keys into the owned sealed
+// edge map and drops the overlay adjacency.
+func (g *Graph) foldOverlayEdges() {
+	g.ownEdges()
+	for k := range g.ovEdges {
+		g.edges[k] = struct{}{}
+	}
+	g.ovAdj, g.ovEdges = nil, nil
+}
+
+// mergeOverlay folds the patch overlay into a fresh CSR covering every
+// node — the compaction step that re-seals a patched frozen graph. Row
+// layout matches what repeated thawed AddEdge calls would produce:
+// sealed neighbors first, overlay neighbors appended at the row tail in
+// patch order, so walk RNG streams see identical neighbor indexing.
+func (g *Graph) mergeOverlay() {
+	if g.csrOff == nil || !g.hasOverlay() {
+		return
+	}
+	oldOff, oldAdj := g.csrOff, g.csrAdj
+	covered := len(oldOff) - 1
+	total := len(oldAdj)
+	for _, ov := range g.ovAdj {
+		total += len(ov)
+	}
+	if int64(total) > int64(1)<<31-1 {
+		panic(fmt.Sprintf("graph: %d adjacency entries overflow the CSR int32 offsets", total))
+	}
+	newOff := make([]int32, len(g.labels)+1)
+	newAdj := make([]NodeID, total)
+	pos := 0
+	for i := range g.labels {
+		newOff[i] = int32(pos)
+		if i < covered {
+			pos += copy(newAdj[pos:], oldAdj[oldOff[i]:oldOff[i+1]])
+		}
+		pos += copy(newAdj[pos:], g.ovAdj[NodeID(i)])
+	}
+	newOff[len(g.labels)] = int32(pos)
+	g.csrOff, g.csrAdj = newOff, newAdj
+	g.foldOverlayEdges()
+}
+
+// MergeOverlay folds any pending patch overlay into the compact CSR
+// layout — an explicit compaction point for callers that want walks
+// back on the pure-CSR fast path after a burst of patches.
+func (g *Graph) MergeOverlay() { g.mergeOverlay() }
+
+// thaw rebuilds the mutable per-node adjacency slices from the CSR
+// (folding in any patch overlay) and drops it. Called by every mutating
+// method so a frozen graph stays fully functional at the cost of one
+// rebuild.
 func (g *Graph) thaw() {
 	if g.csrOff == nil {
 		return
 	}
-	adj := make([][]NodeID, len(g.csrOff)-1)
+	covered := len(g.csrOff) - 1
+	adj := make([][]NodeID, len(g.labels))
 	for i := range adj {
-		row := g.csrAdj[g.csrOff[i]:g.csrOff[i+1]]
-		if len(row) > 0 {
-			adj[i] = append([]NodeID(nil), row...)
+		var row []NodeID
+		if i < covered {
+			row = g.csrAdj[g.csrOff[i]:g.csrOff[i+1]]
+		}
+		ov := g.ovAdj[NodeID(i)]
+		if len(row)+len(ov) > 0 {
+			merged := make([]NodeID, 0, len(row)+len(ov))
+			adj[i] = append(append(merged, row...), ov...)
 		}
 	}
 	g.adj = adj
 	g.csrOff, g.csrAdj = nil, nil
+	g.foldOverlayEdges()
 }
 
 func (g *Graph) addNode(label string, kind NodeKind, side Side) NodeID {
@@ -179,11 +296,11 @@ func (g *Graph) addNode(label string, kind NodeKind, side Side) NodeID {
 	g.sides = append(g.sides, side)
 	g.removed = append(g.removed, false)
 	if g.csrOff != nil {
-		// Frozen: a new node is one more (empty) CSR row — append an offset
-		// equal to the current end instead of thawing the whole adjacency.
-		// The delta-ingest path adds nodes against the frozen graph and
-		// wires their edges with PatchEdges, never paying a thaw.
-		g.csrOff = append(g.csrOff, g.csrOff[len(g.csrOff)-1])
+		// Frozen: the sealed CSR (possibly shared with a clone) is never
+		// appended to — the new node's adjacency lives purely in the patch
+		// overlay until the next mergeOverlay/thaw. The delta-ingest path
+		// adds nodes against the frozen graph and wires their edges with
+		// PatchEdges, never paying a thaw.
 		return id
 	}
 	g.adj = append(g.adj, nil)
@@ -250,6 +367,16 @@ func edgeKey(a, b NodeID) uint64 {
 	return uint64(uint32(a))<<32 | uint64(uint32(b))
 }
 
+// hasEdgeKey reports whether the edge key exists in the sealed set or
+// the patch overlay.
+func (g *Graph) hasEdgeKey(k uint64) bool {
+	if _, ok := g.edges[k]; ok {
+		return true
+	}
+	_, ok := g.ovEdges[k]
+	return ok
+}
+
 // AddEdge inserts the undirected edge {a,b} if not present. Self loops are
 // ignored: they add nothing to walks or shortest paths.
 func (g *Graph) AddEdge(a, b NodeID) {
@@ -257,22 +384,23 @@ func (g *Graph) AddEdge(a, b NodeID) {
 		return
 	}
 	k := edgeKey(a, b)
-	if _, ok := g.edges[k]; ok {
+	if g.hasEdgeKey(k) {
 		return
 	}
 	g.thaw()
+	g.ownEdges()
 	g.edges[k] = struct{}{}
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
 }
 
 // PatchEdges inserts a batch of undirected edges. On a frozen graph the
-// CSR arrays are rebuilt in one merge pass that splices the new neighbor
-// entries into their rows — the "patch" half of the delta path's
-// thaw-or-patch contract, which keeps incremental ingest from ever
-// materializing the per-node adjacency slices. On a thawed graph it is a
-// plain AddEdge loop. Self loops, edges touching removed nodes and
-// duplicates (within the batch or against existing edges) are skipped.
+// new neighbor entries land in the patch overlay — O(patch) work that
+// never rewrites the sealed CSR arrays, which stay shared with any
+// clones — the "patch" half of the delta path's thaw-or-patch contract.
+// On a thawed graph it is a plain AddEdge loop. Self loops, edges
+// touching removed nodes and duplicates (within the batch or against
+// existing edges) are skipped.
 func (g *Graph) PatchEdges(pairs [][2]NodeID) {
 	if g.csrOff == nil {
 		for _, p := range pairs {
@@ -280,62 +408,30 @@ func (g *Graph) PatchEdges(pairs [][2]NodeID) {
 		}
 		return
 	}
-	// Filter into the accepted set first, registering each edge in the
-	// edge map so in-batch duplicates collapse.
-	added := make([][2]NodeID, 0, len(pairs))
-	extra := make([]int32, len(g.labels))
 	for _, p := range pairs {
 		a, b := p[0], p[1]
 		if a == b || g.removed[a] || g.removed[b] {
 			continue
 		}
 		k := edgeKey(a, b)
-		if _, ok := g.edges[k]; ok {
+		if g.hasEdgeKey(k) {
 			continue
 		}
-		g.edges[k] = struct{}{}
-		added = append(added, [2]NodeID{a, b})
-		extra[a]++
-		extra[b]++
+		if g.ovEdges == nil {
+			g.ovEdges = make(map[uint64]struct{})
+		}
+		if g.ovAdj == nil {
+			g.ovAdj = make(map[NodeID][]NodeID)
+		}
+		g.ovEdges[k] = struct{}{}
+		g.ovAdj[a] = append(g.ovAdj[a], b)
+		g.ovAdj[b] = append(g.ovAdj[b], a)
 	}
-	if len(added) == 0 {
-		return
-	}
-	oldOff, oldAdj := g.csrOff, g.csrAdj
-	total := int(oldOff[len(oldOff)-1]) + 2*len(added)
-	if int64(total) > int64(1)<<31-1 {
-		panic(fmt.Sprintf("graph: %d adjacency entries overflow the CSR int32 offsets", total))
-	}
-	newOff := make([]int32, len(oldOff))
-	newAdj := make([]NodeID, total)
-	// New offsets: old row width plus the appended degree per node.
-	pos := int32(0)
-	for i := 0; i < len(oldOff)-1; i++ {
-		newOff[i] = pos
-		pos += oldOff[i+1] - oldOff[i] + extra[i]
-	}
-	newOff[len(newOff)-1] = pos
-	// Copy the old rows into their widened slots, then append the new
-	// neighbors at each row's tail (tracked by a per-node write cursor).
-	cursor := make([]int32, len(oldOff)-1)
-	for i := 0; i < len(oldOff)-1; i++ {
-		n := copy(newAdj[newOff[i]:], oldAdj[oldOff[i]:oldOff[i+1]])
-		cursor[i] = newOff[i] + int32(n)
-	}
-	for _, p := range added {
-		a, b := p[0], p[1]
-		newAdj[cursor[a]] = b
-		cursor[a]++
-		newAdj[cursor[b]] = a
-		cursor[b]++
-	}
-	g.csrOff, g.csrAdj = newOff, newAdj
 }
 
 // HasEdge reports whether the undirected edge {a,b} exists.
 func (g *Graph) HasEdge(a, b NodeID) bool {
-	_, ok := g.edges[edgeKey(a, b)]
-	return ok
+	return g.hasEdgeKey(edgeKey(a, b))
 }
 
 // removeEdgeHalf removes b from a's adjacency list.
@@ -416,6 +512,11 @@ func (g *Graph) RemoveNodes(ids []NodeID) {
 		return
 	}
 	if g.csrOff != nil {
+		// Removal rewrites the CSR anyway, so fold any patch overlay in
+		// first and take ownership of the sealed edge map — the O(total)
+		// compaction this path always paid.
+		g.mergeOverlay()
+		g.ownEdges()
 		g.removeNodesFrozen(victim)
 		return
 	}
@@ -530,10 +631,21 @@ func (g *Graph) CorpusSide(id NodeID) Side { return g.sides[id] }
 func (g *Graph) Removed(id NodeID) bool { return g.removed[id] }
 
 // Neighbors returns the adjacency list of id. The caller must not mutate
-// it. On a frozen graph this is a view into the flat CSR neighbor slice.
+// it. On a frozen graph this is a view into the flat CSR neighbor slice;
+// when id has patch-overlay neighbors the sealed row and overlay tail
+// are merged into a fresh slice (use NeighborParts in hot loops to stay
+// allocation-free).
 func (g *Graph) Neighbors(id NodeID) []NodeID {
 	if g.csrOff != nil {
-		return g.csrAdj[g.csrOff[id]:g.csrOff[id+1]]
+		base, ov := g.NeighborParts(id)
+		if len(ov) == 0 {
+			return base
+		}
+		if len(base) == 0 {
+			return ov
+		}
+		merged := make([]NodeID, 0, len(base)+len(ov))
+		return append(append(merged, base...), ov...)
 	}
 	return g.adj[id]
 }
@@ -541,7 +653,11 @@ func (g *Graph) Neighbors(id NodeID) []NodeID {
 // Degree returns the number of incident edges.
 func (g *Graph) Degree(id NodeID) int {
 	if g.csrOff != nil {
-		return int(g.csrOff[id+1] - g.csrOff[id])
+		d := len(g.ovAdj[id])
+		if int(id)+1 < len(g.csrOff) {
+			d += int(g.csrOff[id+1] - g.csrOff[id])
+		}
+		return d
 	}
 	return len(g.adj[id])
 }
@@ -550,7 +666,7 @@ func (g *Graph) Degree(id NodeID) int {
 func (g *Graph) NumNodes() int { return len(g.labels) - g.nRemoved }
 
 // NumEdges returns the number of live edges.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return len(g.edges) + len(g.ovEdges) }
 
 // Cap returns the upper bound of node IDs ever allocated (including removed
 // ones); useful to size arrays indexed by NodeID.
@@ -593,8 +709,11 @@ func (g *Graph) DataNodes() []NodeID {
 
 // Edges calls fn once per live undirected edge with a < b ordering.
 func (g *Graph) Edges(fn func(a, b NodeID)) {
-	keys := make([]uint64, 0, len(g.edges))
+	keys := make([]uint64, 0, len(g.edges)+len(g.ovEdges))
 	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	for k := range g.ovEdges {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
@@ -603,7 +722,13 @@ func (g *Graph) Edges(fn func(a, b NodeID)) {
 	}
 }
 
-// Clone returns a deep copy of the graph, preserving its frozen state.
+// Clone returns an independent copy of the graph, preserving its frozen
+// state. On a frozen graph the sealed CSR arrays and edge map are
+// shared with the clone (both immutable until a removal/thaw, which
+// copies on write via ownEdges) and only the small patch overlay is
+// deep-copied, so cloning a built graph costs O(nodes) for the label
+// and index arrays instead of O(nodes + edges). A thawed graph is
+// deep-copied.
 func (g *Graph) Clone() *Graph {
 	ng := &Graph{
 		labels:    append([]string(nil), g.labels...),
@@ -612,16 +737,32 @@ func (g *Graph) Clone() *Graph {
 		removed:   append([]bool(nil), g.removed...),
 		dataIndex: make(map[string]NodeID, len(g.dataIndex)),
 		metaIndex: make(map[string]NodeID, len(g.metaIndex)),
-		edges:     make(map[uint64]struct{}, len(g.edges)),
 		nRemoved:  g.nRemoved,
 	}
 	if g.csrOff != nil {
-		ng.csrOff = append([]int32(nil), g.csrOff...)
-		ng.csrAdj = append([]NodeID(nil), g.csrAdj...)
+		ng.csrOff, ng.csrAdj = g.csrOff, g.csrAdj
+		g.edgesShared = true
+		ng.edges, ng.edgesShared = g.edges, true
+		if g.ovAdj != nil {
+			ng.ovAdj = make(map[NodeID][]NodeID, len(g.ovAdj))
+			for id, ov := range g.ovAdj {
+				ng.ovAdj[id] = append([]NodeID(nil), ov...)
+			}
+		}
+		if g.ovEdges != nil {
+			ng.ovEdges = make(map[uint64]struct{}, len(g.ovEdges))
+			for k := range g.ovEdges {
+				ng.ovEdges[k] = struct{}{}
+			}
+		}
 	} else {
 		ng.adj = make([][]NodeID, len(g.adj))
 		for i, a := range g.adj {
 			ng.adj[i] = append([]NodeID(nil), a...)
+		}
+		ng.edges = make(map[uint64]struct{}, len(g.edges))
+		for k := range g.edges {
+			ng.edges[k] = struct{}{}
 		}
 	}
 	for k, v := range g.dataIndex {
@@ -629,9 +770,6 @@ func (g *Graph) Clone() *Graph {
 	}
 	for k, v := range g.metaIndex {
 		ng.metaIndex[k] = v
-	}
-	for k := range g.edges {
-		ng.edges[k] = struct{}{}
 	}
 	return ng
 }

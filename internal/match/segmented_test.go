@@ -1,0 +1,417 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Property suite for the segmented stack: randomized, seeded, shrinkable
+// interleavings of Append/Remove/Seal/Compact must leave TopK/TopKBatch
+// bit-identical to a from-scratch monolithic flat index over the same
+// live documents, for every exact segment kind (flat, exact-recall IVF,
+// full-rerank SQ8) with and without shard wrapping.
+
+const segPropDim = 8
+
+// segOpKind enumerates the mutation steps an interleaving is built from.
+type segOpKind int
+
+const (
+	opAppend segOpKind = iota
+	opRemove
+	opSeal
+	opCompact
+)
+
+func (k segOpKind) String() string {
+	return [...]string{"append", "remove", "seal", "compact"}[k]
+}
+
+// segOp is one step of a generated interleaving. Appends carry vectors;
+// removes carry IDs. The semantics are operational — an append of an
+// already-live ID or a remove of an absent one degrades to a no-op on
+// that ID — so every subsequence of a valid sequence is itself valid,
+// which is what makes delta-debugging shrinks sound.
+type segOp struct {
+	kind  segOpKind
+	ids   []string
+	arena []float32
+}
+
+func (o segOp) String() string {
+	switch o.kind {
+	case opAppend, opRemove:
+		return fmt.Sprintf("%s(%s)", o.kind, strings.Join(o.ids, ","))
+	default:
+		return o.kind.String()
+	}
+}
+
+// segPropConfig is one cell of the kind × shards test matrix.
+type segPropConfig struct {
+	name     string
+	kind     string // "flat", "ivf", "sq8"
+	shards   int
+	maxDelta int // auto-seal threshold handed to NewSegmented
+}
+
+// sealFuncFor builds the SealFunc for a matrix cell: the kind wrap with
+// a deterministic per-ordinal seed, then optional shard wrapping. All
+// three kinds are exact under these parameters, so bit-identity to the
+// monolithic flat scan is the contract, not an approximation.
+func sealFuncFor(cfg segPropConfig) SealFunc {
+	return func(flat *Index, ordinal int) VectorIndex {
+		var idx VectorIndex = flat
+		switch cfg.kind {
+		case "ivf":
+			idx = NewIVF(flat, IVFOptions{Clusters: 3, ExactRecall: true, Seed: 11 + int64(ordinal)})
+		case "sq8":
+			idx = NewIndexSQ8(flat, 1<<20) // rerank pool covers any segment: exact
+		}
+		if cfg.shards > 1 {
+			sh, err := NewSharded(idx, cfg.shards, 2)
+			if err == nil {
+				idx = sh
+			}
+		}
+		return idx
+	}
+}
+
+// genOps generates one seeded interleaving: nOps mutation steps over a
+// growing ID space, with removals drawn from live documents and
+// re-appends drawn from previously removed ones.
+func genOps(rng *rand.Rand, nOps int) []segOp {
+	var ops []segOp
+	next := 0
+	live := map[string][]float32{}
+	var removed []string
+	freshVec := func() []float32 {
+		v := make([]float32, segPropDim)
+		for i := range v {
+			v[i] = rng.Float32()*2 - 1
+		}
+		return v
+	}
+	liveIDs := func() []string {
+		ids := make([]string, 0, len(live))
+		for id := range live {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		return ids
+	}
+	for len(ops) < nOps {
+		switch p := rng.Intn(100); {
+		case p < 45: // append 1..5 docs, occasionally re-appending a removed ID
+			n := 1 + rng.Intn(5)
+			op := segOp{kind: opAppend}
+			for i := 0; i < n; i++ {
+				var id string
+				if len(removed) > 0 && rng.Intn(4) == 0 {
+					id = removed[rng.Intn(len(removed))]
+				} else {
+					id = fmt.Sprintf("d%03d", next)
+					next++
+				}
+				if _, ok := live[id]; ok {
+					continue
+				}
+				v := freshVec()
+				live[id] = v
+				op.ids = append(op.ids, id)
+				op.arena = append(op.arena, v...)
+			}
+			if len(op.ids) > 0 {
+				ops = append(ops, op)
+			}
+		case p < 70: // remove 1..3 live docs
+			ids := liveIDs()
+			if len(ids) == 0 {
+				continue
+			}
+			n := 1 + rng.Intn(3)
+			op := segOp{kind: opRemove}
+			for i := 0; i < n && len(ids) > 0; i++ {
+				j := rng.Intn(len(ids))
+				op.ids = append(op.ids, ids[j])
+				delete(live, ids[j])
+				removed = append(removed, ids[j])
+				ids = append(ids[:j], ids[j+1:]...)
+			}
+			ops = append(ops, op)
+		case p < 85:
+			ops = append(ops, segOp{kind: opSeal})
+		default:
+			ops = append(ops, segOp{kind: opCompact})
+		}
+	}
+	return ops
+}
+
+// runSeq replays ops against a fresh stack and an oracle map, checking
+// segmented TopKBatch against a from-scratch monolithic flat index after
+// every step. Returns the first divergence (step index and detail), or
+// nil when the whole interleaving holds.
+func runSeq(cfg segPropConfig, ops []segOp, queries [][]float32, k int) error {
+	seg, err := NewSegmented(nil, segPropDim, sealFuncFor(cfg), cfg.maxDelta)
+	if err != nil {
+		return err
+	}
+	oracle := map[string][]float32{}
+	for step, op := range ops {
+		switch op.kind {
+		case opAppend:
+			var ids []string
+			var arena []float32
+			for i, id := range op.ids {
+				if _, ok := oracle[id]; ok {
+					continue // live already: operational no-op (shrink artifact)
+				}
+				ids = append(ids, id)
+				arena = append(arena, op.arena[i*segPropDim:(i+1)*segPropDim]...)
+				oracle[id] = op.arena[i*segPropDim : (i+1)*segPropDim]
+			}
+			if len(ids) == 0 {
+				continue
+			}
+			if err := seg.Append(ids, arena); err != nil {
+				return fmt.Errorf("step %d %s: %v", step, op, err)
+			}
+		case opRemove:
+			want := 0
+			for _, id := range op.ids {
+				if _, ok := oracle[id]; ok {
+					delete(oracle, id)
+					want++
+				}
+			}
+			if got := seg.Remove(op.ids); got != want {
+				return fmt.Errorf("step %d %s: removed %d docs, oracle says %d", step, op, got, want)
+			}
+		case opSeal:
+			if err := seg.Seal(); err != nil {
+				return fmt.Errorf("step %d %s: %v", step, op, err)
+			}
+		case opCompact:
+			if err := seg.Compact(); err != nil {
+				return fmt.Errorf("step %d %s: %v", step, op, err)
+			}
+		}
+		if err := checkParity(seg, oracle, queries, k); err != nil {
+			return fmt.Errorf("step %d %s: %v", step, op, err)
+		}
+	}
+	return nil
+}
+
+// checkParity compares the stack's rankings and live-document accounting
+// against a monolithic flat index rebuilt from scratch over the oracle.
+func checkParity(seg *Segmented, oracle map[string][]float32, queries [][]float32, k int) error {
+	if seg.Len() != len(oracle) {
+		return fmt.Errorf("Len = %d, oracle has %d live docs", seg.Len(), len(oracle))
+	}
+	ids := make([]string, 0, len(oracle))
+	for id := range oracle {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	arena := make([]float32, 0, len(ids)*segPropDim)
+	for _, id := range ids {
+		if !seg.Has(id) {
+			return fmt.Errorf("live doc %s not found by Has", id)
+		}
+		arena = append(arena, oracle[id]...)
+	}
+	flat, err := NewIndexArena(ids, arena, segPropDim)
+	if err != nil {
+		return err
+	}
+	want := flat.TopKBatch(queries, k)
+	got := seg.TopKBatch(queries, k)
+	for qi := range queries {
+		if len(got[qi]) != len(want[qi]) {
+			return fmt.Errorf("query %d: %d results, want %d", qi, len(got[qi]), len(want[qi]))
+		}
+		for i := range got[qi] {
+			if got[qi][i] != want[qi][i] {
+				return fmt.Errorf("query %d rank %d: got %v, want %v (bit-identity violated)",
+					qi, i, got[qi][i], want[qi][i])
+			}
+		}
+	}
+	// Single-query path shares the merge but not the call site.
+	if len(queries) > 0 {
+		one := seg.TopK(queries[0], k)
+		for i := range one {
+			if one[i] != want[0][i] {
+				return fmt.Errorf("TopK rank %d: got %v, want %v", i, one[i], want[0][i])
+			}
+		}
+	}
+	return nil
+}
+
+// shrinkSeq greedily minimizes a failing interleaving: repeatedly drop
+// one op at a time (scanning back to front) while the failure persists.
+// Operational op semantics keep every subsequence valid.
+func shrinkSeq(cfg segPropConfig, ops []segOp, queries [][]float32, k int) []segOp {
+	shrunk := true
+	for shrunk {
+		shrunk = false
+		for i := len(ops) - 1; i >= 0; i-- {
+			cand := make([]segOp, 0, len(ops)-1)
+			cand = append(cand, ops[:i]...)
+			cand = append(cand, ops[i+1:]...)
+			if runSeq(cfg, cand, queries, k) != nil {
+				ops = cand
+				shrunk = true
+			}
+		}
+	}
+	return ops
+}
+
+// TestSegmentedPropertyParity runs >= 200 seeded interleavings across
+// the full kind × shards matrix. On failure it reports the shrunk
+// minimal op sequence together with the seed that regenerates it.
+func TestSegmentedPropertyParity(t *testing.T) {
+	kinds := []string{"flat", "ivf", "sq8"}
+	shardCounts := []int{1, 8}
+	const itersPerCell = 36 // 3 kinds × 2 shardings × 36 = 216 interleavings
+	total := 0
+	for _, kind := range kinds {
+		for _, shards := range shardCounts {
+			cell := fmt.Sprintf("%s/shards=%d", kind, shards)
+			t.Run(cell, func(t *testing.T) {
+				for iter := 0; iter < itersPerCell; iter++ {
+					seed := int64(iter)*9973 + int64(len(kind))*131 + int64(shards)
+					rng := rand.New(rand.NewSource(seed))
+					cfg := segPropConfig{name: cell, kind: kind, shards: shards}
+					if rng.Intn(2) == 0 {
+						cfg.maxDelta = 3 + rng.Intn(5) // exercise auto-seal on roughly half the runs
+					}
+					ops := genOps(rng, 8+rng.Intn(9))
+					queries := make([][]float32, 3)
+					for qi := range queries {
+						q := make([]float32, segPropDim)
+						for j := range q {
+							q[j] = rng.Float32()*2 - 1
+						}
+						queries[qi] = q
+					}
+					k := 1 + rng.Intn(10)
+					if err := runSeq(cfg, ops, queries, k); err != nil {
+						min := shrinkSeq(cfg, ops, queries, k)
+						minErr := runSeq(cfg, min, queries, k)
+						t.Fatalf("seed %d (maxDelta=%d, k=%d): %v\nshrunk to %d ops: %v\nshrunk failure: %v",
+							seed, cfg.maxDelta, k, err, len(min), min, minErr)
+					}
+					total++
+				}
+			})
+		}
+	}
+	if !t.Failed() && total < 200 {
+		t.Fatalf("only %d interleavings ran, want >= 200", total)
+	}
+}
+
+// TestSegmentedCloneIsolation pins the clone contract the serving layer
+// depends on: a clone shares sealed segments but owns its delta and
+// tombstones, so mutating the clone never changes the parent's results.
+func TestSegmentedCloneIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := segPropConfig{kind: "flat", shards: 1}
+	seg, err := NewSegmented(nil, segPropDim, sealFuncFor(cfg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 12)
+	arena := make([]float32, 0, len(ids)*segPropDim)
+	oracle := map[string][]float32{}
+	for i := range ids {
+		ids[i] = fmt.Sprintf("d%03d", i)
+		v := make([]float32, segPropDim)
+		for j := range v {
+			v[j] = rng.Float32()*2 - 1
+		}
+		arena = append(arena, v...)
+		oracle[ids[i]] = v
+	}
+	if err := seg.Append(ids, arena); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	query := [][]float32{arena[:segPropDim]}
+
+	clone := seg.Clone()
+	if clone.Remove([]string{"d003", "d007"}) != 2 {
+		t.Fatal("clone remove failed")
+	}
+	extra := make([]float32, segPropDim)
+	extra[0] = 1
+	if err := clone.Append([]string{"zz"}, extra); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parent still serves the original 12 docs, bit-identical to flat.
+	if err := checkParity(seg, oracle, query, 5); err != nil {
+		t.Fatalf("parent diverged after clone mutation: %v", err)
+	}
+	// Clone serves the mutated set.
+	delete(oracle, "d003")
+	delete(oracle, "d007")
+	oracle["zz"] = extra
+	if err := checkParity(clone, oracle, query, 5); err != nil {
+		t.Fatalf("clone diverged: %v", err)
+	}
+	if seg.Fingerprint() == clone.Fingerprint() {
+		t.Error("mutated clone must not share the parent's fingerprint")
+	}
+}
+
+// TestSegmentedManifestRoundTrip pins SegmentManifest: concatenated
+// entries enumerate exactly the live documents, per segment, delta last.
+func TestSegmentedManifestRoundTrip(t *testing.T) {
+	cfg := segPropConfig{kind: "flat", shards: 1}
+	seg, err := NewSegmented(nil, segPropDim, sealFuncFor(cfg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(ids ...string) {
+		arena := make([]float32, len(ids)*segPropDim)
+		for i := range arena {
+			arena[i] = float32(i%7) - 3
+		}
+		if err := seg.Append(ids, arena); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("a", "b", "c")
+	if err := seg.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	add("d", "e")
+	if err := seg.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	add("f")
+	seg.Remove([]string{"b", "e"}) // one overlay tombstone per sealed segment
+
+	manifest := seg.SegmentManifest()
+	want := [][]string{{"a", "c"}, {"d"}, {"f"}}
+	if len(manifest) != len(want) {
+		t.Fatalf("manifest has %d entries, want %d: %v", len(manifest), len(want), manifest)
+	}
+	for i := range want {
+		if strings.Join(manifest[i], ",") != strings.Join(want[i], ",") {
+			t.Errorf("segment %d manifest = %v, want %v", i, manifest[i], want[i])
+		}
+	}
+}

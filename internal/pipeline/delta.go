@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/tdmatch/tdmatch/internal/embed"
+	"github.com/tdmatch/tdmatch/internal/expand"
 	"github.com/tdmatch/tdmatch/internal/graph"
 	"github.com/tdmatch/tdmatch/internal/walk"
 )
@@ -13,11 +14,12 @@ import (
 // insertions, which reuse the build's tokenization, canonicalizer (new
 // terms are learned through the retained merger chain) and filtering
 // policy (only the vocabulary-defining side creates data nodes under
-// intersect filtering). Two known approximations, both repaired by a
-// Compact rebuild: expansion relations are not fetched for delta
-// documents, and the per-document TF-IDF token filter (FilterTFIDF) is
-// not applied to them — its document-frequency statistics belong to
-// the batch build — so delta documents connect to all their terms.
+// intersect filtering). The per-document TF-IDF token filter
+// (FilterTFIDF) applies to delta documents too, scored against the
+// build's retained document-frequency statistics, and when an external
+// resource is configured the nodes created by the delta are expanded
+// with its relations — so the only drift against a from-scratch
+// rebuild is the DF statistics themselves lagging behind removals.
 func runGraphDelta(s *State) error {
 	d := s.Delta
 	s.Build.RemoveDocs(d.Remove)
@@ -43,9 +45,20 @@ func runGraphDelta(s *State) error {
 		d.Affected = append(d.Affected, gd.Affected...)
 		s.Stats.FilteredTerms += gd.FilteredTerms
 	}
+	expanded := false
+	if s.Cfg.Resource != nil && len(d.NewNodes) > 0 {
+		added, touched, _ := expand.ExpandNodes(s.Build.Graph, s.Cfg.Resource, d.NewNodes, expand.Options{
+			MaxRelationsPerNode: s.Cfg.MaxRelationsPerNode,
+		})
+		d.NewNodes = append(d.NewNodes, added...)
+		d.Affected = append(d.Affected, added...)
+		d.Affected = append(d.Affected, touched...)
+		expanded = len(added)+len(touched) > 0
+	}
 	// A term touched by documents of both sides appears in both insert
-	// results; dedup so the walk stage seeds each node once.
-	if len(d.AddFirst) > 0 && len(d.AddSecond) > 0 {
+	// results — and an expansion object may coincide with a term a
+	// document touched; dedup so the walk stage seeds each node once.
+	if expanded || (len(d.AddFirst) > 0 && len(d.AddSecond) > 0) {
 		seen := make(map[graph.NodeID]struct{}, len(d.Affected))
 		uniq := d.Affected[:0]
 		for _, id := range d.Affected {
@@ -92,11 +105,24 @@ func runTrainDelta(s *State) error {
 	start := time.Now()
 	cfg := s.Cfg.Embed
 	cfg.Initial = s.Embed
+	// A State that exclusively owns its arenas fine-tunes them in place —
+	// O(delta) instead of the O(vocabulary) copying warm start, with
+	// bit-identical output. Either way this State owns the result.
+	cfg.InPlace = s.OwnsEmbed
+	// No frequent-token subsampling on fine-tunes. Subsampling keys on
+	// relative token frequency, and in a walk corpus every node's
+	// relative frequency shrinks as the graph grows — so the survivor
+	// count (and with it the fine-tune cost) would creep up with corpus
+	// size. A few thousand locally-seeded walk tokens carry no meaningful
+	// frequency signal to subsample on; training on all of them keeps the
+	// per-document ingest cost a pure function of the delta.
+	cfg.Subsample = 0
 	em, err := embed.TrainPacked(s.Seqs, s.Build.Graph.Cap(), cfg)
 	if err != nil {
 		return err
 	}
 	s.Embed = em
+	s.OwnsEmbed = true
 	s.Stats.TrainTime += time.Since(start)
 	return nil
 }

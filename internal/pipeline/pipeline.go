@@ -93,6 +93,13 @@ type State struct {
 	// Embed is the trained embedding model over graph node IDs. Delta
 	// runs replace it with a warm-started fine-tune.
 	Embed *embed.Model
+	// OwnsEmbed reports that this State holds the only reference to
+	// Embed's arenas, so a delta run may fine-tune them in place
+	// (O(delta) per ingest) instead of copying the full vocabulary.
+	// Clone transfers ownership to the clone: the serving layer chains
+	// ingests through successive clones, and nothing reads the trainer
+	// arenas directly — document vectors are gathered as copies.
+	OwnsEmbed bool
 	// Delta is the pending delta of a DeltaStages run (nil otherwise).
 	Delta *Delta
 	// Stats aggregates stage statistics.
@@ -241,6 +248,7 @@ func runTrain(s *State) error {
 		return err
 	}
 	s.Embed = em
+	s.OwnsEmbed = true
 	s.Stats.TrainTime += time.Since(start)
 	return nil
 }
@@ -248,17 +256,22 @@ func runTrain(s *State) error {
 // Clone returns a State over the given (already cloned) corpora that
 // shares every immutable artefact with the original and deep-copies
 // everything a delta run mutates: the graph, the node maps and the
-// canonicalizer. The embedding model is shared — warm-start training
-// copies it instead of updating in place — which keeps cloning a
-// served model cheap enough to run per ingest request.
+// canonicalizer. The embedding model is shared, and ownership of its
+// arenas transfers to the clone (the original loses in-place fine-tune
+// rights and would fall back to the copying warm start) — the serving
+// layer's clone-mutate-swap chain always trains on the newest clone,
+// so in steady state every ingest fine-tunes in place. This keeps
+// cloning a served model cheap enough to run per ingest request.
 func (s *State) Clone(first, second *corpus.Corpus) *State {
 	ns := &State{
-		Cfg:    s.Cfg,
-		First:  first,
-		Second: second,
-		Embed:  s.Embed,
-		Stats:  s.Stats,
+		Cfg:       s.Cfg,
+		First:     first,
+		Second:    second,
+		Embed:     s.Embed,
+		OwnsEmbed: s.OwnsEmbed,
+		Stats:     s.Stats,
 	}
+	s.OwnsEmbed = false
 	if s.Build != nil {
 		docNode := make(map[string]graph.NodeID, len(s.Build.DocNode))
 		for k, v := range s.Build.DocNode {
@@ -278,6 +291,18 @@ func (s *State) Clone(first, second *corpus.Corpus) *State {
 			PrimaryFirst:  s.Build.PrimaryFirst,
 			ConnectMeta:   s.Build.ConnectMeta,
 			FilteredTerms: s.Build.FilteredTerms,
+			TFIDFTopK:     s.Build.TFIDFTopK,
+			DFDocs:        s.Build.DFDocs,
+		}
+		for side, df := range s.Build.DF {
+			if df == nil {
+				continue
+			}
+			cp := make(map[string]int, len(df))
+			for k, v := range df {
+				cp[k] = v
+			}
+			ns.Build.DF[side] = cp
 		}
 	}
 	return ns

@@ -176,12 +176,22 @@ func walkInto(g *graph.Graph, start graph.NodeID, buf []int32, rng *splitRand) i
 		}
 		return n
 	}
+	// Patched-frozen (or thawed) graph: step over the sealed row and the
+	// patch-overlay tail without materializing a merged neighbor slice.
+	// Indexing base-then-overlay matches the merged CSR layout, so the
+	// same RNG stream picks the same neighbors before and after a
+	// MergeOverlay compaction.
 	for n < len(buf) {
-		nbs := g.Neighbors(cur)
-		if len(nbs) == 0 {
+		base, ov := g.NeighborParts(cur)
+		d := len(base) + len(ov)
+		if d == 0 {
 			break
 		}
-		cur = nbs[rng.intn(len(nbs))]
+		if i := rng.intn(d); i < len(base) {
+			cur = base[i]
+		} else {
+			cur = ov[i-len(base)]
+		}
 		buf[n] = int32(cur)
 		n++
 	}

@@ -4,9 +4,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 
+	"github.com/tdmatch/tdmatch/internal/match"
 	"github.com/tdmatch/tdmatch/internal/textproc"
 )
 
@@ -15,6 +17,13 @@ import (
 // the configured serving indexes. The graph itself is not persisted — it
 // is only needed for training.
 //
+// Version 5 adds the per-side segment manifests: each side's serving
+// segment stack as lists of live document IDs with FNV-1a checksums
+// over the IDs and vector rows. ReadSnapshot validates the checksums
+// up front, so a truncated or corrupted payload fails cleanly before
+// Bind mutates any corpus state, and Bind rebuilds the stack with its
+// saved segment boundaries instead of one monolithic base. Older
+// payloads decode with nil manifests and bind as before.
 // Version 4 adds the incremental-ingest payload: the delta chain
 // (base + deltas — documents ingested into or removed from the model
 // since the base corpora were written, re-applied at Bind so a
@@ -64,6 +73,21 @@ type savedModel struct {
 	// Staleness is the delta-document count not yet folded into a full
 	// retrain at save time.
 	Staleness int
+
+	// FirstSegments / SecondSegments are the version-5 segment
+	// manifests (sealed segments in stack order, the mutable delta
+	// last); nil in older payloads or when a side serves unsegmented.
+	FirstSegments  []savedSegment
+	SecondSegments []savedSegment
+}
+
+// savedSegment is one serving segment in a version-5 manifest.
+type savedSegment struct {
+	// IDs are the segment's live document IDs, in row order.
+	IDs []string
+	// Checksum digests the IDs and their vector rows (FNV-1a over ID
+	// bytes and float bits), validated by ReadSnapshot before Bind.
+	Checksum uint64
 }
 
 // savedDelta is one Ingest or Remove call in the persistence delta
@@ -83,7 +107,7 @@ type savedDoc struct {
 	Texts   []string
 }
 
-const savedModelVersion = 4
+const savedModelVersion = 5
 
 // Save writes the trained document embeddings (as one contiguous arena)
 // and the serving-index configuration to w. The graph is not saved; a
@@ -104,24 +128,113 @@ func (m *Model) Save(w io.Writer) error {
 	termIDs, termArena := m.termVectors()
 	enc := gob.NewEncoder(w)
 	return enc.Encode(savedModel{
-		Version:     savedModelVersion,
-		Dim:         m.dim,
-		FirstName:   m.first.Name(),
-		SecondName:  m.second.Name(),
-		VectorIDs:   ids,
-		Arena:       arena,
-		Index:       uint8(m.cfg.Index),
-		IVFClusters: m.cfg.IVFClusters,
-		IVFNProbe:   m.cfg.IVFNProbe,
-		ExactRecall: m.cfg.ExactRecall,
-		SQ8Rerank:   m.cfg.SQ8Rerank,
-		Seed:        m.cfg.Seed,
-		Deltas:      m.deltas,
-		TermIDs:     termIDs,
-		TermArena:   termArena,
-		MaxNGram:    m.cfg.MaxNGram,
-		Staleness:   m.staleness,
+		Version:        savedModelVersion,
+		Dim:            m.dim,
+		FirstName:      m.first.Name(),
+		SecondName:     m.second.Name(),
+		VectorIDs:      ids,
+		Arena:          arena,
+		Index:          uint8(m.cfg.Index),
+		IVFClusters:    m.cfg.IVFClusters,
+		IVFNProbe:      m.cfg.IVFNProbe,
+		ExactRecall:    m.cfg.ExactRecall,
+		SQ8Rerank:      m.cfg.SQ8Rerank,
+		Seed:           m.cfg.Seed,
+		Deltas:         m.deltas,
+		TermIDs:        termIDs,
+		TermArena:      termArena,
+		MaxNGram:       m.cfg.MaxNGram,
+		Staleness:      m.Staleness(),
+		FirstSegments:  m.savedSegments(m.firstIdx),
+		SecondSegments: m.savedSegments(m.secondIdx),
 	})
+}
+
+// savedSegments captures a side's serving segment stack for a v5
+// snapshot: one live-ID list per segment in stack order (mutable delta
+// last), each checksummed together with the vector rows it will rebind
+// to. Nil when the side serves an unsegmented index.
+func (m *Model) savedSegments(idx match.VectorIndex) []savedSegment {
+	seg, ok := idx.(*match.Segmented)
+	if !ok {
+		return nil
+	}
+	manifest := seg.SegmentManifest()
+	out := make([]savedSegment, len(manifest))
+	for i, ids := range manifest {
+		out[i] = savedSegment{IDs: ids, Checksum: segmentChecksum(ids, m.vectors, m.dim)}
+	}
+	return out
+}
+
+// segmentChecksum digests one segment manifest entry with FNV-1a 64:
+// per ID, the ID bytes, a NUL separator, then the dim float32 bits of
+// its vector row little-endian (zero bits past the stored row length,
+// matching the zero-padding Save applies to the snapshot arena).
+func segmentChecksum(ids []string, vectors map[string][]float32, dim int) uint64 {
+	const (
+		offset64 = uint64(14695981039346656037)
+		prime64  = uint64(1099511628211)
+	)
+	h := offset64
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, id := range ids {
+		for i := 0; i < len(id); i++ {
+			mix(id[i])
+		}
+		mix(0)
+		v := vectors[id]
+		for j := 0; j < dim; j++ {
+			var bits uint32
+			if j < len(v) {
+				bits = math.Float32bits(v[j])
+			}
+			mix(byte(bits))
+			mix(byte(bits >> 8))
+			mix(byte(bits >> 16))
+			mix(byte(bits >> 24))
+		}
+	}
+	return h
+}
+
+// validateSegments checks a version-5 payload's segment manifests
+// against its vector arena: every ID must be unique within its side and
+// every segment checksum must match the recomputed digest, so a
+// truncated or bit-flipped payload fails the load up front — before
+// Bind mutates any corpus state.
+func (sm *savedModel) validateSegments() error {
+	if len(sm.FirstSegments) == 0 && len(sm.SecondSegments) == 0 {
+		return nil
+	}
+	if len(sm.Arena) != len(sm.VectorIDs)*sm.Dim {
+		return fmt.Errorf("tdmatch: arena holds %d floats for %d vectors of dim %d",
+			len(sm.Arena), len(sm.VectorIDs), sm.Dim)
+	}
+	vectors := make(map[string][]float32, len(sm.VectorIDs))
+	for i, id := range sm.VectorIDs {
+		vectors[id] = sm.Arena[i*sm.Dim : (i+1)*sm.Dim]
+	}
+	for side, segs := range [][]savedSegment{sm.FirstSegments, sm.SecondSegments} {
+		seen := make(map[string]struct{})
+		for si, seg := range segs {
+			for _, id := range seg.IDs {
+				if _, dup := seen[id]; dup {
+					return fmt.Errorf("tdmatch: corrupt snapshot: document %q appears in two side-%d segments",
+						id, side+1)
+				}
+				seen[id] = struct{}{}
+			}
+			if got := segmentChecksum(seg.IDs, vectors, sm.Dim); got != seg.Checksum {
+				return fmt.Errorf("tdmatch: corrupt snapshot: side-%d segment %d/%d checksum mismatch",
+					side+1, si+1, len(segs))
+			}
+		}
+	}
+	return nil
 }
 
 // termVectors gathers the trained term (data and external node) vectors
@@ -202,6 +315,9 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	}
 	if sm.Version < 1 || sm.Version > savedModelVersion {
 		return nil, fmt.Errorf("tdmatch: unsupported model version %d", sm.Version)
+	}
+	if err := sm.validateSegments(); err != nil {
+		return nil, err
 	}
 	return &Snapshot{sm: sm}, nil
 }
@@ -290,13 +406,16 @@ func (s *Snapshot) Bind(first, second *Corpus) (*Model, error) {
 		cfg.MaxNGram = sm.MaxNGram
 	}
 	m := &Model{
-		cfg:       cfg,
-		first:     first,
-		second:    second,
-		dim:       sm.Dim,
-		vectors:   vectors,
-		deltas:    sm.Deltas,
-		staleness: sm.Staleness,
+		cfg:     cfg,
+		first:   first,
+		second:  second,
+		dim:     sm.Dim,
+		vectors: vectors,
+		deltas:  sm.Deltas,
+		// The whole restored delta chain is already reflected in the saved
+		// vectors; only the snapshot's own staleness figure carries over.
+		folded:    len(sm.Deltas),
+		staleBase: sm.Staleness,
 	}
 	if len(sm.TermIDs) > 0 {
 		if len(sm.TermArena) != len(sm.TermIDs)*sm.Dim {
@@ -316,10 +435,25 @@ func (s *Snapshot) Bind(first, second *Corpus) (*Model, error) {
 			terms: terms,
 		}
 	}
-	if err := m.buildIndexes(); err != nil {
+	// A version-5 snapshot restores its serving segment boundaries;
+	// older payloads (nil manifests) rebuild one monolithic base segment.
+	if err := m.buildSegmentedIndexes(segmentIDs(sm.FirstSegments), segmentIDs(sm.SecondSegments)); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// segmentIDs strips the checksums off a validated manifest, leaving the
+// per-segment ID lists buildSegmentedIndexes consumes.
+func segmentIDs(segs []savedSegment) [][]string {
+	if len(segs) == 0 {
+		return nil
+	}
+	out := make([][]string, len(segs))
+	for i, s := range segs {
+		out[i] = s.IDs
+	}
+	return out
 }
 
 // LoadModelFile reads a model from a file written by SaveFile.
@@ -336,7 +470,7 @@ func LoadModelFile(path string, first, second *Corpus) (*Model, error) {
 // serving indexes — the metadata a serving daemon needs to validate a
 // snapshot against its corpora and report what it is serving.
 type ModelInfo struct {
-	// Version is the snapshot format version (1 through 4).
+	// Version is the snapshot format version (1 through 5).
 	Version int
 	// Dim is the embedding dimensionality.
 	Dim int

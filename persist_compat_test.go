@@ -1,8 +1,10 @@
 package tdmatch
 
 import (
+	"bytes"
 	"encoding/gob"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -92,13 +94,21 @@ func TestWritePersistFixtures(t *testing.T) {
 	v3.Version = 3
 	encodeFixture(t, filepath.Join(persistFixtureDir, "v3.gob"), v3)
 
-	// v4: the current Save output (term vectors, MaxNGram, no deltas).
-	if err := model.SaveFile(filepath.Join(persistFixtureDir, "v4.gob")); err != nil {
+	// v5: the current Save output (term vectors, MaxNGram, segment
+	// manifests, no deltas).
+	if err := model.SaveFile(filepath.Join(persistFixtureDir, "v5.gob")); err != nil {
 		t.Fatal(err)
 	}
 
+	// v4: the version-4 encoding — the current payload minus the
+	// segment manifests.
+	v4 := reSaved(t, model)
+	v4.Version = 4
+	v4.FirstSegments, v4.SecondSegments = nil, nil
+	encodeFixture(t, filepath.Join(persistFixtureDir, "v4.gob"), v4)
+
 	// v4delta: the same model after one ingest and one removal, saved
-	// with its delta chain.
+	// with its delta chain (version-4 form).
 	mutated := model.clone()
 	if err := mutated.Ingest([]IngestDoc{
 		{Side: 2, ID: "reviews:delta", Values: []string{"Willis returns in a Tarantino crime sequel"}},
@@ -108,9 +118,64 @@ func TestWritePersistFixtures(t *testing.T) {
 	if err := mutated.Remove([]string{"reviews:p3"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := mutated.SaveFile(filepath.Join(persistFixtureDir, "v4delta.gob")); err != nil {
+	v4d := reSaved(t, mutated)
+	v4d.Version = 4
+	v4d.FirstSegments, v4d.SecondSegments = nil, nil
+	encodeFixture(t, filepath.Join(persistFixtureDir, "v4delta.gob"), v4d)
+
+	// v5segments: a model whose serving stack holds several sealed
+	// segments plus tombstones when saved — the manifest-restoration
+	// fixture. Built with a tiny auto-seal threshold so single-doc
+	// ingests pile up sealed segments.
+	segmented := persistFixtureSegmentedModel(t)
+	if err := segmented.SaveFile(filepath.Join(persistFixtureDir, "v5segments.gob")); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// reSaved round-trips a model through Save and returns the decoded
+// payload, for fixture writers that derive older versions from it.
+func reSaved(t *testing.T, m *Model) savedModel {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var sm savedModel
+	if err := gob.NewDecoder(&buf).Decode(&sm); err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+// persistFixtureSegmentedModel builds the deterministic multi-segment
+// fixture model: tiny auto-seal threshold, three single-doc ingests
+// (two seals), one sealed-row removal (a tombstone).
+func persistFixtureSegmentedModel(t *testing.T) *Model {
+	t.Helper()
+	movies, reviews := fixtureCorpora(t)
+	cfg := smallConfig()
+	cfg.Workers = 1
+	cfg.SegmentMaxDocs = 1
+	model, err := Build(movies, reviews, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, text := range []string{
+		"Brando leads a mafia family epic",
+		"Coppola directs a crime dynasty",
+		"Pacino inherits the family business",
+	} {
+		if err := model.Ingest([]IngestDoc{
+			{Side: 2, ID: fmt.Sprintf("reviews:seg%d", i), Values: []string{text}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := model.Remove([]string{"reviews:seg1"}); err != nil {
+		t.Fatal(err)
+	}
+	return model
 }
 
 // TestSnapshotBackCompat is the consolidated persistence back-compat
@@ -151,6 +216,7 @@ func TestSnapshotBackCompat(t *testing.T) {
 		{"v2.gob", 2, false},
 		{"v3.gob", 3, false},
 		{"v4.gob", 4, true},
+		{"v5.gob", 5, true},
 	} {
 		t.Run(tc.file, func(t *testing.T) {
 			f, err := os.Open(filepath.Join(persistFixtureDir, tc.file))
@@ -217,6 +283,54 @@ func TestSnapshotBackCompat(t *testing.T) {
 		}
 		if _, err := model.TopK("reviews:p3", 3); err == nil {
 			t.Error("removed document still servable after load")
+		}
+	})
+
+	// The multi-segment fixture must restore its saved segment
+	// boundaries and serve rankings identical to the live model it
+	// encodes (exact kinds: the stack is bit-equivalent to monolithic).
+	t.Run("v5segments.gob", func(t *testing.T) {
+		f, err := os.Open(filepath.Join(persistFixtureDir, "v5segments.gob"))
+		if err != nil {
+			t.Fatalf("committed fixture missing (regenerate with -write-persist-fixtures): %v", err)
+		}
+		defer f.Close()
+		snap, err := ReadSnapshot(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := snap.Info().Version; got != 5 {
+			t.Fatalf("fixture version = %d, want 5", got)
+		}
+		movies, reviews := fixtureCorpora(t)
+		loaded, err := snap.Bind(movies, reviews)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, second := loaded.SegmentStats()
+		if second.Segments < 2 {
+			t.Errorf("restored stack has %d sealed segments on side 2, want >= 2 (%+v)",
+				second.Segments, second)
+		}
+		live := persistFixtureSegmentedModel(t)
+		for _, q := range append(loaded.first.IDs(), loaded.second.IDs()...) {
+			if loaded.Vector(q) == nil {
+				continue
+			}
+			got, err := loaded.TopK(q, 3)
+			if err != nil {
+				t.Fatalf("TopK(%s): %v", q, err)
+			}
+			want, err := live.TopK(q, 3)
+			if err != nil {
+				t.Fatalf("live TopK(%s): %v", q, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("restored segmented rankings diverge for %s:\ngot:  %v\nwant: %v", q, got, want)
+			}
+		}
+		if _, err := loaded.TopK("reviews:seg1", 3); err == nil {
+			t.Error("tombstoned document still servable after load")
 		}
 	})
 }

@@ -1,0 +1,143 @@
+package tdmatch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Crash-safety coverage for the version-5 snapshot: a payload cut short
+// by a crashed writer, or corrupted at arbitrary offsets, must fail
+// ReadSnapshot cleanly — no panic, and never a partial Bind that leaves
+// the corpora half-mutated.
+
+// segmentedSnapshot saves the multi-segment fixture model to bytes.
+func segmentedSnapshot(t *testing.T) []byte {
+	t.Helper()
+	model := persistFixtureSegmentedModel(t)
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// pristineDocCount binds nothing and just counts the fixture corpora's
+// documents, the reference for the no-partial-bind assertions.
+func pristineDocCount(t *testing.T) int {
+	t.Helper()
+	movies, reviews := fixtureCorpora(t)
+	return len(movies.IDs()) + len(reviews.IDs())
+}
+
+func TestSnapshotV5TruncationFailsCleanly(t *testing.T) {
+	payload := segmentedSnapshot(t)
+	want := pristineDocCount(t)
+	rng := rand.New(rand.NewSource(77))
+	cuts := []int{0, 1, len(payload) / 2, len(payload) - 1}
+	for i := 0; i < 24; i++ {
+		cuts = append(cuts, rng.Intn(len(payload)))
+	}
+	for _, n := range cuts {
+		snap, err := ReadSnapshot(bytes.NewReader(payload[:n]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully", n, len(payload))
+		}
+		if snap != nil {
+			t.Fatalf("truncation at %d returned a snapshot alongside the error", n)
+		}
+		// The clean failure happened before any corpus mutation.
+		movies, reviews := fixtureCorpora(t)
+		if _, err := LoadModel(bytes.NewReader(payload[:n]), movies, reviews); err == nil {
+			t.Fatalf("LoadModel succeeded on a %d-byte truncation", n)
+		}
+		if got := len(movies.IDs()) + len(reviews.IDs()); got != want {
+			t.Fatalf("truncation at %d left the corpora partially bound: %d docs, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSnapshotV5CorruptionFailsCleanlyOrLoadsWhole(t *testing.T) {
+	payload := segmentedSnapshot(t)
+	want := pristineDocCount(t)
+	rng := rand.New(rand.NewSource(78))
+	rejected := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		corrupt := append([]byte(nil), payload...)
+		// One to four random byte flips per trial.
+		for f := 0; f < 1+rng.Intn(4); f++ {
+			pos := rng.Intn(len(corrupt))
+			corrupt[pos] ^= byte(1 + rng.Intn(255))
+		}
+		snap, err := ReadSnapshot(bytes.NewReader(corrupt))
+		if err != nil {
+			rejected++
+			// A rejected payload must reject before Bind can run, so the
+			// corpora stay pristine by construction; spot-check via
+			// LoadModel anyway.
+			movies, reviews := fixtureCorpora(t)
+			if _, lerr := LoadModel(bytes.NewReader(corrupt), movies, reviews); lerr == nil {
+				t.Fatalf("trial %d: ReadSnapshot rejected but LoadModel accepted", i)
+			}
+			if got := len(movies.IDs()) + len(reviews.IDs()); got != want {
+				t.Fatalf("trial %d: failed load left corpora partially bound: %d docs, want %d", i, got, want)
+			}
+			continue
+		}
+		// Flips that land in non-integrity-checked metadata (config
+		// knobs, counters) can decode; the model must then bind whole
+		// and serve, or fail without corpus damage — never bind halfway.
+		movies, reviews := fixtureCorpora(t)
+		model, err := snap.Bind(movies, reviews)
+		if err != nil {
+			if got := len(movies.IDs()) + len(reviews.IDs()); got != want {
+				t.Fatalf("trial %d: failed Bind left corpora partially bound: %d docs, want %d", i, got, want)
+			}
+			continue
+		}
+		if model.Staleness() < 0 {
+			t.Fatalf("trial %d: negative staleness after corrupted load", i)
+		}
+		if _, err := model.TopK(model.second.IDs()[0], 3); err != nil {
+			t.Fatalf("trial %d: bound model cannot serve: %v", i, err)
+		}
+	}
+	t.Logf("corruption trials: %d/%d rejected up front", rejected, trials)
+	if rejected == 0 {
+		t.Error("no corrupted payload was rejected — integrity checks appear dead")
+	}
+}
+
+// TestSnapshotV5ChecksumCatchesVectorTamper pins the checksum itself:
+// flipping one bit inside a stored vector row — which plain gob
+// decoding would happily accept — must fail validation.
+func TestSnapshotV5ChecksumCatchesVectorTamper(t *testing.T) {
+	model := persistFixtureSegmentedModel(t)
+	sm := reSaved(t, model)
+	if len(sm.FirstSegments) == 0 || len(sm.Arena) == 0 {
+		t.Fatal("fixture payload has no segment manifest or arena")
+	}
+	if err := sm.validateSegments(); err != nil {
+		t.Fatalf("pristine payload failed validation: %v", err)
+	}
+	tampered := sm
+	tampered.Arena = append([]float32(nil), sm.Arena...)
+	tampered.Arena[len(tampered.Arena)/2] += 1e-3
+	if err := tampered.validateSegments(); err == nil {
+		t.Error("vector tamper passed segment checksum validation")
+	}
+	// And an ID swap between two segments must be caught too.
+	if len(sm.SecondSegments) >= 2 && len(sm.SecondSegments[0].IDs) > 0 && len(sm.SecondSegments[1].IDs) > 0 {
+		swapped := sm
+		segs := append([]savedSegment(nil), sm.SecondSegments...)
+		ids0 := append([]string(nil), segs[0].IDs...)
+		ids1 := append([]string(nil), segs[1].IDs...)
+		ids0[0], ids1[0] = ids1[0], ids0[0]
+		segs[0].IDs, segs[1].IDs = ids0, ids1
+		swapped.SecondSegments = segs
+		if err := swapped.validateSegments(); err == nil {
+			t.Error("cross-segment ID swap passed checksum validation")
+		}
+	}
+}

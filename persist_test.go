@@ -10,6 +10,15 @@ import (
 	"github.com/tdmatch/tdmatch/internal/match"
 )
 
+// servingBase unwraps a model's serving index to the base segment's
+// kind-carrying index (IVF, SQ8, Sharded, flat) for type assertions.
+func servingBase(idx match.VectorIndex) match.VectorIndex {
+	if seg, ok := idx.(*match.Segmented); ok {
+		return seg.Base()
+	}
+	return idx
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	movies, reviews := fixtureCorpora(t)
 	model, err := Build(movies, reviews, smallConfig())
@@ -100,8 +109,8 @@ func TestSaveLoadRestoresIndexChoice(t *testing.T) {
 		loaded.cfg.IVFNProbe != 1 || loaded.cfg.Seed != cfg.Seed {
 		t.Errorf("index config not restored: %+v", loaded.cfg)
 	}
-	if _, ok := loaded.firstIdx.(*match.IVF); !ok {
-		t.Errorf("loaded serving index is %T, want *match.IVF", loaded.firstIdx)
+	if _, ok := servingBase(loaded.firstIdx).(*match.IVF); !ok {
+		t.Errorf("loaded serving index is %T, want *match.IVF", servingBase(loaded.firstIdx))
 	}
 	// Approximate rankings must equal the trained model's: same seed,
 	// same partitioning, same probes.
@@ -146,9 +155,9 @@ func TestSaveLoadSQ8SnapshotServesIdenticalRankings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sq, ok := loaded.firstIdx.(*match.IndexSQ8)
+	sq, ok := servingBase(loaded.firstIdx).(*match.IndexSQ8)
 	if !ok {
-		t.Fatalf("loaded serving index is %T, want *match.IndexSQ8", loaded.firstIdx)
+		t.Fatalf("loaded serving index is %T, want *match.IndexSQ8", servingBase(loaded.firstIdx))
 	}
 	if sq.Rerank() != 6 {
 		t.Errorf("loaded rerank = %d, want 6", sq.Rerank())

@@ -61,27 +61,40 @@ type Model struct {
 	// canonicalizer and trainer arenas every incremental Ingest patches.
 	// Models restored from a snapshot carry no pipeline state (ps nil)
 	// and ingest via fold (when the snapshot stores term vectors).
-	ps   *pipeline.State
-	fold *foldState
+	// spillPath, when set by SpillTrainer, names the file holding the
+	// trainer's spilled output arena; the next warm ingest reloads it.
+	ps        *pipeline.State
+	fold      *foldState
+	spillPath string
 
 	vectors map[string][]float32
 	dim     int
-	// firstFlat/secondFlat are the exact arena-backed indexes; they always
-	// exist and back TopKCombined and TopKBlocked. firstIdx/secondIdx are
-	// the serving indexes selected by Config.Index (the flat ones under
-	// IndexFlat, IVF wrappers over them under IndexIVF).
-	firstFlat  *match.Index
-	secondFlat *match.Index
+	// firstIdx/secondIdx are the serving indexes: LSM-style segment
+	// stacks (match.Segmented) whose sealed base wraps the full build
+	// per Config.Index (flat, IVF or SQ8, sharded per ServeShards) and
+	// whose small mutable delta absorbs ingests — what makes Ingest and
+	// clone O(delta) at any corpus size. firstFlat/secondFlat are
+	// monolithic exact indexes over each side's live rows, backing
+	// TopKCombined and TopKBlocked; they are built eagerly by Build,
+	// invalidated by mutations and clones, and lazily rebuilt under
+	// flatMu on first use.
 	firstIdx   match.VectorIndex
 	secondIdx  match.VectorIndex
+	flatMu     sync.Mutex
+	firstFlat  *match.Index
+	secondFlat *match.Index
 
 	// deltas is the persistence delta chain: one record per Ingest or
 	// Remove call since the model was built (or loaded), re-applied by
 	// Snapshot.Bind so snapshots stay loadable against the pre-ingest
-	// corpus files. staleness counts delta documents not yet folded into
-	// a full retrain (reset by Compact).
+	// corpus files. deltas[:folded] are folded into a full (re)build —
+	// Compact advances the watermark instead of resetting a counter, so
+	// an ingest that lands while a background compaction rebuilds stays
+	// counted as stale. staleBase carries the staleness a snapshot
+	// recorded for deltas the chain no longer itemizes per record.
 	deltas    []savedDelta
-	staleness int
+	folded    int
+	staleBase int
 
 	blkMu     sync.Mutex
 	firstBlk  *match.Blocker
@@ -228,34 +241,113 @@ func (m *Model) gatherVectors(docNode map[string]graph.NodeID) {
 	}
 }
 
-// buildIndexes constructs the per-side serving indexes (§IV-B): always
-// the exact arena-backed flat indexes, plus IVF wrappers when Config
-// selects approximate serving. Also used by LoadModel to rebuild serving
-// state from persisted vectors.
+// buildIndexes constructs the per-side serving indexes (§IV-B): the
+// exact arena-backed flat index of each side becomes the sealed base
+// segment of a segmented stack, wrapped per Config.Index. Also used by
+// LoadModel to rebuild serving state from persisted vectors.
 func (m *Model) buildIndexes() error {
+	return m.buildSegmentedIndexes(nil, nil)
+}
+
+// buildSegmentedIndexes is buildIndexes with explicit per-side segment
+// manifests (lists of live document IDs; sealed segments in stack
+// order, the mutable delta last). A nil manifest builds the fresh
+// single-segment layout over the side's whole corpus. Snapshot.Bind
+// passes a version-5 snapshot's manifests so a restored stack keeps
+// its saved segment boundaries.
+func (m *Model) buildSegmentedIndexes(firstSegs, secondSegs [][]string) error {
 	var err error
-	if m.firstFlat, err = m.buildFlat(m.first.c); err != nil {
+	if m.firstIdx, m.firstFlat, err = m.buildSide(m.first.c, 0, firstSegs); err != nil {
 		return err
 	}
-	if m.secondFlat, err = m.buildFlat(m.second.c); err != nil {
+	if m.secondIdx, m.secondFlat, err = m.buildSide(m.second.c, 1, secondSegs); err != nil {
 		return err
 	}
-	m.firstIdx = m.serveIndex(m.firstFlat, 0)
-	m.secondIdx = m.serveIndex(m.secondFlat, 1)
 	return nil
 }
 
-func (m *Model) buildFlat(c *corpus.Corpus) (*match.Index, error) {
-	ids := c.IDs()
-	// Gather this side's rows straight from the embedding arena views into
-	// one serving arena and hand it to the index without re-copying (the
-	// index normalizes the rows in place; documents without an embedding
-	// stay zero rows, scoring 0 against everything).
+// buildSide assembles one side's segment stack: manifest[0] becomes the
+// sealed base (wrapped per Config.Index), the middle entries are
+// re-sealed in order, and the last entry fills the mutable delta. The
+// monolithic exact cache is populated only for the single-segment
+// layout; multi-segment restores leave it to the lazy exactFlat
+// rebuild.
+func (m *Model) buildSide(c *corpus.Corpus, side int, manifest [][]string) (match.VectorIndex, *match.Index, error) {
+	if len(manifest) == 0 {
+		manifest = [][]string{c.IDs(), nil}
+	}
+	flat, err := m.buildFlatIDs(manifest[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	stack, err := match.NewSegmented(m.serveIndex(flat, side), m.dim, m.sealFunc(side), m.cfg.SegmentMaxDocs)
+	if err != nil {
+		return nil, nil, err
+	}
+	single := true
+	for i, ids := range manifest[1:] {
+		if len(ids) == 0 {
+			continue
+		}
+		single = false
+		if err := stack.Append(ids, m.gatherArena(ids)); err != nil {
+			return nil, nil, err
+		}
+		if i < len(manifest)-2 { // not the delta entry
+			if err := stack.Seal(); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if single {
+		return stack, flat, nil
+	}
+	return stack, nil, nil
+}
+
+// gatherArena copies the documents' vectors into one contiguous arena
+// (documents without an embedding stay zero rows, scoring 0 against
+// everything, exactly as after a full build).
+func (m *Model) gatherArena(ids []string) []float32 {
 	arena := make([]float32, len(ids)*m.dim)
 	for i, id := range ids {
 		copy(arena[i*m.dim:(i+1)*m.dim], m.vectors[id])
 	}
-	return match.NewIndexArena(ids, arena, m.dim)
+	return arena
+}
+
+func (m *Model) buildFlatIDs(ids []string) (*match.Index, error) {
+	return match.NewIndexArena(ids, m.gatherArena(ids), m.dim)
+}
+
+// exactFlat returns the side's (1 = first corpus, 2 = second)
+// monolithic exact index, rebuilding it over the serving stack's live
+// rows when a mutation or clone invalidated it — TopKCombined and
+// TopKBlocked are exact-only surfaces and pay this O(side) rebuild at
+// most once per mutation, not per query.
+func (m *Model) exactFlat(side int) (*match.Index, error) {
+	m.flatMu.Lock()
+	defer m.flatMu.Unlock()
+	slot, idx := &m.firstFlat, m.firstIdx
+	if side == 2 {
+		slot, idx = &m.secondFlat, m.secondIdx
+	}
+	if *slot == nil {
+		var ids []string
+		if seg, ok := idx.(*match.Segmented); ok {
+			for _, segIDs := range seg.SegmentManifest() {
+				ids = append(ids, segIDs...)
+			}
+		} else {
+			ids = idx.IDs()
+		}
+		flat, err := m.buildFlatIDs(ids)
+		if err != nil {
+			return nil, err
+		}
+		*slot = flat
+	}
+	return *slot, nil
 }
 
 // serveIndex wraps a flat index per Config.Index, then per
@@ -297,6 +389,45 @@ func (m *Model) shardWrap(inner match.VectorIndex) match.VectorIndex {
 	return sh
 }
 
+// segmentSeedStride spaces the clustering seeds of sealed delta
+// segments apart from the base segment's and from each other.
+const segmentSeedStride = 1_000_003
+
+// sealFunc returns the stack's seal hook for one side: a freshly
+// sealed delta segment gets the same kind wrap as the base (IVF
+// clustering, SQ8 quantization, sharding when large enough), with a
+// deterministic per-ordinal seed so a replayed ingest sequence builds
+// an identical stack. The hook captures the configuration by value and
+// never touches the model, so clones can share it.
+func (m *Model) sealFunc(side int) match.SealFunc {
+	cfg := m.cfg
+	return func(flat *match.Index, ordinal int) match.VectorIndex {
+		var inner match.VectorIndex
+		switch cfg.Index {
+		case IndexIVF:
+			inner = match.NewIVF(flat, match.IVFOptions{
+				Clusters:    cfg.IVFClusters,
+				NProbe:      cfg.IVFNProbe,
+				ExactRecall: cfg.ExactRecall,
+				Seed:        cfg.Seed + int64(side) + 1 + (int64(ordinal)+1)*segmentSeedStride,
+			})
+		case IndexSQ8:
+			inner = match.NewIndexSQ8(flat, cfg.SQ8Rerank)
+		default:
+			inner = flat
+		}
+		shards := cfg.serveShards(len(inner.IDs()))
+		if shards <= 1 {
+			return inner
+		}
+		sh, err := match.NewSharded(inner, shards, cfg.Workers)
+		if err != nil {
+			return inner
+		}
+		return sh
+	}
+}
+
 // Reshard re-partitions both serving indexes for scatter-gather with the
 // given shard count (interpreted like Config.ServeShards: 0 = auto,
 // <= 1 disables). Only the wrapper is rebuilt — the underlying flat,
@@ -305,8 +436,19 @@ func (m *Model) shardWrap(inner match.VectorIndex) match.VectorIndex {
 // queries; the serving layer applies it before a model starts serving.
 func (m *Model) Reshard(shards int) {
 	m.cfg.ServeShards = shards
-	m.firstIdx = m.shardWrap(unshard(m.firstIdx))
-	m.secondIdx = m.shardWrap(unshard(m.secondIdx))
+	rewrap := func(idx match.VectorIndex) match.VectorIndex {
+		return m.shardWrap(unshard(idx))
+	}
+	if seg, ok := m.firstIdx.(*match.Segmented); ok {
+		seg.RewrapBase(rewrap)
+	} else {
+		m.firstIdx = rewrap(m.firstIdx)
+	}
+	if seg, ok := m.secondIdx.(*match.Segmented); ok {
+		seg.RewrapBase(rewrap)
+	} else {
+		m.secondIdx = rewrap(m.secondIdx)
+	}
 }
 
 // unshard strips a scatter-gather wrapper, returning the serving index
@@ -323,15 +465,54 @@ func unshard(idx match.VectorIndex) match.VectorIndex {
 type ShardStat = match.ShardStat
 
 // ShardStats snapshots the per-shard scatter counters of both serving
-// indexes; a side serving unsharded reports nil.
+// indexes' base segments; a side whose base serves unsharded reports
+// nil.
 func (m *Model) ShardStats() (first, second []ShardStat) {
-	if sh, ok := m.firstIdx.(*match.Sharded); ok {
-		first = sh.ShardStats()
-	}
-	if sh, ok := m.secondIdx.(*match.Sharded); ok {
-		second = sh.ShardStats()
-	}
+	first = shardStatsOf(m.firstIdx)
+	second = shardStatsOf(m.secondIdx)
 	return first, second
+}
+
+func shardStatsOf(idx match.VectorIndex) []ShardStat {
+	if seg, ok := idx.(*match.Segmented); ok {
+		if sh := seg.ShardedBase(); sh != nil {
+			return sh.ShardStats()
+		}
+		return nil
+	}
+	if sh, ok := idx.(*match.Sharded); ok {
+		return sh.ShardStats()
+	}
+	return nil
+}
+
+// SegmentStats describes one side's serving segment stack.
+type SegmentStats struct {
+	// Segments is the sealed-segment count (1 right after a build or
+	// Compact; each SegmentMaxDocs ingested documents seal another).
+	Segments int `json:"segments"`
+	// DeltaDocs is the live row count of the mutable delta segment.
+	DeltaDocs int `json:"delta_docs"`
+	// Tombstones counts sealed rows masked by the removal overlay
+	// (reclaimed by Compact).
+	Tombstones int `json:"tombstones"`
+}
+
+// SegmentStats snapshots the segment layout of both serving indexes.
+func (m *Model) SegmentStats() (first, second SegmentStats) {
+	return segmentStatsOf(m.firstIdx), segmentStatsOf(m.secondIdx)
+}
+
+func segmentStatsOf(idx match.VectorIndex) SegmentStats {
+	seg, ok := idx.(*match.Segmented)
+	if !ok {
+		return SegmentStats{}
+	}
+	return SegmentStats{
+		Segments:   seg.Segments(),
+		DeltaDocs:  seg.DeltaLen(),
+		Tombstones: seg.Tombstones(),
+	}
 }
 
 // objective picks Skip-gram window 3 when a table is involved and CBOW
@@ -445,14 +626,17 @@ func (m *Model) extIndex(side int, flat *match.Index, extVectors map[string][]fl
 // extVectors, so repeated calls with the same map pay the build once.
 func (m *Model) TopKCombined(docID string, k int, extVectors map[string][]float32, extDim int, weight float64) ([]Match, error) {
 	var sideNo int
-	var idx *match.Index
 	switch m.sideOf(docID) {
 	case 1:
-		sideNo, idx = 2, m.secondFlat
+		sideNo = 2
 	case 2:
-		sideNo, idx = 1, m.firstFlat
+		sideNo = 1
 	default:
 		return nil, fmt.Errorf("tdmatch: unknown document %q", docID)
+	}
+	idx, err := m.exactFlat(sideNo)
+	if err != nil {
+		return nil, err
 	}
 	q := m.vectors[docID]
 	if q == nil {
@@ -806,13 +990,18 @@ func (m *Model) TopKBlocked(docID string, k int) ([]Match, error) {
 	if !ok {
 		return nil, fmt.Errorf("tdmatch: unknown document %q", docID)
 	}
-	var idx *match.Index
 	var targets *corpus.Corpus
 	var blocker **match.Blocker
+	targetSide := 2
 	if side == 1 {
-		idx, targets, blocker = m.secondFlat, m.second.c, &m.secondBlk
+		targets, blocker = m.second.c, &m.secondBlk
 	} else {
-		idx, targets, blocker = m.firstFlat, m.first.c, &m.firstBlk
+		targetSide = 1
+		targets, blocker = m.first.c, &m.firstBlk
+	}
+	idx, err := m.exactFlat(targetSide)
+	if err != nil {
+		return nil, err
 	}
 	q := m.vectors[docID]
 	if q == nil {
@@ -820,10 +1009,11 @@ func (m *Model) TopKBlocked(docID string, k int) ([]Match, error) {
 	}
 	m.blkMu.Lock()
 	if *blocker == nil {
-		// Position-align the blocker with the flat index (not the corpus):
-		// after removals the index keeps tombstoned rows, whose documents
-		// are gone from the corpus — they get no postings and are skipped
-		// by the scoring kernel anyway.
+		// Position-align the blocker with the exact index (not the corpus):
+		// a lazily rebuilt index holds live rows only, but the eager
+		// post-build one may keep tombstoned rows, whose documents are gone
+		// from the corpus — they get no postings and are skipped by the
+		// scoring kernel anyway.
 		indexIDs := idx.IDs()
 		texts := make([]string, len(indexIDs))
 		for i, id := range indexIDs {

@@ -2,6 +2,7 @@ package tdmatch
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,10 @@ import (
 
 // ErrServerClosed is returned by Server queries issued after Close.
 var ErrServerClosed = errors.New("tdmatch: server closed")
+
+// ErrCompacting is returned by Server.Compact when a compaction is
+// already running.
+var ErrCompacting = errors.New("tdmatch: compaction already running")
 
 // serveMaxBatch caps one coalesced micro-batch; a burst larger than this
 // is split into consecutive worker-pool passes rather than held back.
@@ -61,6 +66,16 @@ type ServeStats struct {
 	// Staleness is the served model's delta-document count since its
 	// last full (re)build — the compaction signal.
 	Staleness int `json:"staleness"`
+	// Compactions counts completed online compactions (Server.Compact).
+	Compactions uint64 `json:"compactions"`
+	// Generation is the served model's swap generation: every Reload,
+	// Ingest, Remove and Compact installs a strictly higher one, so a
+	// monitoring scrape can order snapshots.
+	Generation uint64 `json:"generation"`
+	// FirstSegments / SecondSegments describe each side's serving
+	// segment stack (sealed segments, delta rows, tombstones).
+	FirstSegments  SegmentStats `json:"first_segments"`
+	SecondSegments SegmentStats `json:"second_segments"`
 	// Errors counts queries that failed (unknown document, no embedding).
 	Errors uint64 `json:"errors"`
 	// FirstShards / SecondShards report the per-shard scatter counters of
@@ -121,6 +136,11 @@ type Server struct {
 	ingestedDocs uint64
 	removes      uint64
 	removedDocs  uint64
+	compactions  uint64
+
+	// compacting serializes Server.Compact runs without holding mutMu
+	// across the rebuild (queries and mutations proceed during it).
+	compacting atomic.Bool
 
 	// Query-side counters stay atomic: they are bumped on the query hot
 	// path, where taking mutMu would serialize queries against swaps.
@@ -153,6 +173,7 @@ func NewServer(m *Model, sc ServeConfig) *Server {
 		window:  window,
 		done:    make(chan struct{}),
 	}
+	m.shareTrainer()
 	s.cur.Store(&served{model: m, gen: s.gen.Add(1), fp: m.indexFingerprint()})
 	if window > 0 {
 		s.reqs = make(chan *topkReq)
@@ -182,6 +203,7 @@ func (s *Server) Reload(m *Model) error {
 	if m == nil {
 		return errors.New("tdmatch: Reload requires a model")
 	}
+	m.shareTrainer()
 	s.mutMu.Lock()
 	s.swap(m)
 	s.reloads++
@@ -229,6 +251,54 @@ func (s *Server) Remove(ids []string) error {
 	s.swap(next)
 	s.removes++
 	s.removedDocs += uint64(len(ids))
+	return nil
+}
+
+// Compact rebuilds the served model online: the full build pipeline
+// re-runs over a clone while the current model keeps serving — and
+// keeps accepting Ingest/Remove — then mutations that landed during
+// the rebuild are replayed from the delta chain onto the rebuilt model
+// under the swap lock, and it is installed through the same atomic
+// generation bump a Reload uses. Serving never blocks for longer than
+// one replayed mutation batch; the collapsed segment stack and the
+// retrained state take over from the next query on. The staleness the
+// swapped-in model reports counts exactly the replayed (still
+// incremental) mutations. At most one compaction runs at a time;
+// concurrent calls fail fast with ErrCompacting.
+func (s *Server) Compact() error {
+	if !s.compacting.CompareAndSwap(false, true) {
+		return ErrCompacting
+	}
+	defer s.compacting.Store(false)
+
+	s.mutMu.Lock()
+	work := s.cur.Load().model.clone()
+	base := len(work.deltas)
+	s.mutMu.Unlock()
+
+	// The expensive part, off the lock: queries and mutations proceed
+	// against the current model while the clone rebuilds.
+	if err := work.Compact(); err != nil {
+		return err
+	}
+
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	cur := s.cur.Load().model
+	for _, d := range cur.deltas[base:] {
+		if len(d.Added) > 0 {
+			if err := work.Ingest(ingestDocsOfSaved(d.Added)); err != nil {
+				return fmt.Errorf("tdmatch: replaying ingest onto compacted model: %w", err)
+			}
+		}
+		if len(d.Removed) > 0 {
+			if err := work.Remove(append([]string(nil), d.Removed...)); err != nil {
+				return fmt.Errorf("tdmatch: replaying removal onto compacted model: %w", err)
+			}
+		}
+	}
+	s.swap(work)
+	s.compactions++
 	return nil
 }
 
@@ -305,9 +375,12 @@ func (s *Server) Stats() ServeStats {
 		IngestedDocs: s.ingestedDocs,
 		Removes:      s.removes,
 		RemovedDocs:  s.removedDocs,
+		Compactions:  s.compactions,
+		Generation:   cur.gen,
 		Staleness:    cur.model.Staleness(),
 	}
 	st.FirstShards, st.SecondShards = cur.model.ShardStats()
+	st.FirstSegments, st.SecondSegments = cur.model.SegmentStats()
 	s.mutMu.Unlock()
 
 	st.CacheHits, st.CacheMisses = s.cache.counters()

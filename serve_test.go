@@ -474,3 +474,137 @@ func TestServerIngestUnderConcurrentQueries(t *testing.T) {
 		t.Errorf("mutation counters = %+v", st)
 	}
 }
+
+// TestServerCompactUnderConcurrentTraffic races queries and live
+// ingests against background compactions — the online-compaction
+// guarantee: serving never blocks, no query ever fails, the generation
+// counter only moves forward, and the swap invalidates cached rankings.
+// Run with -race in CI.
+func TestServerCompactUnderConcurrentTraffic(t *testing.T) {
+	m := buildServeTestModel(t, 1)
+	s := NewServer(m, ServeConfig{Workers: 4, CacheSize: 64})
+	defer s.Close()
+	ids := m.second.IDs()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Query hammer: every TopK must succeed against whichever model
+	// generation it lands on, compaction swaps included.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.TopK(ids[(w+i)%len(ids)], 3); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Generation monitor: swaps (ingest, remove, compact) must install
+	// strictly increasing generations — a scrape can never observe a
+	// rollback.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if g := s.Stats().Generation; g < last {
+				t.Errorf("generation went backwards: %d after %d", g, last)
+				return
+			} else {
+				last = g
+			}
+		}
+	}()
+	// Mutator: ingest/remove cycles racing the compactions below.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := fmt.Sprintf("reviews:churn%d", i)
+			if err := s.Ingest([]IngestDoc{{Side: 2, ID: id, Values: []string{"a Shyamalan thriller with Willis"}}}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.Remove([]string{id}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Foreground: three compactions under full traffic, plus one
+	// deliberate concurrent call — the loser must get ErrCompacting,
+	// never a corrupted swap.
+	for i := 0; i < 3; i++ {
+		errc := make(chan error, 1)
+		go func() { errc <- s.Compact() }()
+		err1 := s.Compact()
+		err2 := <-errc
+		for _, err := range []error{err1, err2} {
+			if err != nil && !errors.Is(err, ErrCompacting) {
+				t.Fatalf("compact: %v", err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Compactions < 3 {
+		t.Errorf("compactions = %d, want >= 3", st.Compactions)
+	}
+	if st.Errors != 0 {
+		t.Errorf("queries failed under compaction: %d errors", st.Errors)
+	}
+
+	// Cache invalidation across the swap, deterministically: prime a
+	// ranking into the cache, compact, and re-ask — the post-swap query
+	// must recompute (a cache miss) and agree with the swapped-in model,
+	// not replay the pre-swap ranking.
+	q := ids[0]
+	if _, err := s.TopK(q, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest([]IngestDoc{{Side: 2, ID: "reviews:final", Values: []string{"a haunted ghost story"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	missesBefore := s.Stats().CacheMisses
+	got, err := s.TopK(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().CacheMisses == missesBefore {
+		t.Error("post-compaction query served from the pre-swap cache")
+	}
+	want, err := s.Model().TopK(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-compaction ranking diverged from the served model:\ngot:  %v\nwant: %v", got, want)
+	}
+	if st := s.Stats(); st.Staleness != 0 {
+		t.Errorf("staleness after quiescent compact = %d, want 0", st.Staleness)
+	}
+}

@@ -83,8 +83,8 @@ func TestModelReshardParity(t *testing.T) {
 			for _, shards := range []int{1, 3, 8} {
 				m.Reshard(shards)
 				if shards > 1 {
-					if _, ok := m.secondIdx.(*match.Sharded); !ok {
-						t.Fatalf("shards=%d: second index is %T, want *match.Sharded", shards, m.secondIdx)
+					if _, ok := servingBase(m.secondIdx).(*match.Sharded); !ok {
+						t.Fatalf("shards=%d: second index base is %T, want *match.Sharded", shards, servingBase(m.secondIdx))
 					}
 				}
 				if got := m.MatchAllWorkers(true, k, 2); !reflect.DeepEqual(got, baseAll) {
@@ -202,9 +202,9 @@ func TestConfigServeShardsResolution(t *testing.T) {
 		n    int
 		want int
 	}{
-		{cfg: 5, n: 10, want: 5},       // explicit wins regardless of size
-		{cfg: -1, n: 100000, want: 1},  // negative disables
-		{cfg: 0, n: 100, want: 1},      // too small for auto
+		{cfg: 5, n: 10, want: 5},      // explicit wins regardless of size
+		{cfg: -1, n: 100000, want: 1}, // negative disables
+		{cfg: 0, n: 100, want: 1},     // too small for auto
 		{cfg: 0, n: autoShardRows, want: 1},
 	}
 	for _, c := range cases {

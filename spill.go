@@ -1,0 +1,82 @@
+package tdmatch
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// spilledTrainer is the on-disk form of a spilled trainer output arena.
+type spilledTrainer struct {
+	Dim int
+	Out []float32
+}
+
+// SpillTrainer writes the trainer's output-side arena — the half of the
+// Word2Vec state queries never read — to path and releases it from
+// memory. A trained model holds two vocabulary×dim float32 arenas; a
+// serving-only process needs just the input arena (document and term
+// vectors are views into it), so spilling halves the resident trainer
+// footprint while keeping warm-start capability: the next Ingest
+// reloads the arena from path before fine-tuning, transparently and
+// with identical results. A later Compact retrains from scratch and
+// forgets the spill file.
+//
+// SpillTrainer mutates trainer state that clones share; call it on a
+// quiescent model (before NewServer, or between requests), never
+// concurrently with Ingest or Save.
+func (m *Model) SpillTrainer(path string) error {
+	if m.ps == nil || m.ps.Embed == nil {
+		return fmt.Errorf("tdmatch: model has no trainer state to spill (restored from a snapshot?)")
+	}
+	if m.ps.Embed.Out == nil {
+		return fmt.Errorf("tdmatch: trainer state already spilled")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(spilledTrainer{Dim: m.dim, Out: m.ps.Embed.Out}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	m.ps.Embed.Out = nil
+	m.spillPath = path
+	return nil
+}
+
+// TrainerSpilled reports whether the trainer's output arena currently
+// lives on disk instead of in memory.
+func (m *Model) TrainerSpilled() bool {
+	return m.ps != nil && m.ps.Embed != nil && m.ps.Embed.Out == nil && m.spillPath != ""
+}
+
+// reloadSpill restores a spilled output arena before a warm-start
+// fine-tune. A no-op when nothing is spilled.
+func (m *Model) reloadSpill() error {
+	if !m.TrainerSpilled() {
+		return nil
+	}
+	f, err := os.Open(m.spillPath)
+	if err != nil {
+		return fmt.Errorf("tdmatch: reloading spilled trainer state: %w", err)
+	}
+	defer f.Close()
+	var sp spilledTrainer
+	if err := gob.NewDecoder(f).Decode(&sp); err != nil {
+		return fmt.Errorf("tdmatch: reloading spilled trainer state: %w", err)
+	}
+	if sp.Dim != m.dim || len(sp.Out) != len(m.ps.Embed.Arena) {
+		return fmt.Errorf("tdmatch: spilled trainer state %q does not match this model (dim %d, %d floats; want %d, %d)",
+			m.spillPath, sp.Dim, len(sp.Out), m.dim, len(m.ps.Embed.Arena))
+	}
+	m.ps.Embed.Out = sp.Out
+	return nil
+}

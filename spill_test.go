@@ -1,0 +1,105 @@
+package tdmatch
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestSpillTrainerIngestBitIdentical pins the spill contract: spilling
+// the trainer's output arena to disk and letting the next Ingest reload
+// it must produce vectors bit-identical to a model that never spilled.
+func TestSpillTrainerIngestBitIdentical(t *testing.T) {
+	build := func() *Model {
+		movies, reviews := fixtureCorpora(t)
+		model, err := Build(movies, reviews, ingestTestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return model
+	}
+	spilled, control := build(), build()
+
+	path := filepath.Join(t.TempDir(), "trainer.out")
+	if err := spilled.SpillTrainer(path); err != nil {
+		t.Fatal(err)
+	}
+	if !spilled.TrainerSpilled() {
+		t.Fatal("TrainerSpilled = false right after SpillTrainer")
+	}
+	if control.TrainerSpilled() {
+		t.Fatal("control model reports a spilled trainer")
+	}
+	// A second spill has nothing left to write.
+	if err := spilled.SpillTrainer(path); err == nil {
+		t.Error("double SpillTrainer succeeded")
+	}
+
+	docs := []IngestDoc{
+		{Side: 2, ID: "reviews:spill", Values: []string{"Brando leads a mafia family epic"}},
+	}
+	if err := spilled.Ingest(docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := control.Ingest(docs); err != nil {
+		t.Fatal(err)
+	}
+	// The reload happened inside Ingest; the arena is resident again.
+	if spilled.TrainerSpilled() {
+		t.Error("trainer still reported spilled after a warm ingest")
+	}
+
+	gotVecs, wantVecs := spilled.Vectors(), control.Vectors()
+	if len(gotVecs) != len(wantVecs) {
+		t.Fatalf("vector count %d != control %d", len(gotVecs), len(wantVecs))
+	}
+	for id, want := range wantVecs {
+		got, ok := gotVecs[id]
+		if !ok {
+			t.Fatalf("document %s missing after spill+ingest", id)
+		}
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("vector %s[%d] = %v, want %v (spill+reload must be bit-identical)",
+					id, d, got[d], want[d])
+			}
+		}
+	}
+}
+
+// TestSpillTrainerRequiresTrainerState covers the failure modes: a
+// model without retained trainer state cannot spill, and a corrupt or
+// missing spill file fails the reloading Ingest cleanly.
+func TestSpillTrainerRequiresTrainerState(t *testing.T) {
+	movies, reviews := fixtureCorpora(t)
+	model, err := Build(movies, reviews, ingestTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trainer.out")
+	if err := model.SpillTrainer(path); err != nil {
+		t.Fatal(err)
+	}
+	// Reload from a vanished file must fail the ingest, not corrupt it.
+	model.spillPath = filepath.Join(t.TempDir(), "missing.out")
+	err = model.Ingest([]IngestDoc{
+		{Side: 2, ID: "reviews:gone", Values: []string{"a crime saga"}},
+	})
+	if err == nil {
+		t.Fatal("Ingest succeeded with a missing spill file")
+	}
+
+	// A snapshot-restored model retains no trainer state at all.
+	var buf bytes.Buffer
+	if err := persistFixtureModel(t).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, r2 := fixtureCorpora(t)
+	restored, err := LoadModel(&buf, m2, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.SpillTrainer(filepath.Join(t.TempDir(), "x.out")); err == nil {
+		t.Error("SpillTrainer succeeded on a snapshot-restored model")
+	}
+}

@@ -43,13 +43,16 @@ import (
 // BenchmarkIngestServerSingleDoc adds the serving layer's
 // clone-and-swap on top. The Sharded pair measures the scatter-gather
 // serving path against its unsharded counterparts
-// (BenchmarkMatchAllParallelFlat, BenchmarkTopKBatch).
+// (BenchmarkMatchAllParallelFlat, BenchmarkTopKBatch). The
+// BenchmarkIngestSegmented series (1x/4x/16x corpora) tracks the
+// segmented core's O(delta) claim: the three scales must stay flat.
 const defaultBench = "BenchmarkWord2VecSkipGram$|BenchmarkWord2VecCBOW$|BenchmarkRandomWalks$|" +
 	"BenchmarkGraphBuild$|BenchmarkTopKMatch$|BenchmarkTopKBatch$|BenchmarkTopKIVF$|BenchmarkTopKSQ8$|" +
 	"BenchmarkMatchAllSerialFlat$|BenchmarkMatchAllParallelFlat$|BenchmarkMatchAllParallelIVF$|" +
 	"BenchmarkMatchAllParallelSQ8$|BenchmarkMatchAllShardedFlat$|BenchmarkTopKBatchSharded$|" +
 	"BenchmarkEndToEndPipeline$|BenchmarkServeTopKCached$|" +
-	"BenchmarkIngestSingleDoc$|BenchmarkIngestServerSingleDoc$"
+	"BenchmarkIngestSingleDoc$|BenchmarkIngestServerSingleDoc$|" +
+	"BenchmarkIngestSegmented/scale(1|4|16)x$|BenchmarkCompactOnline$"
 
 // benchLine matches `go test -bench -benchmem` output rows, e.g.
 // "BenchmarkRandomWalks-8  50  6449439 ns/op  4118728 B/op  23 allocs/op".
