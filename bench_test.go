@@ -11,6 +11,7 @@ package tdmatch_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -646,5 +647,43 @@ func BenchmarkCompactOnline(b *testing.B) {
 		if err := srv.Compact(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIngestWAL measures the durability tax: the same
+// Server.Ingest hot path as BenchmarkIngestServerSingleDoc with a WAL
+// attached under each fsync policy. "always" pays one fsync per acked
+// op (the default), "interval" batches flushes on a background timer,
+// "never" leaves flushing to the OS — compare against the WAL-less
+// server benchmark for the log's append-only overhead.
+func BenchmarkIngestWAL(b *testing.B) {
+	for _, policy := range []string{"always", "interval", "never"} {
+		b.Run(policy, func(b *testing.B) {
+			first, second, cfg := benchEndToEndInputs(b)
+			cfg.Seed = 1
+			model, err := tdmatch.Build(first, second, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, err := tdmatch.OpenWAL(filepath.Join(b.TempDir(), "bench.wal"), tdmatch.WALOptions{Sync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			srv := tdmatch.NewServer(model, tdmatch.ServeConfig{WAL: w})
+			defer srv.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := srv.Ingest([]tdmatch.IngestDoc{{
+					Side:   2,
+					ID:     fmt.Sprintf("reviews:wal%s%d", policy, i),
+					Values: []string{ingestBenchText},
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

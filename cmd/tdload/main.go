@@ -21,11 +21,19 @@
 // scan, not cache hits; -cache re-enables it to measure the production
 // mix. -min-qps turns the harness into a smoke check: exit status 1
 // when any level undershoots, for CI.
+//
+// -ingest-frac mixes single-document ingest mutations into the load
+// (each with a unique generated ID), reporting acknowledged ingests per
+// level. Against a daemon running with -wal this is the durability
+// drill: kill -TERM the daemon mid-run, restart it, and every ingest
+// tdload reported as acknowledged must still be served — 503 sheds
+// during the drain are counted separately and do not fail the run.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -66,6 +74,8 @@ func main() {
 		out        = flag.String("out", "", "append the levels to this benchfmt trajectory file (e.g. BENCH_build.json)")
 		label      = flag.String("label", "", "trajectory entry label recorded with -out")
 		minQPS     = flag.Float64("min-qps", 0, "exit nonzero when any level's achieved QPS is below this")
+		ingestFrac = flag.Float64("ingest-frac", 0, "fraction of requests that are single-doc ingest mutations (0 = read-only)")
+		ingestSide = flag.Int("ingest-side", 2, "corpus side the generated ingest documents join")
 	)
 	flag.Parse()
 
@@ -75,6 +85,9 @@ func main() {
 	}
 	if *dist != "zipf" && *dist != "uniform" {
 		fatal(fmt.Errorf("unknown -dist %q (want zipf or uniform)", *dist))
+	}
+	if *ingestFrac < 0 || *ingestFrac > 1 {
+		fatal(fmt.Errorf("-ingest-frac %g out of range [0, 1]", *ingestFrac))
 	}
 
 	var (
@@ -91,7 +104,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		tg = &httpTarget{url: strings.TrimRight(*addr, "/") + "/v1/topk"}
+		tg = &httpTarget{base: strings.TrimRight(*addr, "/")}
 		mode = "http"
 	case *modelPath != "":
 		model, queryIDs, err := loadSnapshotModel(*firstPath, *secondPath, *modelPath)
@@ -133,7 +146,7 @@ func main() {
 	rep := report{Mode: mode, Dist: *dist, K: *k, Shards: *shards, QueryIDs: len(ids)}
 	for _, conc := range levels {
 		fmt.Fprintf(os.Stderr, "tdload: level c=%d for %s...\n", conc, *duration)
-		rep.Levels = append(rep.Levels, runLevel(tg, ids, *k, conc, *duration, *qps, *dist, *seed))
+		rep.Levels = append(rep.Levels, runLevel(tg, ids, *k, conc, *duration, *qps, *dist, *seed, *ingestFrac, *ingestSide))
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -199,9 +212,14 @@ type report struct {
 
 // levelReport is the measurement of one concurrency level.
 type levelReport struct {
-	Concurrency int     `json:"concurrency"`
-	Queries     int64   `json:"queries"`
-	Errors      int64   `json:"errors"`
+	Concurrency int   `json:"concurrency"`
+	Queries     int64 `json:"queries"`
+	Errors      int64 `json:"errors"`
+	// Sheds counts 503/overload refusals — deliberate degradation, not
+	// failures; Ingests counts acknowledged (durable, when the daemon
+	// runs with -wal) mutations of a mixed -ingest-frac workload.
+	Sheds       int64   `json:"sheds"`
+	Ingests     int64   `json:"ingests"`
 	DurationSec float64 `json:"duration_sec"`
 	QPS         float64 `json:"qps"`
 	MeanNs      float64 `json:"mean_ns"`
@@ -210,10 +228,17 @@ type levelReport struct {
 	P99Ns       int64   `json:"p99_ns"`
 }
 
-// target answers one TopK query; the harness never looks at the
-// ranking, only at latency and success.
+// errShed marks a request the target deliberately refused under
+// overload or drain (HTTP 503, ErrOverloaded): the harness counts it
+// separately from hard errors so a graceful-degradation run — tdload
+// hammering a daemon while it drains on SIGTERM — still exits 0.
+var errShed = errors.New("shed")
+
+// target answers one TopK query or applies one ingest; the harness
+// never looks at the ranking, only at latency and success.
 type target interface {
 	topk(id string, k int) error
+	ingest(doc tdmatch.IngestDoc) error
 }
 
 // inprocTarget drives an in-process Server directly — no HTTP or JSON
@@ -224,7 +249,14 @@ type inprocTarget struct {
 
 func (t *inprocTarget) topk(id string, k int) error {
 	_, err := t.s.TopK(id, k)
+	if errors.Is(err, tdmatch.ErrOverloaded) {
+		return errShed
+	}
 	return err
+}
+
+func (t *inprocTarget) ingest(doc tdmatch.IngestDoc) error {
+	return t.s.Ingest([]tdmatch.IngestDoc{doc})
 }
 
 // Close shuts the wrapped Server's micro-batch workers down.
@@ -249,23 +281,36 @@ func newInproc(model *tdmatch.Model, shards, workers int, cache bool, batchWin t
 	})}
 }
 
-// httpTarget posts /v1/topk to a running tdserved.
+// httpTarget posts /v1/topk and /v1/ingest to a running tdserved.
 type httpTarget struct {
 	client http.Client
-	url    string
+	base   string
 }
 
 func (t *httpTarget) topk(id string, k int) error {
-	body, err := json.Marshal(map[string]any{"id": id, "k": k})
+	return t.post("/v1/topk", map[string]any{"id": id, "k": k})
+}
+
+func (t *httpTarget) ingest(doc tdmatch.IngestDoc) error {
+	return t.post("/v1/ingest", map[string]any{"docs": []map[string]any{{
+		"side": doc.Side, "id": doc.ID, "values": doc.Values,
+	}}})
+}
+
+func (t *httpTarget) post(path string, v any) error {
+	body, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	resp, err := t.client.Post(t.url, "application/json", bytes.NewReader(body))
+	resp, err := t.client.Post(t.base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return errShed
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("status %s", resp.Status)
 	}
@@ -277,10 +322,12 @@ func (t *httpTarget) topk(id string, k int) error {
 // RNG (seed + worker index), so runs are reproducible for a fixed
 // level list; qps > 0 paces each worker at qps/conc with per-worker
 // phase offsets so the aggregate offered load is smooth.
-func runLevel(tg target, ids []string, k, conc int, dur time.Duration, qps float64, dist string, seed int64) levelReport {
+func runLevel(tg target, ids []string, k, conc int, dur time.Duration, qps float64, dist string, seed int64, ingestFrac float64, ingestSide int) levelReport {
 	type workerOut struct {
-		lats []time.Duration
-		errs int64
+		lats    []time.Duration
+		errs    int64
+		sheds   int64
+		ingests int64
 	}
 	outs := make([]workerOut, conc)
 	var interval time.Duration
@@ -316,17 +363,40 @@ func runLevel(tg target, ids []string, k, conc int, dur time.Duration, qps float
 					}
 					next = next.Add(interval)
 				}
-				id := ids[0]
-				if zipf != nil {
-					id = ids[zipf.Uint64()]
-				} else if len(ids) > 1 {
-					id = ids[rng.Intn(len(ids))]
-				}
+				var err error
+				var wasIngest bool
 				t0 := time.Now()
-				err := tg.topk(id, k)
+				if ingestFrac > 0 && rng.Float64() < ingestFrac {
+					// A unique document per attempt: an acked ingest is a
+					// durable write the daemon's WAL must preserve across a
+					// concurrent kill -TERM.
+					wasIngest = true
+					o.ingests++ // counted as attempted, rolled back below on failure
+					docID := fmt.Sprintf("load:c%d_w%d_%d", conc, w, len(o.lats))
+					err = tg.ingest(tdmatch.IngestDoc{
+						Side:   ingestSide,
+						ID:     docID,
+						Values: []string{"load harness generated document " + docID},
+					})
+				} else {
+					id := ids[0]
+					if zipf != nil {
+						id = ids[zipf.Uint64()]
+					} else if len(ids) > 1 {
+						id = ids[rng.Intn(len(ids))]
+					}
+					err = tg.topk(id, k)
+				}
 				o.lats = append(o.lats, time.Since(t0))
 				if err != nil {
-					o.errs++
+					if wasIngest {
+						o.ingests--
+					}
+					if errors.Is(err, errShed) {
+						o.sheds++
+					} else {
+						o.errs++
+					}
 				}
 			}
 		}(w)
@@ -335,10 +405,12 @@ func runLevel(tg target, ids []string, k, conc int, dur time.Duration, qps float
 	elapsed := time.Since(start)
 
 	var all []time.Duration
-	var errs int64
+	var errs, sheds, ingests int64
 	for _, o := range outs {
 		all = append(all, o.lats...)
 		errs += o.errs
+		sheds += o.sheds
+		ingests += o.ingests
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	var sum time.Duration
@@ -349,6 +421,8 @@ func runLevel(tg target, ids []string, k, conc int, dur time.Duration, qps float
 		Concurrency: conc,
 		Queries:     int64(len(all)),
 		Errors:      errs,
+		Sheds:       sheds,
+		Ingests:     ingests,
 		DurationSec: elapsed.Seconds(),
 		P50Ns:       int64(percentile(all, 0.50)),
 		P95Ns:       int64(percentile(all, 0.95)),

@@ -64,7 +64,7 @@ func TestRunLevelSmoke(t *testing.T) {
 	}
 	for _, dist := range []string{"zipf", "uniform"} {
 		for _, conc := range []int{1, 2} {
-			lv := runLevel(tg, ids, 5, conc, 150*time.Millisecond, 0, dist, 1)
+			lv := runLevel(tg, ids, 5, conc, 150*time.Millisecond, 0, dist, 1, 0, 2)
 			if lv.Queries == 0 || lv.QPS <= 0 {
 				t.Fatalf("%s c=%d: no throughput: %+v", dist, conc, lv)
 			}
@@ -87,10 +87,32 @@ func TestRunLevelPacing(t *testing.T) {
 	}
 	tg := newInproc(model, 0, 0, false, -1)
 	defer tg.Close()
-	lv := runLevel(tg, ids, 5, 2, 200*time.Millisecond, 50, "uniform", 1)
+	lv := runLevel(tg, ids, 5, 2, 200*time.Millisecond, 50, "uniform", 1, 0, 2)
 	// 50 QPS over 200ms is ~10 queries; allow generous slack for timer
 	// jitter but fail if the throttle clearly did not engage.
 	if lv.Queries == 0 || lv.Queries > 30 {
 		t.Fatalf("pacing off: %d queries in %.0fms at 50 QPS", lv.Queries, lv.DurationSec*1000)
+	}
+}
+
+// TestRunLevelIngestMix verifies the -ingest-frac workload: a pure
+// ingest level acknowledges mutations (unique IDs, so no conflicts)
+// and reports them separately from queries and errors.
+func TestRunLevelIngestMix(t *testing.T) {
+	model, ids, err := buildSynthModel(60, 16, "flat", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := newInproc(model, 0, 1, false, -1)
+	defer tg.Close()
+	lv := runLevel(tg, ids, 5, 2, 150*time.Millisecond, 0, "uniform", 1, 1.0, 2)
+	if lv.Errors != 0 {
+		t.Fatalf("ingest mix: %d errors", lv.Errors)
+	}
+	if lv.Ingests == 0 {
+		t.Fatalf("ingest mix acknowledged nothing: %+v", lv)
+	}
+	if lv.Ingests != lv.Queries {
+		t.Fatalf("frac=1.0 level mixes %d ingests into %d requests", lv.Ingests, lv.Queries)
 	}
 }

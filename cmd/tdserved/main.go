@@ -18,29 +18,47 @@
 //	POST /v1/reload  reload corpora + snapshot from disk, swap atomically
 //	GET  /v1/stats   serving counters, cache hit rate, model metadata
 //	GET  /healthz    liveness: 200 with the served model's identity
+//	GET  /readyz     readiness: 200 when accepting traffic, 503 draining
 //
 // /v1/ingest and /v1/remove mutate the served model live: the daemon
 // clones it, applies the delta (graph patch + warm-start fine-tune on a
 // trained model, term fold-in on a snapshot-restored one, appendable
 // index update either way) and swaps the clone in atomically — queries
 // issued afterwards see the new corpus immediately, and the result
-// cache is invalidated by the generation bump. Live deltas exist only
-// in memory until the snapshot is re-saved; a reload from disk reverts
-// them. The stats staleness counter reports how many delta documents
-// the served model has accumulated since its last full build.
+// cache is invalidated by the generation bump.
+//
+// With -wal set, every acknowledged mutation is appended to a durable
+// write-ahead log before it becomes visible: a crashed daemon replays
+// the log against the snapshot on restart and loses no acknowledged
+// write (under the default -wal-sync=always; see the README ops runbook
+// for the fsync-policy tradeoffs). Snapshot saves and successful
+// compactions checkpoint the log. Without -wal, live deltas exist only
+// in memory until the snapshot is re-saved, and a reload from disk
+// reverts them.
 //
 // SIGHUP triggers the same reload as POST /v1/reload: the daemon re-reads
 // the corpus and snapshot files and swaps the new model in behind the
 // in-flight queries. Retrain with cmd/tdmatch, overwrite the snapshot,
-// signal the daemon — zero downtime.
+// signal the daemon — zero downtime. SIGTERM and SIGINT shut down
+// gracefully: readiness flips to 503, in-flight requests drain (bounded
+// by -drain-timeout), the WAL is flushed, and with -exit-snapshot the
+// model is saved and the log rotated before exit.
+//
+// Overload degrades instead of cascading: request bodies are capped
+// (-max-body, 413 beyond it), admission is bounded (-max-inflight, 503
+// with Retry-After when saturated or draining), and queries carry a
+// deadline (-query-timeout, 503 with Retry-After on expiry).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,6 +81,17 @@ func main() {
 		workers    = flag.Int("workers", 0, "serving worker-pool size (0 = model default, GOMAXPROCS)")
 		shards     = flag.Int("shards", 0, "scatter-gather shards per serving index (0 = model/auto, negative disables)")
 		defaultK   = flag.Int("k", 5, "matches returned when a request omits k")
+
+		walPath      = flag.String("wal", "", "write-ahead log path; empty serves without durability")
+		walSync      = flag.String("wal-sync", "", "WAL fsync policy: always, interval or never (empty = model config, default always)")
+		walInterval  = flag.Duration("wal-sync-interval", 0, "flush period under -wal-sync=interval (0 = default 100ms)")
+		maxBody      = flag.Int64("max-body", 0, "request body cap in bytes (0 = default 8 MiB, negative disables)")
+		maxInflight  = flag.Int("max-inflight", 0, "admission cap on concurrent requests (0 = default 256, negative disables)")
+		queryTimeout = flag.Duration("query-timeout", 0, "per-query deadline for /v1/topk and /v1/batch (0 = default 2s, negative disables)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+		exitSnapshot = flag.Bool("exit-snapshot", false, "save the model snapshot (and rotate the WAL) on graceful shutdown")
+		compactAbove = flag.Int("compact-above", 0, "staleness threshold for background compaction (0 disables)")
+		compactEvery = flag.Duration("compact-interval", 30*time.Second, "background compaction poll period")
 	)
 	flag.Parse()
 	if *firstPath == "" || *secondPath == "" || *modelPath == "" {
@@ -75,7 +104,14 @@ func main() {
 		CacheSize:   *cacheSize,
 		BatchWindow: *batchWin,
 		Workers:     *workers,
-	}, *defaultK, *shards)
+	}, *defaultK, *shards, daemonOptions{
+		walPath:      *walPath,
+		walSync:      *walSync,
+		walInterval:  *walInterval,
+		maxBody:      *maxBody,
+		maxInflight:  *maxInflight,
+		queryTimeout: *queryTimeout,
+	})
 	if err != nil {
 		log.Fatalf("tdserved: %v", err)
 	}
@@ -92,10 +128,47 @@ func main() {
 		}
 	}()
 
+	bgCtx, bgCancel := context.WithCancel(context.Background())
+	defer bgCancel()
+	if *compactAbove > 0 {
+		go d.compactLoop(bgCtx, *compactAbove, *compactEvery)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("tdserved: listening on %s: %v", *addr, err)
+	}
 	info := d.info()
 	log.Printf("tdserved: serving %s/%s (%d vectors, dim %d, index %s) on %s",
-		info.FirstName, info.SecondName, info.Docs, info.Dim, info.Index, *addr)
-	log.Fatal(http.ListenAndServe(*addr, newHandler(d)))
+		info.FirstName, info.SecondName, info.Docs, info.Dim, info.Index, ln.Addr())
+
+	srv := &http.Server{Handler: newHandler(d)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		log.Fatalf("tdserved: serve: %v", err)
+	case sig := <-stop:
+		log.Printf("tdserved: %s received, draining (budget %s)", sig, *drainTimeout)
+	}
+	bgCancel()
+	os.Exit(d.shutdown(srv, *drainTimeout, *exitSnapshot))
+}
+
+// daemonOptions are the operational knobs of the daemon beyond the
+// embedded Server's tuning: durability, admission control and deadlines.
+// Zero values select the documented defaults; negative values disable
+// the corresponding limit.
+type daemonOptions struct {
+	walPath      string
+	walSync      string
+	walInterval  time.Duration
+	maxBody      int64
+	maxInflight  int
+	queryTimeout time.Duration
 }
 
 // daemon owns the serving state: the Server plus the on-disk paths a
@@ -112,12 +185,28 @@ type daemon struct {
 	server  *tdmatch.Server
 	started time.Time
 
+	// wal is the durability log (nil without -wal). The daemon owns its
+	// lifecycle: opened and replayed before serving, flushed and closed
+	// on shutdown, rotated on snapshot saves and compactions.
+	wal *tdmatch.WAL
+
+	// draining flips once shutdown starts: /readyz turns 503 and guarded
+	// endpoints shed with Retry-After while http.Server.Shutdown drains
+	// the in-flight requests.
+	draining atomic.Bool
+	// inflight is the admission semaphore (nil = unbounded): a request
+	// that cannot take a slot without blocking is shed with 503.
+	inflight     chan struct{}
+	maxBody      int64
+	queryTimeout time.Duration
+
 	reloadMu sync.Mutex
 	modelInf atomic.Pointer[tdmatch.ModelInfo]
 }
 
-// newDaemon loads the corpora and snapshot and wraps them in a Server.
-func newDaemon(firstPath, secondPath, modelPath string, sc tdmatch.ServeConfig, defaultK, shards int) (*daemon, error) {
+// newDaemon loads the corpora and snapshot, replays the WAL (when
+// configured) and wraps the recovered model in a Server.
+func newDaemon(firstPath, secondPath, modelPath string, sc tdmatch.ServeConfig, defaultK, shards int, opts daemonOptions) (*daemon, error) {
 	d := &daemon{
 		firstPath:  firstPath,
 		secondPath: secondPath,
@@ -126,9 +215,50 @@ func newDaemon(firstPath, secondPath, modelPath string, sc tdmatch.ServeConfig, 
 		shards:     shards,
 		started:    time.Now(),
 	}
+	if opts.maxBody == 0 {
+		opts.maxBody = 8 << 20
+	}
+	if opts.maxBody > 0 {
+		d.maxBody = opts.maxBody
+	}
+	if opts.maxInflight == 0 {
+		opts.maxInflight = 256
+	}
+	if opts.maxInflight > 0 {
+		d.inflight = make(chan struct{}, opts.maxInflight)
+	}
+	if opts.queryTimeout == 0 {
+		opts.queryTimeout = 2 * time.Second
+	}
+	if opts.queryTimeout > 0 {
+		d.queryTimeout = opts.queryTimeout
+	}
 	model, info, err := d.load()
 	if err != nil {
 		return nil, err
+	}
+	if opts.walPath != "" {
+		wopts := model.WALOptions()
+		if opts.walSync != "" {
+			wopts.Sync = opts.walSync
+		}
+		if opts.walInterval > 0 {
+			wopts.Interval = opts.walInterval
+		}
+		w, err := tdmatch.OpenWAL(opts.walPath, wopts)
+		if err != nil {
+			return nil, fmt.Errorf("opening wal %s: %w", opts.walPath, err)
+		}
+		applied, err := w.Replay(model)
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("replaying wal %s: %w", opts.walPath, err)
+		}
+		if n := w.Stats().RecoveredRecords; n > 0 {
+			log.Printf("tdserved: wal %s: recovered %d records, applied %d", opts.walPath, n, applied)
+		}
+		d.wal = w
+		sc.WAL = w
 	}
 	d.modelInf.Store(&info)
 	d.server = tdmatch.NewServer(model, sc)
@@ -143,12 +273,12 @@ func newDaemon(firstPath, secondPath, modelPath string, sc tdmatch.ServeConfig, 
 func (d *daemon) load() (*tdmatch.Model, tdmatch.ModelInfo, error) {
 	f, err := os.Open(d.modelPath)
 	if err != nil {
-		return nil, tdmatch.ModelInfo{}, err
+		return nil, tdmatch.ModelInfo{}, fmt.Errorf("opening model snapshot: %w", err)
 	}
 	defer f.Close()
 	snap, err := tdmatch.ReadSnapshot(f)
 	if err != nil {
-		return nil, tdmatch.ModelInfo{}, err
+		return nil, tdmatch.ModelInfo{}, fmt.Errorf("reading model snapshot %s: %w", d.modelPath, err)
 	}
 	info := snap.Info()
 	first, err := tdmatch.LoadCorpus(d.firstPath, info.FirstName)
@@ -203,7 +333,10 @@ func validateCoverage(model *tdmatch.Model, info tdmatch.ModelInfo, first, secon
 }
 
 // reload re-reads everything from disk and swaps the model in atomically.
-// On any error the running model keeps serving.
+// On any error the running model keeps serving. With a WAL attached the
+// log is rotated after the swap: the reloaded snapshot is the new
+// authoritative baseline, and replaying pre-reload records over it on a
+// future restart would resurrect state the reload deliberately replaced.
 func (d *daemon) reload() error {
 	d.reloadMu.Lock()
 	defer d.reloadMu.Unlock()
@@ -211,11 +344,109 @@ func (d *daemon) reload() error {
 	if err != nil {
 		return err
 	}
+	var horizon uint64
+	if d.wal != nil {
+		horizon = d.wal.LastSeq()
+	}
 	if err := d.server.Reload(model); err != nil {
 		return err
 	}
 	d.modelInf.Store(&info)
+	if d.wal != nil {
+		if err := d.wal.Checkpoint(horizon); err != nil {
+			log.Printf("tdserved: wal rotation after reload failed (stale records remain): %v", err)
+		}
+	}
 	return nil
+}
+
+// checkpoint saves the served model to the snapshot path (atomically —
+// SaveFile renames a synced sidecar into place) and rotates the WAL
+// past everything the snapshot now contains.
+func (d *daemon) checkpoint() error {
+	return d.server.Checkpoint(func(m *tdmatch.Model) error { return m.SaveFile(d.modelPath) })
+}
+
+// shutdown is the graceful exit path: drain in-flight requests within
+// the budget, optionally save an exit snapshot (rotating the WAL), stop
+// the serving collector, and flush + close the log. Returns the process
+// exit code: 0 only when every step succeeded.
+func (d *daemon) shutdown(srv *http.Server, drain time.Duration, exitSnapshot bool) int {
+	d.draining.Store(true)
+	code := 0
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("tdserved: drain incomplete after %s: %v", drain, err)
+		code = 1
+	}
+	if exitSnapshot {
+		if err := d.checkpoint(); err != nil {
+			log.Printf("tdserved: exit snapshot failed: %v", err)
+			code = 1
+		}
+	}
+	d.server.Close()
+	if d.wal != nil {
+		if err := d.wal.Sync(); err != nil {
+			log.Printf("tdserved: flushing wal: %v", err)
+			code = 1
+		}
+		if err := d.wal.Close(); err != nil {
+			log.Printf("tdserved: closing wal: %v", err)
+			code = 1
+		}
+	}
+	log.Printf("tdserved: shutdown complete")
+	return code
+}
+
+// compactLoop watches staleness and compacts in the background once it
+// crosses threshold, checkpointing the WAL after each success. Failures
+// retry with jittered exponential backoff (1s doubling to a 5m cap) so
+// a persistently failing rebuild cannot hot-loop the CPU; any success
+// resets the backoff.
+func (d *daemon) compactLoop(ctx context.Context, threshold int, interval time.Duration) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var backoff time.Duration
+	for {
+		wait := interval
+		if backoff > 0 {
+			// Full jitter on [backoff, 2*backoff): concurrent daemons
+			// recovering from a shared fault spread their retries out.
+			wait = backoff + time.Duration(rng.Int63n(int64(backoff)+1))
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(wait):
+		}
+		if d.server.Stats().Staleness < threshold {
+			continue
+		}
+		if err := d.server.CompactCtx(ctx); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if errors.Is(err, tdmatch.ErrCompacting) {
+				continue // a manual /v1/compact is already running
+			}
+			if backoff == 0 {
+				backoff = time.Second
+			} else if backoff *= 2; backoff > 5*time.Minute {
+				backoff = 5 * time.Minute
+			}
+			log.Printf("tdserved: background compaction failed (retrying in ~%s): %v", backoff, err)
+			continue
+		}
+		backoff = 0
+		if d.wal != nil {
+			if err := d.checkpoint(); err != nil {
+				log.Printf("tdserved: checkpoint after background compaction failed: %v", err)
+			}
+		}
+		log.Printf("tdserved: background compaction ok (staleness was >= %d)", threshold)
+	}
 }
 
 // info snapshots the served model's metadata without blocking on an
@@ -225,18 +456,72 @@ func (d *daemon) info() tdmatch.ModelInfo {
 }
 
 // newHandler wires the HTTP API around a daemon. Split from main so tests
-// drive it through httptest.
+// drive it through httptest. Serving and mutating endpoints go through
+// guard (draining check, admission semaphore, body cap); the health and
+// stats probes bypass it so monitoring stays responsive under overload.
 func newHandler(d *daemon) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/topk", d.handleTopK)
-	mux.HandleFunc("POST /v1/batch", d.handleBatch)
-	mux.HandleFunc("POST /v1/ingest", d.handleIngest)
-	mux.HandleFunc("POST /v1/remove", d.handleRemove)
-	mux.HandleFunc("POST /v1/compact", d.handleCompact)
-	mux.HandleFunc("POST /v1/reload", d.handleReload)
+	mux.HandleFunc("POST /v1/topk", d.guard(d.handleTopK))
+	mux.HandleFunc("POST /v1/batch", d.guard(d.handleBatch))
+	mux.HandleFunc("POST /v1/ingest", d.guard(d.handleIngest))
+	mux.HandleFunc("POST /v1/remove", d.guard(d.handleRemove))
+	mux.HandleFunc("POST /v1/compact", d.guard(d.handleCompact))
+	mux.HandleFunc("POST /v1/reload", d.guard(d.handleReload))
 	mux.HandleFunc("GET /v1/stats", d.handleStats)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
 	return mux
+}
+
+// guard is the admission middleware: requests are shed with 503 and
+// Retry-After while the daemon drains or once -max-inflight requests
+// are already being served, and request bodies are capped at -max-body
+// (a too-large body surfaces as 413 from the handler's decode).
+func (d *daemon) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if d.draining.Load() {
+			shed(w, errors.New("shutting down"))
+			return
+		}
+		if d.inflight != nil {
+			select {
+			case d.inflight <- struct{}{}:
+				defer func() { <-d.inflight }()
+			default:
+				shed(w, errors.New("too many in-flight requests"))
+				return
+			}
+		}
+		if d.maxBody > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, d.maxBody)
+		}
+		h(w, r)
+	}
+}
+
+// shed answers 503 with Retry-After: the client should back off briefly
+// and retry — the condition (overload, drain) is transient by design.
+func shed(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, err)
+}
+
+// queryCtx derives the per-query deadline from the request context.
+func (d *daemon) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if d.queryTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d.queryTimeout)
+}
+
+// decodeStatus maps a request-decoding failure to its HTTP status:
+// a body over the -max-body cap is 413, anything else 400.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // topkRequest is the body of POST /v1/topk.
@@ -294,7 +579,7 @@ type modelInfoResponse struct {
 func (d *daemon) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req topkRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		httpError(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if req.ID == "" {
@@ -308,18 +593,34 @@ func (d *daemon) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if req.K == 0 {
 		req.K = d.defaultK
 	}
-	matches, err := d.server.TopK(req.ID, req.K)
+	ctx, cancel := d.queryCtx(r)
+	defer cancel()
+	matches, err := d.server.TopKCtx(ctx, req.ID, req.K)
 	if err != nil {
+		if isOverload(err) {
+			shed(w, err)
+			return
+		}
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, topkResponse{ID: req.ID, Matches: toMatchJSON(matches)})
 }
 
+// isOverload reports errors that mean "try again shortly" rather than
+// "this query is wrong": shed queue slots, expired deadlines, a server
+// already shutting down.
+func isOverload(err error) bool {
+	return errors.Is(err, tdmatch.ErrOverloaded) ||
+		errors.Is(err, tdmatch.ErrServerClosed) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
 func (d *daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		httpError(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if len(req.IDs) == 0 {
@@ -339,7 +640,9 @@ func (d *daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if req.K == 0 {
 		req.K = d.defaultK
 	}
-	results := d.server.TopKBatch(req.IDs, req.K)
+	ctx, cancel := d.queryCtx(r)
+	defer cancel()
+	results := d.server.TopKBatchCtx(ctx, req.IDs, req.K)
 	resp := batchResponse{Results: make([]topkResponse, len(results))}
 	for i, res := range results {
 		out := topkResponse{ID: res.ID}
@@ -382,7 +685,7 @@ type mutateResponse struct {
 func (d *daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		httpError(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if len(req.Docs) == 0 {
@@ -394,7 +697,11 @@ func (d *daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 		docs[i] = tdmatch.IngestDoc{Side: jd.Side, ID: jd.ID, Values: jd.Values, Parent: jd.Parent}
 	}
 	if err := d.server.Ingest(docs); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		if errors.Is(err, tdmatch.ErrDuplicateDocument) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, mutateResponse{
@@ -407,7 +714,7 @@ func (d *daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (d *daemon) handleRemove(w http.ResponseWriter, r *http.Request) {
 	var req removeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		httpError(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if len(req.IDs) == 0 {
@@ -434,9 +741,12 @@ func (d *daemon) handleRemove(w http.ResponseWriter, r *http.Request) {
 // handleCompact folds the delta chain into a full retrain: queries keep
 // hitting the old model while a clone recompacts off to the side, then
 // the daemon swaps atomically. A request arriving while a compaction is
-// already running is answered 409 rather than queued.
+// already running is answered 409 rather than queued. With a WAL
+// attached, a successful compaction is followed by a checkpoint: the
+// compacted model is saved to the snapshot path and the log rotated, so
+// a restart replays only post-compaction mutations.
 func (d *daemon) handleCompact(w http.ResponseWriter, r *http.Request) {
-	if err := d.server.Compact(); err != nil {
+	if err := d.server.CompactCtx(r.Context()); err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, tdmatch.ErrCompacting) {
 			status = http.StatusConflict
@@ -444,11 +754,23 @@ func (d *daemon) handleCompact(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, err)
 		return
 	}
+	checkpointed := false
+	if d.wal != nil {
+		if err := d.checkpoint(); err != nil {
+			// The compaction itself succeeded and the WAL still covers
+			// every live mutation; the rotation is retried on the next
+			// checkpoint trigger.
+			log.Printf("tdserved: checkpoint after compaction failed: %v", err)
+		} else {
+			checkpointed = true
+		}
+	}
 	st := d.server.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"compactions": st.Compactions,
-		"staleness":   st.Staleness,
+		"status":       "ok",
+		"compactions":  st.Compactions,
+		"staleness":    st.Staleness,
+		"checkpointed": checkpointed,
 	})
 }
 
@@ -477,11 +799,25 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is the liveness probe: 200 whenever the process can
+// answer at all, draining included — a draining daemon is alive, just
+// not ready.
 func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"model":  d.modelInfoResponse(),
 	})
+}
+
+// handleReadyz is the readiness probe: 200 while accepting traffic, 503
+// once draining — load balancers stop routing to it while in-flight
+// requests finish.
+func (d *daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if d.draining.Load() {
+		shed(w, errors.New("draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 // modelInfoResponse projects the current ModelInfo onto the wire shape.

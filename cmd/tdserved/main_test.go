@@ -85,7 +85,7 @@ func fixtureConfig(seed int64) tdmatch.Config {
 // startDaemon wires a daemon over the fixture files behind httptest.
 func startDaemon(t *testing.T, firstPath, secondPath, modelPath string) (*daemon, *httptest.Server) {
 	t.Helper()
-	d, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{Workers: 4}, 5, 2)
+	d, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{Workers: 4}, 5, 2, daemonOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestWrongCorpusFilesRefusedAtStartup(t *testing.T) {
 
 	// Swapped format: a text file where the table was — document IDs get
 	// the p-prefix, matching none of the snapshot's t-prefixed vectors.
-	if _, err := newDaemon(secondPath, secondPath, modelPath, tdmatch.ServeConfig{}, 5, 0); err == nil {
+	if _, err := newDaemon(secondPath, secondPath, modelPath, tdmatch.ServeConfig{}, 5, 0, daemonOptions{}); err == nil {
 		t.Error("daemon started over a text file in place of the trained table")
 	}
 
@@ -251,12 +251,12 @@ func TestWrongCorpusFilesRefusedAtStartup(t *testing.T) {
 	if err := os.WriteFile(tinyTxt, []byte("one lonely review\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newDaemon(tiny, tinyTxt, modelPath, tdmatch.ServeConfig{}, 5, 0); err == nil {
+	if _, err := newDaemon(tiny, tinyTxt, modelPath, tdmatch.ServeConfig{}, 5, 0, daemonOptions{}); err == nil {
 		t.Error("daemon started with fewer documents than stored vectors")
 	}
 
 	// The matching files still work.
-	if _, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{}, 5, 0); err != nil {
+	if _, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{}, 5, 0, daemonOptions{}); err != nil {
 		t.Errorf("daemon refused the correct corpora: %v", err)
 	}
 }

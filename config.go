@@ -196,6 +196,18 @@ type Config struct {
 	// a burst). Negative disables micro-batching; 0 selects the default.
 	ServeBatchWindow time.Duration
 
+	// WALSync selects the serving write-ahead log's fsync policy:
+	// "always" (fsync every append before it is acknowledged — the
+	// default and the only policy under which an acked mutation survives
+	// any crash), "interval" (fsync on a timer, amortizing the fsync cost
+	// across bursts at the risk of losing up to one interval of acked
+	// mutations) or "never" (leave flushing to the OS). Empty selects
+	// "always"; tdserved's -wal-sync flag overrides.
+	WALSync string
+	// WALSyncInterval is the flush period under WALSync "interval"
+	// (default 100ms).
+	WALSyncInterval time.Duration
+
 	// WalkBias enables kind-weighted walks, the typed-walk extension of
 	// the paper's future work (§VII). Nil keeps uniform random walks.
 	WalkBias *WalkBias
@@ -240,6 +252,7 @@ func Defaults() Config {
 		SegmentMaxDocs:   512,
 		ServeCacheSize:   4096,
 		ServeBatchWindow: 200 * time.Microsecond,
+		WALSync:          "always",
 	}
 }
 
@@ -282,6 +295,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ServeBatchWindow == 0 {
 		c.ServeBatchWindow = d.ServeBatchWindow
+	}
+	if c.WALSync == "" {
+		c.WALSync = d.WALSync
 	}
 	return c
 }

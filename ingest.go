@@ -18,6 +18,12 @@ import (
 // errors.Is (the serving daemon maps it to HTTP 404).
 var ErrUnknownDocument = errors.New("unknown document")
 
+// ErrDuplicateDocument reports an ingest of a document ID that already
+// exists in one of the corpora. Wrapped by Model.Ingest's per-document
+// failures; match with errors.Is. WAL replay relies on it to recognize
+// operations the snapshot already contains (see WAL.Replay).
+var ErrDuplicateDocument = errors.New("document already exists")
+
 // IngestDoc is one document added by Model.Ingest.
 type IngestDoc struct {
 	// Side is the corpus the document joins: 1 (first) or 2 (second).
@@ -103,7 +109,7 @@ func (m *Model) Ingest(docs []IngestDoc) error {
 		}
 		seen[d.ID] = struct{}{}
 		if m.sideOf(d.ID) != 0 {
-			return fmt.Errorf("tdmatch: document %q already exists", d.ID)
+			return fmt.Errorf("tdmatch: document %q: %w", d.ID, ErrDuplicateDocument)
 		}
 		if g := m.graph(); g != nil {
 			// Document IDs become graph metadata labels; reject collisions

@@ -1,0 +1,358 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrNoSpace is the simulated ENOSPC MemFS returns once its write
+// budget is exhausted.
+var ErrNoSpace = errors.New("wal: simulated ENOSPC: no space left on device")
+
+// ErrCrashed is returned by every operation on a file handle that was
+// open when MemFS.Crash fired, modeling a process that lost power.
+var ErrCrashed = errors.New("wal: simulated crash: file handle lost")
+
+// MemFS is an in-memory FS with failpoints, the fault-injection seam of
+// the crash property suite. It models the durability semantics that
+// matter to a write-ahead log:
+//
+//   - every file tracks its durable content (as of the last successful
+//     Sync) separately from its volatile content (all writes);
+//   - Crash discards volatile state — keeping an arbitrary prefix of
+//     the unsynced tail, like a torn page-cache flush — and poisons
+//     every open handle;
+//   - failpoints inject torn writes (a write persists only its first k
+//     bytes, then fails), ENOSPC (a total write budget), and fsync
+//     failures.
+//
+// A fresh open after Crash sees exactly what a real process would find
+// on disk after power loss, so tests can drive the full
+// crash/recover/replay cycle without touching a disk.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memData
+	gen   uint64 // bumped by Crash; stale handles fail
+
+	writeErr    error
+	tornPending bool
+	tornKeep    int
+	tornErr     error
+	syncErr     error
+	writeLimit  int64 // <0 = unlimited
+	written     int64
+}
+
+// memData is one file's state: volatile content (buf) and the durable
+// snapshot taken at the last successful Sync.
+type memData struct {
+	buf     []byte
+	durable []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem with no failpoints
+// armed and an unlimited write budget.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memData), writeLimit: -1}
+}
+
+// SetWriteError makes every write fail with err (nil disarms). No bytes
+// are written while armed.
+func (fs *MemFS) SetWriteError(err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.writeErr = err
+}
+
+// FailNextWrite arms a one-shot torn write: the next write persists
+// only its first keep bytes, then fails with err (io.ErrShortWrite when
+// err is nil).
+func (fs *MemFS) FailNextWrite(keep int, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err == nil {
+		err = io.ErrShortWrite
+	}
+	fs.tornPending, fs.tornKeep, fs.tornErr = true, keep, err
+}
+
+// SetSyncError makes every Sync fail with err (nil disarms); durable
+// state is not advanced by a failed sync.
+func (fs *MemFS) SetSyncError(err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.syncErr = err
+}
+
+// SetWriteLimit caps the total bytes writable across all files;
+// exceeding it persists the budget's remainder and fails with
+// ErrNoSpace, like a filling disk. Negative = unlimited.
+func (fs *MemFS) SetWriteLimit(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.writeLimit = n
+	fs.written = 0
+}
+
+// Crash simulates power loss: every file's content reverts to its
+// durable snapshot plus at most keepUnsynced bytes of the unsynced
+// tail (a torn flush), every open handle is poisoned, and all
+// failpoints are disarmed. Files opened afterwards see the post-crash
+// content.
+func (fs *MemFS) Crash(keepUnsynced int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.gen++
+	for _, d := range fs.files {
+		content := append([]byte(nil), d.durable...)
+		if extra := len(d.buf) - len(d.durable); extra > 0 {
+			keep := keepUnsynced
+			if keep > extra {
+				keep = extra
+			}
+			if keep > 0 {
+				content = append(content, d.buf[len(d.durable):len(d.durable)+keep]...)
+			}
+		}
+		d.buf = content
+		d.durable = append([]byte(nil), content...)
+	}
+	fs.writeErr, fs.syncErr, fs.tornPending = nil, nil, false
+	fs.writeLimit, fs.written = -1, 0
+}
+
+// FileBytes returns a copy of a file's current (volatile) content, nil
+// when absent — what a concurrent reader of the live file would see.
+func (fs *MemFS) FileBytes(name string) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.files[name]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), d.buf...)
+}
+
+// DurableBytes returns a copy of a file's durable content (as of its
+// last successful Sync), nil when absent — what survives a crash that
+// keeps none of the unsynced tail.
+func (fs *MemFS) DurableBytes(name string) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.files[name]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), d.durable...)
+}
+
+// WriteFile installs content as both the volatile and durable state of
+// name, for seeding recovery scenarios.
+func (fs *MemFS) WriteFile(name string, content []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[name] = &memData{
+		buf:     append([]byte(nil), content...),
+		durable: append([]byte(nil), content...),
+	}
+}
+
+// OpenFile implements FS.
+func (fs *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		d = &memData{}
+		fs.files[name] = d
+	} else if flag&os.O_TRUNC != 0 {
+		d.buf = nil
+	}
+	return &memFile{fs: fs, name: name, gen: fs.gen}, nil
+}
+
+// Rename implements FS (atomic, like POSIX rename on one filesystem).
+func (fs *MemFS) Rename(oldpath, newpath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.files[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	fs.files[newpath] = d
+	delete(fs.files, oldpath)
+	return nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// memFile is one open handle on a MemFS file.
+type memFile struct {
+	fs     *MemFS
+	name   string
+	gen    uint64
+	off    int64
+	closed bool
+}
+
+// data returns the handle's file state, or an error when the handle is
+// stale (post-crash) or closed. Callers hold fs.mu.
+func (f *memFile) data() (*memData, error) {
+	if f.closed {
+		return nil, os.ErrClosed
+	}
+	if f.gen != f.fs.gen {
+		return nil, ErrCrashed
+	}
+	d, ok := f.fs.files[f.name]
+	if !ok {
+		return nil, &os.PathError{Op: "stat", Path: f.name, Err: os.ErrNotExist}
+	}
+	return d, nil
+}
+
+// Read implements io.Reader from the handle's offset.
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	d, err := f.data()
+	if err != nil {
+		return 0, err
+	}
+	if f.off >= int64(len(d.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, d.buf[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+// Write implements io.Writer at the handle's offset, applying the armed
+// failpoints: full write failure, one-shot torn write, and the ENOSPC
+// budget.
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	d, err := f.data()
+	if err != nil {
+		return 0, err
+	}
+	fs := f.fs
+	if fs.writeErr != nil {
+		return 0, fs.writeErr
+	}
+	keep, failErr := len(p), error(nil)
+	if fs.tornPending {
+		fs.tornPending = false
+		if fs.tornKeep < keep {
+			keep = fs.tornKeep
+		}
+		failErr = fs.tornErr
+	}
+	if fs.writeLimit >= 0 {
+		if remaining := fs.writeLimit - fs.written; int64(keep) > remaining {
+			if remaining < 0 {
+				remaining = 0
+			}
+			keep = int(remaining)
+			failErr = ErrNoSpace
+		}
+	}
+	if end := f.off + int64(keep); end > int64(len(d.buf)) {
+		d.buf = append(d.buf, make([]byte, end-int64(len(d.buf)))...)
+	}
+	copy(d.buf[f.off:], p[:keep])
+	f.off += int64(keep)
+	fs.written += int64(keep)
+	if failErr != nil {
+		return keep, failErr
+	}
+	return keep, nil
+}
+
+// Sync implements File: the volatile content becomes durable, unless
+// the sync failpoint is armed.
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	d, err := f.data()
+	if err != nil {
+		return err
+	}
+	if f.fs.syncErr != nil {
+		return f.fs.syncErr
+	}
+	d.durable = append(d.durable[:0:0], d.buf...)
+	return nil
+}
+
+// Truncate implements File on the volatile content; durability of the
+// truncation itself requires a Sync, exactly like a real file.
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	d, err := f.data()
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("wal: negative truncate size %d", size)
+	}
+	if size <= int64(len(d.buf)) {
+		d.buf = d.buf[:size]
+	} else {
+		d.buf = append(d.buf, make([]byte, size-int64(len(d.buf)))...)
+	}
+	return nil
+}
+
+// Seek implements File.
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	d, err := f.data()
+	if err != nil {
+		return 0, err
+	}
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(d.buf)) + offset
+	default:
+		return 0, fmt.Errorf("wal: bad seek whence %d", whence)
+	}
+	if f.off < 0 {
+		f.off = 0
+	}
+	return f.off, nil
+}
+
+// Close implements File. Closing does not sync, exactly like a real
+// file descriptor.
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.closed = true
+	return nil
+}

@@ -1,0 +1,53 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the log needs, factored into an
+// interface so fault injection (MemFS) can model torn writes, failing
+// fsync, ENOSPC and crash-at-offset without touching a disk. Writes
+// always append at the current offset; Seek is used only to position at
+// the recovered tail after Open repairs a torn record.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes buffered writes to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes, discarding a torn tail.
+	Truncate(size int64) error
+	// Seek repositions the read/write offset.
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the filesystem seam the log runs on: the real OS filesystem in
+// production (OSFS), an in-memory fault-injecting one in tests (MemFS).
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (checkpoint swap).
+	Rename(oldpath, newpath string) error
+	// Remove deletes name; missing files are not an error for the log's
+	// purposes (checkpoint cleanup).
+	Remove(name string) error
+}
+
+// OSFS is the production FS: a thin pass-through to the os package.
+type OSFS struct{}
+
+// OpenFile opens a real file.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename renames a real file.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove deletes a real file.
+func (OSFS) Remove(name string) error { return os.Remove(name) }

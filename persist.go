@@ -270,17 +270,37 @@ func (m *Model) termVectors() ([]string, []float32) {
 	return ids, arena
 }
 
-// SaveFile writes the model to a file.
+// SaveFile writes the model to a file, atomically: the snapshot is
+// written and fsynced to a sidecar (path + ".tmp") and renamed into
+// place, so a crash mid-save leaves the previous snapshot intact
+// instead of a truncated file — the invariant the serving WAL's
+// checkpoint protocol depends on (Server.Checkpoint rotates the log
+// only after this returns).
 func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := m.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Sync()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadModel reads embeddings written by Save and reconstructs a matcher

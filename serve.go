@@ -1,6 +1,7 @@
 package tdmatch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,9 +16,20 @@ var ErrServerClosed = errors.New("tdmatch: server closed")
 // already running.
 var ErrCompacting = errors.New("tdmatch: compaction already running")
 
+// ErrOverloaded is returned by queries that arrive while the micro-batch
+// queue is full: the server sheds them immediately instead of queueing
+// unboundedly (tdserved maps it to HTTP 503 with Retry-After).
+var ErrOverloaded = errors.New("tdmatch: server overloaded")
+
 // serveMaxBatch caps one coalesced micro-batch; a burst larger than this
 // is split into consecutive worker-pool passes rather than held back.
 const serveMaxBatch = 256
+
+// serveQueueDepth bounds the micro-batch queue: queries beyond this many
+// waiting fail fast with ErrOverloaded instead of queueing unboundedly,
+// so an overload degrades into shed requests rather than growing latency
+// and memory without bound.
+const serveQueueDepth = 4 * serveMaxBatch
 
 // ServeConfig tunes a Server independently of the model's build-time
 // Config. The zero value inherits every setting from the model
@@ -34,6 +46,13 @@ type ServeConfig struct {
 	// Workers bounds the per-batch fan-out and the TopKBatch pool
 	// (0 inherits the model's Config.Workers, default GOMAXPROCS).
 	Workers int
+	// WAL, when non-nil, makes mutations durable: every Ingest and
+	// Remove appends its batch to the log before the new model is
+	// swapped in (and before the caller is acknowledged), so a crashed
+	// process replays the log against its last snapshot and loses no
+	// acknowledged write. Open it with OpenWAL and Replay the recovered
+	// records onto the model before NewServer.
+	WAL *WAL
 }
 
 // ServeStats is a point-in-time snapshot of a Server's counters, suitable
@@ -83,6 +102,12 @@ type ServeStats struct {
 	// or tdserved -shards); nil when that side serves unsharded.
 	FirstShards  []ShardStat `json:"first_shards,omitempty"`
 	SecondShards []ShardStat `json:"second_shards,omitempty"`
+	// Shed counts queries refused with ErrOverloaded because the
+	// micro-batch queue was full.
+	Shed uint64 `json:"shed"`
+	// WAL reports the write-ahead log's counters when one is attached
+	// (ServeConfig.WAL); nil otherwise.
+	WAL *WALStats `json:"wal,omitempty"`
 }
 
 // served pairs a model with its serving identity: gen is the swap
@@ -97,6 +122,7 @@ type served struct {
 
 // topkReq is one query waiting in the micro-batching queue.
 type topkReq struct {
+	ctx   context.Context
 	docID string
 	k     int
 	out   chan topkResp
@@ -125,6 +151,12 @@ type Server struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
+	// wal, when attached, receives every acknowledged mutation before
+	// its swap; walSeq (guarded by mutMu) is the sequence number of the
+	// newest record the served model reflects — the checkpoint horizon.
+	wal    *WAL
+	walSeq uint64
+
 	// mutMu serializes model swaps (Reload, Ingest, Remove) so a clone
 	// being mutated can never race another swap and lose its update.
 	// Queries never take it. It also guards the mutation counters below,
@@ -148,6 +180,7 @@ type Server struct {
 	batches        atomic.Uint64
 	batchedQueries atomic.Uint64
 	errors         atomic.Uint64
+	shed           atomic.Uint64
 }
 
 // NewServer wraps a trained or loaded model for serving. Zero fields of
@@ -172,11 +205,17 @@ func NewServer(m *Model, sc ServeConfig) *Server {
 		workers: workers,
 		window:  window,
 		done:    make(chan struct{}),
+		wal:     sc.WAL,
+	}
+	if s.wal != nil {
+		// Recovered records were replayed into m before NewServer; the
+		// served state reflects everything up to the log's last record.
+		s.walSeq = s.wal.LastSeq()
 	}
 	m.shareTrainer()
 	s.cur.Store(&served{model: m, gen: s.gen.Add(1), fp: m.indexFingerprint()})
 	if window > 0 {
-		s.reqs = make(chan *topkReq)
+		s.reqs = make(chan *topkReq, serveQueueDepth)
 		s.wg.Add(1)
 		go s.run()
 	}
@@ -226,12 +265,24 @@ func (s *Server) swap(m *Model) {
 // uses. In-flight queries finish against the old model; the generation
 // and the mutated index fingerprints both key the result cache, so no
 // pre-ingest ranking can be served afterwards.
+//
+// With a WAL attached the batch is appended to the log after it
+// validates but before the swap: an error from the log means the
+// mutation was neither made durable nor made visible, so a successful
+// return is a durable acknowledgment.
 func (s *Server) Ingest(docs []IngestDoc) error {
 	s.mutMu.Lock()
 	defer s.mutMu.Unlock()
 	next := s.cur.Load().model.clone()
 	if err := next.Ingest(docs); err != nil {
 		return err
+	}
+	if s.wal != nil {
+		seq, err := s.wal.appendIngest(docs)
+		if err != nil {
+			return fmt.Errorf("tdmatch: ingest not acknowledged: %w", err)
+		}
+		s.walSeq = seq
 	}
 	s.swap(next)
 	s.ingests++
@@ -240,7 +291,8 @@ func (s *Server) Ingest(docs []IngestDoc) error {
 }
 
 // Remove deletes documents from the served model without downtime, the
-// removal counterpart of Ingest: clone, Model.Remove, atomic swap.
+// removal counterpart of Ingest: clone, Model.Remove, WAL append (when
+// attached — see Ingest), atomic swap.
 func (s *Server) Remove(ids []string) error {
 	s.mutMu.Lock()
 	defer s.mutMu.Unlock()
@@ -248,9 +300,40 @@ func (s *Server) Remove(ids []string) error {
 	if err := next.Remove(ids); err != nil {
 		return err
 	}
+	if s.wal != nil {
+		seq, err := s.wal.appendRemove(ids)
+		if err != nil {
+			return fmt.Errorf("tdmatch: removal not acknowledged: %w", err)
+		}
+		s.walSeq = seq
+	}
 	s.swap(next)
 	s.removes++
 	s.removedDocs += uint64(len(ids))
+	return nil
+}
+
+// Checkpoint durably persists the served model and then rotates the WAL
+// past every record the persisted state contains: save receives a
+// pinned model (safe to serialize off-lock — served models are
+// immutable, mutations go through clones), and only after it returns
+// successfully are the covered log records dropped. Mutations that land
+// while the save runs get sequence numbers above the pinned horizon and
+// survive the rotation. With no WAL attached it is just a save.
+func (s *Server) Checkpoint(save func(*Model) error) error {
+	s.mutMu.Lock()
+	m := s.cur.Load().model
+	horizon := s.walSeq
+	s.mutMu.Unlock()
+	if err := save(m); err != nil {
+		return err
+	}
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Checkpoint(horizon); err != nil {
+		return fmt.Errorf("tdmatch: snapshot saved but wal rotation failed: %w", err)
+	}
 	return nil
 }
 
@@ -264,13 +347,26 @@ func (s *Server) Remove(ids []string) error {
 // retrained state take over from the next query on. The staleness the
 // swapped-in model reports counts exactly the replayed (still
 // incremental) mutations. At most one compaction runs at a time;
-// concurrent calls fail fast with ErrCompacting.
+// concurrent calls fail fast with ErrCompacting. Equivalent to
+// CompactCtx with context.Background().
 func (s *Server) Compact() error {
+	return s.CompactCtx(context.Background())
+}
+
+// CompactCtx is Compact with cancellation: the context is checked
+// before the rebuild starts and again before the replay-and-swap, so a
+// shutting-down daemon abandons a compaction between stages instead of
+// swapping in a model nobody will serve. The rebuild stage itself runs
+// to completion once started.
+func (s *Server) CompactCtx(ctx context.Context) error {
 	if !s.compacting.CompareAndSwap(false, true) {
 		return ErrCompacting
 	}
 	defer s.compacting.Store(false)
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mutMu.Lock()
 	work := s.cur.Load().model.clone()
 	base := len(work.deltas)
@@ -279,6 +375,9 @@ func (s *Server) Compact() error {
 	// The expensive part, off the lock: queries and mutations proceed
 	// against the current model while the clone rebuilds.
 	if err := work.Compact(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 
@@ -306,25 +405,44 @@ func (s *Server) Compact() error {
 // like Model.TopK, but served: answered from the result cache when
 // possible, otherwise coalesced with concurrent queries into one
 // worker-pool pass. The returned slice is the caller's to keep.
+// Equivalent to TopKCtx with context.Background().
 func (s *Server) TopK(docID string, k int) ([]Match, error) {
+	return s.TopKCtx(context.Background(), docID, k)
+}
+
+// TopKCtx is TopK with a deadline: the query gives up with ctx.Err()
+// once ctx expires — whether still queued or already being scored (the
+// scoring pass completes and feeds the cache, only the wait is cut) —
+// and is shed immediately with ErrOverloaded when the micro-batch queue
+// is full, so a saturated server degrades into fast failures instead of
+// unbounded queueing.
+func (s *Server) TopKCtx(ctx context.Context, docID string, k int) ([]Match, error) {
 	s.queries.Add(1)
 	cur := s.cur.Load()
 	if matches, ok := s.cache.get(cacheKey{docID: docID, k: k, gen: cur.gen, fp: cur.fp}); ok {
 		return matches, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.reqs == nil {
 		resp := s.answer(cur, docID, k)
 		return resp.matches, resp.err
 	}
-	req := &topkReq{docID: docID, k: k, out: make(chan topkResp, 1)}
+	req := &topkReq{ctx: ctx, docID: docID, k: k, out: make(chan topkResp, 1)}
 	select {
 	case s.reqs <- req:
 	case <-s.done:
 		return nil, ErrServerClosed
+	default:
+		s.shed.Add(1)
+		return nil, ErrOverloaded
 	}
 	select {
 	case resp := <-req.out:
 		return resp.matches, resp.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-s.done:
 		return nil, ErrServerClosed
 	}
@@ -346,12 +464,27 @@ type BatchResult struct {
 // result cache independently, and the misses are fed as one batch into
 // the model's blocked multi-query kernels (Model.TopKBatchWorkers) with
 // the server's worker parallelism. Results are position-aligned with
-// docIDs.
+// docIDs. Equivalent to TopKBatchCtx with context.Background().
 func (s *Server) TopKBatch(docIDs []string, k int) []BatchResult {
+	return s.TopKBatchCtx(context.Background(), docIDs, k)
+}
+
+// TopKBatchCtx is TopKBatch with a deadline: a context that is already
+// expired on entry fails every query with ctx.Err() without touching
+// the kernels. The batch itself runs on the caller's goroutine and is
+// not interrupted mid-scan — the deadline bounds admission, not one
+// kernel pass.
+func (s *Server) TopKBatchCtx(ctx context.Context, docIDs []string, k int) []BatchResult {
 	s.queries.Add(uint64(len(docIDs)))
+	out := make([]BatchResult, len(docIDs))
+	if err := ctx.Err(); err != nil {
+		for i, id := range docIDs {
+			out[i] = BatchResult{ID: id, Err: err}
+		}
+		return out
+	}
 	cur := s.cur.Load()
 	resps := s.answerBatch(cur, docIDs, k)
-	out := make([]BatchResult, len(docIDs))
 	for i, resp := range resps {
 		out[i] = BatchResult{ID: docIDs[i], Matches: resp.matches, Err: resp.err}
 	}
@@ -389,6 +522,11 @@ func (s *Server) Stats() ServeStats {
 	st.Batches = s.batches.Load()
 	st.BatchedQueries = s.batchedQueries.Load()
 	st.Errors = s.errors.Load()
+	st.Shed = s.shed.Load()
+	if s.wal != nil {
+		w := s.wal.Stats()
+		st.WAL = &w
+	}
 	return st
 }
 
@@ -465,8 +603,18 @@ func (s *Server) execBatch(batch []*topkReq) {
 	cur := s.cur.Load()
 	// Queries of one coalesced batch can mix k values; group them so each
 	// group is one batched kernel pass (in practice one group dominates).
+	// Queries whose deadline expired while queued are answered with their
+	// context error instead of being scored: the waiter has already given
+	// up, and skipping them sheds exactly the work the timeout was meant
+	// to bound.
 	byK := make(map[int][]int, 1)
 	for i, r := range batch {
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				r.out <- topkResp{err: err}
+				continue
+			}
+		}
 		byK[r.k] = append(byK[r.k], i)
 	}
 	for k, slots := range byK {

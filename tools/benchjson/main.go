@@ -46,13 +46,17 @@ import (
 // (BenchmarkMatchAllParallelFlat, BenchmarkTopKBatch). The
 // BenchmarkIngestSegmented series (1x/4x/16x corpora) tracks the
 // segmented core's O(delta) claim: the three scales must stay flat.
+// The BenchmarkIngestWAL series prices durability: the same server
+// ingest with a write-ahead log under each fsync policy, so the
+// always/interval/never tax stays visible in the trajectory.
 const defaultBench = "BenchmarkWord2VecSkipGram$|BenchmarkWord2VecCBOW$|BenchmarkRandomWalks$|" +
 	"BenchmarkGraphBuild$|BenchmarkTopKMatch$|BenchmarkTopKBatch$|BenchmarkTopKIVF$|BenchmarkTopKSQ8$|" +
 	"BenchmarkMatchAllSerialFlat$|BenchmarkMatchAllParallelFlat$|BenchmarkMatchAllParallelIVF$|" +
 	"BenchmarkMatchAllParallelSQ8$|BenchmarkMatchAllShardedFlat$|BenchmarkTopKBatchSharded$|" +
 	"BenchmarkEndToEndPipeline$|BenchmarkServeTopKCached$|" +
 	"BenchmarkIngestSingleDoc$|BenchmarkIngestServerSingleDoc$|" +
-	"BenchmarkIngestSegmented/scale(1|4|16)x$|BenchmarkCompactOnline$"
+	"BenchmarkIngestSegmented/scale(1|4|16)x$|BenchmarkCompactOnline$|" +
+	"BenchmarkIngestWAL/(always|interval|never)$"
 
 // benchLine matches `go test -bench -benchmem` output rows, e.g.
 // "BenchmarkRandomWalks-8  50  6449439 ns/op  4118728 B/op  23 allocs/op".
