@@ -545,6 +545,58 @@ func BenchmarkIngestServerSingleDoc(b *testing.B) {
 	}
 }
 
+// BenchmarkLoadSnapshotGob measures cold start from a gob (v5)
+// snapshot: open the file, decode, rebuild the serving indexes, answer
+// the first TopK. The baseline BenchmarkLoadSnapshotMmap is held
+// against.
+func BenchmarkLoadSnapshotGob(b *testing.B) { benchLoadSnapshot(b, "gob") }
+
+// BenchmarkLoadSnapshotMmap measures cold start from a v6 snapshot
+// through the zero-copy path: mmap the file (lazy verification, the
+// daemon's trusted-checkpoint mode), bind the serving indexes onto the
+// mapping, answer the first TopK. The PR 9 acceptance bar is >= 10x
+// faster than BenchmarkLoadSnapshotGob.
+func BenchmarkLoadSnapshotMmap(b *testing.B) { benchLoadSnapshot(b, "mmap") }
+
+func benchLoadSnapshot(b *testing.B, format string) {
+	first, second, cfg := benchEndToEndInputs(b)
+	cfg.Seed = 1
+	model, err := tdmatch.Build(first, second, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "model.snap")
+	if format == "gob" {
+		err = model.SaveFile(path)
+	} else {
+		err = model.SaveFileV6(path)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := second.IDs()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var snap *tdmatch.Snapshot
+		if format == "gob" {
+			snap, err = tdmatch.OpenSnapshotFile(path)
+		} else {
+			snap, err = tdmatch.OpenSnapshotFileVerify(path, tdmatch.VerifyLazy)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := snap.Bind(first, second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.TopK(q, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func rowsOf(s *datasets.Scenario) [][]string {
 	rows := make([][]string, 0, s.First.Len())
 	for _, d := range s.First.Docs {

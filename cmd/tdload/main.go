@@ -24,10 +24,14 @@
 //
 // -ingest-frac mixes single-document ingest mutations into the load
 // (each with a unique generated ID), reporting acknowledged ingests per
-// level. Against a daemon running with -wal this is the durability
-// drill: kill -TERM the daemon mid-run, restart it, and every ingest
-// tdload reported as acknowledged must still be served — 503 sheds
-// during the drain are counted separately and do not fail the run.
+// level. Mutations draw from the same -qps token budget as reads: the
+// total offered rate stays at -qps, with roughly ingest-frac of it
+// spent on ingests, so read throughput under pacing drops by about that
+// fraction rather than mutations arriving on top. Against a daemon
+// running with -wal this is the durability drill: kill -TERM the daemon
+// mid-run, restart it, and every ingest tdload reported as acknowledged
+// must still be served — 503 sheds during the drain are counted
+// separately and do not fail the run.
 package main
 
 import (
@@ -64,7 +68,7 @@ func main() {
 		k          = flag.Int("k", 10, "matches requested per query")
 		duration   = flag.Duration("duration", 3*time.Second, "measurement duration per concurrency level")
 		concList   = flag.String("concurrency", "1,4", "comma-separated concurrency levels, each run for -duration")
-		qps        = flag.Float64("qps", 0, "total offered queries per second (0 = closed loop, unthrottled)")
+		qps        = flag.Float64("qps", 0, "total offered queries per second, ingest mutations included (0 = closed loop, unthrottled)")
 		dist       = flag.String("dist", "zipf", "query-ID distribution: zipf or uniform")
 		seed       = flag.Int64("seed", 1, "seed for query selection (and the synthetic build)")
 		shards     = flag.Int("shards", 0, "scatter-gather shards for the in-process model (0 = model/auto, negative disables)")
@@ -74,7 +78,7 @@ func main() {
 		out        = flag.String("out", "", "append the levels to this benchfmt trajectory file (e.g. BENCH_build.json)")
 		label      = flag.String("label", "", "trajectory entry label recorded with -out")
 		minQPS     = flag.Float64("min-qps", 0, "exit nonzero when any level's achieved QPS is below this")
-		ingestFrac = flag.Float64("ingest-frac", 0, "fraction of requests that are single-doc ingest mutations (0 = read-only)")
+		ingestFrac = flag.Float64("ingest-frac", 0, "fraction of requests that are single-doc ingest mutations, drawn per request (0 = read-only); under -qps pacing, mutations spend the same token budget as reads, so offered load stays qps total and read throughput drops by roughly the fraction")
 		ingestSide = flag.Int("ingest-side", 2, "corpus side the generated ingest documents join")
 	)
 	flag.Parse()
@@ -83,11 +87,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *dist != "zipf" && *dist != "uniform" {
-		fatal(fmt.Errorf("unknown -dist %q (want zipf or uniform)", *dist))
-	}
-	if *ingestFrac < 0 || *ingestFrac > 1 {
-		fatal(fmt.Errorf("-ingest-frac %g out of range [0, 1]", *ingestFrac))
+	if err := validateWorkloadFlags(*dist, *ingestFrac, *qps); err != nil {
+		fatal(err)
 	}
 
 	var (
@@ -313,6 +314,23 @@ func (t *httpTarget) post(path string, v any) error {
 	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("status %s", resp.Status)
+	}
+	return nil
+}
+
+// validateWorkloadFlags checks the workload-shape flags as one unit —
+// the query distribution, the ingest mix and the pacing rate — so every
+// misuse is a clean usage error instead of a surprising run (a negative
+// -qps, for instance, would silently disable pacing).
+func validateWorkloadFlags(dist string, ingestFrac, qps float64) error {
+	if dist != "zipf" && dist != "uniform" {
+		return fmt.Errorf("unknown -dist %q (want zipf or uniform)", dist)
+	}
+	if ingestFrac < 0 || ingestFrac > 1 {
+		return fmt.Errorf("-ingest-frac %g out of range [0, 1]", ingestFrac)
+	}
+	if qps < 0 {
+		return fmt.Errorf("-qps %g is negative (use 0 for an unthrottled closed loop)", qps)
 	}
 	return nil
 }

@@ -116,3 +116,34 @@ func TestRunLevelIngestMix(t *testing.T) {
 		t.Fatalf("frac=1.0 level mixes %d ingests into %d requests", lv.Ingests, lv.Queries)
 	}
 }
+
+// TestValidateWorkloadFlags pins the usage errors of the workload-shape
+// flags: bad distributions, out-of-range ingest fractions and negative
+// pacing rates are rejected before any work starts, and every valid
+// combination — including a paced ingest mix — passes.
+func TestValidateWorkloadFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		dist       string
+		ingestFrac float64
+		qps        float64
+		wantErr    bool
+	}{
+		{"defaults", "zipf", 0, 0, false},
+		{"uniform paced", "uniform", 0, 500, false},
+		{"paced ingest mix", "zipf", 0.25, 100, false},
+		{"pure ingest", "zipf", 1, 0, false},
+		{"unknown dist", "pareto", 0, 0, true},
+		{"negative ingest frac", "zipf", -0.1, 0, true},
+		{"ingest frac above one", "zipf", 1.5, 0, true},
+		{"negative qps", "zipf", 0, -10, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateWorkloadFlags(tc.dist, tc.ingestFrac, tc.qps)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("validateWorkloadFlags(%q, %g, %g) = %v, wantErr %v",
+					tc.dist, tc.ingestFrac, tc.qps, err, tc.wantErr)
+			}
+		})
+	}
+}

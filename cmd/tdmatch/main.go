@@ -48,6 +48,7 @@ func main() {
 		fromFirst  = flag.Bool("from-first", false, "query from the first corpus instead of the second")
 		dotPath    = flag.String("dot", "", "write the built graph in Graphviz DOT format to this file")
 		savePath   = flag.String("save", "", "write the trained model snapshot to this file (serve it with tdserved)")
+		saveFormat = flag.String("snapshot-format", "v6", "snapshot format for -save: v6 (flat, mmap-loadable) or gob")
 		indexKind  = flag.String("index", "flat", "serving index: flat (exact scan), ivf (clustered ANN) or sq8 (int8-quantized scan + exact re-rank)")
 		clusters   = flag.Int("clusters", 0, "IVF partitions (0 = sqrt of corpus size)")
 		nprobe     = flag.Int("nprobe", 0, "IVF partitions probed per query (0 = adaptive half)")
@@ -57,6 +58,10 @@ func main() {
 	flag.Parse()
 	if *firstPath == "" || *secondPath == "" {
 		fmt.Fprintln(os.Stderr, "tdmatch: -first and -second are required")
+		os.Exit(2)
+	}
+	if *saveFormat != "v6" && *saveFormat != "gob" {
+		fmt.Fprintf(os.Stderr, "tdmatch: unknown -snapshot-format %q (want v6 or gob)\n", *saveFormat)
 		os.Exit(2)
 	}
 
@@ -115,8 +120,12 @@ func main() {
 	}
 
 	if *savePath != "" {
-		fatal(model.SaveFile(*savePath))
-		fmt.Fprintf(os.Stderr, "saved model snapshot to %s\n", *savePath)
+		if *saveFormat == "gob" {
+			fatal(model.SaveFile(*savePath))
+		} else {
+			fatal(model.SaveFileV6(*savePath))
+		}
+		fmt.Fprintf(os.Stderr, "saved model snapshot to %s (%s)\n", *savePath, *saveFormat)
 	}
 
 	for q, matches := range model.MatchAll(!*fromFirst, *k) {

@@ -92,6 +92,8 @@ func main() {
 		exitSnapshot = flag.Bool("exit-snapshot", false, "save the model snapshot (and rotate the WAL) on graceful shutdown")
 		compactAbove = flag.Int("compact-above", 0, "staleness threshold for background compaction (0 disables)")
 		compactEvery = flag.Duration("compact-interval", 30*time.Second, "background compaction poll period")
+		snapFormat   = flag.String("snapshot-format", "v6", "format for checkpoint and exit snapshots: v6 (flat, mmap-loadable) or gob; loads auto-detect")
+		snapVerify   = flag.String("snapshot-verify", "eager", "v6 snapshot verification at load: eager (every section checksum) or lazy (header and structure only)")
 	)
 	flag.Parse()
 	if *firstPath == "" || *secondPath == "" || *modelPath == "" {
@@ -111,6 +113,8 @@ func main() {
 		maxBody:      *maxBody,
 		maxInflight:  *maxInflight,
 		queryTimeout: *queryTimeout,
+		snapFormat:   *snapFormat,
+		snapVerify:   *snapVerify,
 	})
 	if err != nil {
 		log.Fatalf("tdserved: %v", err)
@@ -169,6 +173,11 @@ type daemonOptions struct {
 	maxBody      int64
 	maxInflight  int
 	queryTimeout time.Duration
+	// snapFormat selects the format checkpoint/exit snapshots are written
+	// in ("v6", the default, or "gob"); snapVerify the v6 load-time
+	// verification depth ("eager", the default, or "lazy").
+	snapFormat string
+	snapVerify string
 }
 
 // daemon owns the serving state: the Server plus the on-disk paths a
@@ -199,6 +208,11 @@ type daemon struct {
 	inflight     chan struct{}
 	maxBody      int64
 	queryTimeout time.Duration
+
+	// snapFormat is the checkpoint output format ("v6" or "gob");
+	// verify the v6 load-time verification mode.
+	snapFormat string
+	verify     tdmatch.VerifyMode
 
 	reloadMu sync.Mutex
 	modelInf atomic.Pointer[tdmatch.ModelInfo]
@@ -233,6 +247,22 @@ func newDaemon(firstPath, secondPath, modelPath string, sc tdmatch.ServeConfig, 
 	if opts.queryTimeout > 0 {
 		d.queryTimeout = opts.queryTimeout
 	}
+	switch opts.snapFormat {
+	case "", "v6":
+		d.snapFormat = "v6"
+	case "gob":
+		d.snapFormat = "gob"
+	default:
+		return nil, fmt.Errorf("unknown -snapshot-format %q (want v6 or gob)", opts.snapFormat)
+	}
+	switch opts.snapVerify {
+	case "", "eager":
+		d.verify = tdmatch.VerifyEager
+	case "lazy":
+		d.verify = tdmatch.VerifyLazy
+	default:
+		return nil, fmt.Errorf("unknown -snapshot-verify %q (want eager or lazy)", opts.snapVerify)
+	}
 	model, info, err := d.load()
 	if err != nil {
 		return nil, err
@@ -266,20 +296,23 @@ func newDaemon(firstPath, secondPath, modelPath string, sc tdmatch.ServeConfig, 
 }
 
 // load reads the corpus files and the model snapshot — the shared path
-// of startup and hot reload. The snapshot is decoded exactly once
-// (ReadSnapshot), so the served model and the reported ModelInfo can
-// never diverge even when a retraining job overwrites the file
-// mid-reload, and a large vector arena is not gob-decoded twice.
+// of startup and hot reload. The snapshot is opened exactly once
+// (OpenSnapshotFileVerify), so the served model and the reported
+// ModelInfo can never diverge even when a retraining job overwrites the
+// file mid-reload, and a large vector arena is never decoded twice: a
+// v6 snapshot is memory-mapped and bound zero-copy, gob versions decode
+// through the classic path.
 func (d *daemon) load() (*tdmatch.Model, tdmatch.ModelInfo, error) {
-	f, err := os.Open(d.modelPath)
+	start := time.Now()
+	snap, err := tdmatch.OpenSnapshotFileVerify(d.modelPath, d.verify)
 	if err != nil {
-		return nil, tdmatch.ModelInfo{}, fmt.Errorf("opening model snapshot: %w", err)
-	}
-	defer f.Close()
-	snap, err := tdmatch.ReadSnapshot(f)
-	if err != nil {
+		if errors.Is(err, os.ErrNotExist) || errors.Is(err, os.ErrPermission) {
+			return nil, tdmatch.ModelInfo{}, fmt.Errorf("opening model snapshot: %w", err)
+		}
 		return nil, tdmatch.ModelInfo{}, fmt.Errorf("reading model snapshot %s: %w", d.modelPath, err)
 	}
+	log.Printf("tdserved: snapshot %s: load mode %s, opened in %s",
+		d.modelPath, snap.LoadMode(), time.Since(start).Round(time.Microsecond))
 	info := snap.Info()
 	first, err := tdmatch.LoadCorpus(d.firstPath, info.FirstName)
 	if err != nil {
@@ -361,10 +394,19 @@ func (d *daemon) reload() error {
 }
 
 // checkpoint saves the served model to the snapshot path (atomically —
-// SaveFile renames a synced sidecar into place) and rotates the WAL
+// both savers rename a synced sidecar into place and fsync the parent
+// directory) in the configured -snapshot-format, and rotates the WAL
 // past everything the snapshot now contains.
 func (d *daemon) checkpoint() error {
-	return d.server.Checkpoint(func(m *tdmatch.Model) error { return m.SaveFile(d.modelPath) })
+	return d.server.Checkpoint(d.saveModelFile)
+}
+
+// saveModelFile writes one snapshot in the daemon's configured format.
+func (d *daemon) saveModelFile(m *tdmatch.Model) error {
+	if d.snapFormat == "gob" {
+		return m.SaveFile(d.modelPath)
+	}
+	return m.SaveFileV6(d.modelPath)
 }
 
 // shutdown is the graceful exit path: drain in-flight requests within

@@ -545,3 +545,82 @@ func TestIngestOverHTTPServesImmediately(t *testing.T) {
 		t.Errorf("duplicate remove: status %d, want 400", status)
 	}
 }
+
+// TestV6SnapshotDaemonRoundTrip is the daemon-level v6 round trip: a
+// model saved in the flat mmap format starts the daemon (zero-copy
+// load), serves rankings identical to the in-process model, and a
+// checkpoint in the default format rewrites the file as v6 — which the
+// next daemon start loads again.
+func TestV6SnapshotDaemonRoundTrip(t *testing.T) {
+	firstPath, secondPath, modelPath, model := trainFixture(t, fixtureConfig(17))
+	// Re-save the fixture in v6 over the gob file trainFixture wrote.
+	if err := model.SaveFileV6(modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	d, ts := startDaemonWith(t, firstPath, secondPath, modelPath, daemonOptions{})
+	if got := d.info().Version; got != 6 {
+		t.Fatalf("daemon loaded snapshot version %d, want 6", got)
+	}
+	var resp struct {
+		Matches []tdmatch.Match `json:"matches"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/topk", map[string]any{"id": "reviews:p0", "k": 3}, &resp); code != http.StatusOK {
+		t.Fatalf("topk status %d", code)
+	}
+	want, err := model.TopK("reviews:p0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Matches, want) {
+		t.Fatalf("v6-served rankings diverge:\ngot:  %v\nwant: %v", resp.Matches, want)
+	}
+
+	// The default checkpoint format is v6: the rewritten file must open
+	// with the v6 magic and restart the daemon.
+	if err := d.checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	head := make([]byte, 8)
+	f, err := os.Open(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(head); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if string(head) != "TDMSNAP6" {
+		t.Fatalf("checkpoint wrote magic %q, want TDMSNAP6", head)
+	}
+	d2, _ := startDaemonWith(t, firstPath, secondPath, modelPath, daemonOptions{snapVerify: "lazy"})
+	if got := d2.info().Version; got != 6 {
+		t.Fatalf("restart loaded snapshot version %d, want 6", got)
+	}
+
+	// And -snapshot-format=gob keeps the classic format available.
+	d3, _ := startDaemonWith(t, firstPath, secondPath, modelPath, daemonOptions{snapFormat: "gob"})
+	if err := d3.checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := tdmatch.ReadModelInfoFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 5 {
+		t.Fatalf("gob checkpoint wrote version %d, want 5", info.Version)
+	}
+}
+
+// TestBadSnapshotFlagsRejected pins the flag validation in newDaemon.
+func TestBadSnapshotFlagsRejected(t *testing.T) {
+	firstPath, secondPath, modelPath, _ := trainFixture(t, fixtureConfig(35))
+	if _, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{Workers: 1}, 5, 0,
+		daemonOptions{snapFormat: "msgpack"}); err == nil {
+		t.Error("unknown -snapshot-format accepted")
+	}
+	if _, err := newDaemon(firstPath, secondPath, modelPath, tdmatch.ServeConfig{Workers: 1}, 5, 0,
+		daemonOptions{snapVerify: "paranoid"}); err == nil {
+		t.Error("unknown -snapshot-verify accepted")
+	}
+}

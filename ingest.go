@@ -380,6 +380,7 @@ func (m *Model) clone() *Model {
 		spillPath: m.spillPath,
 		stats:     m.stats,
 		deltas:    append([]savedDelta(nil), m.deltas...),
+		backing:   m.backing,
 	}
 	nm.vectors = make(map[string][]float32, len(m.vectors))
 	for id, v := range m.vectors {

@@ -85,6 +85,14 @@ type Index struct {
 	dead  []bool           // tombstones, nil until the first Remove
 	nDead int
 	epoch uint64 // mutation counter, mixed into Fingerprint
+
+	// borrowed marks data as read-only storage owned by someone else —
+	// typically a PROT_READ mmap of a snapshot section. Queries read it
+	// in place (zero-copy); the first mutating call (Append/Remove)
+	// promotes the arena to a private heap copy instead of writing
+	// through, so the backing file and every other process mapping it
+	// stay untouched.
+	borrowed bool
 }
 
 // NewIndex builds an index over target documents. Vectors are copied into
@@ -126,6 +134,45 @@ func NewIndexArena(ids []string, arena []float32, dim int) (*Index, error) {
 		embed.Normalize(idx.row(i))
 	}
 	return idx, nil
+}
+
+// NewIndexArenaBorrowed builds an index over a read-only, already
+// normalized row-major arena without copying or re-normalizing it —
+// the zero-copy binding path for snapshot sections mapped with
+// PROT_READ. The arena must hold rows exactly as a built index stores
+// them (normalized, tombstones zeroed); the caller keeps the backing
+// memory alive for the index's lifetime. Mutations never write
+// through: the first Append/Remove promotes the arena to a private
+// heap copy (see promote).
+func NewIndexArenaBorrowed(ids []string, arena []float32, dim int) (*Index, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("match: non-positive dimension %d", dim)
+	}
+	if len(arena) != len(ids)*dim {
+		return nil, fmt.Errorf("match: arena holds %d floats for %d vectors of dim %d", len(arena), len(ids), dim)
+	}
+	return &Index{
+		ids:      append([]string(nil), ids...),
+		data:     arena,
+		dim:      dim,
+		borrowed: true,
+	}, nil
+}
+
+// Borrowed reports whether the arena is still read-only borrowed
+// backing (no mutation has promoted it to a heap copy yet).
+func (x *Index) Borrowed() bool { return x.borrowed }
+
+// promote copies a borrowed arena to private heap storage before the
+// first in-place mutation. Until it runs, the index never writes to
+// data, so a mapped snapshot section stays byte-identical on disk and
+// shared across processes.
+func (x *Index) promote() {
+	if !x.borrowed {
+		return
+	}
+	x.data = append([]float32(nil), x.data...)
+	x.borrowed = false
 }
 
 // row returns the mutable arena slice of vector i.
@@ -202,6 +249,7 @@ func (x *Index) Append(ids []string, arena []float32) error {
 			return fmt.Errorf("match: append of already-indexed document %q", id)
 		}
 	}
+	x.promote()
 	base := len(x.ids)
 	x.ids = append(x.ids, ids...)
 	x.data = append(x.data, arena...)
@@ -228,6 +276,7 @@ func (x *Index) Remove(ids []string) int {
 		if !ok {
 			continue
 		}
+		x.promote()
 		if x.dead == nil {
 			x.dead = make([]bool, len(x.ids))
 		}

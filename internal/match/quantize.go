@@ -1,6 +1,7 @@
 package match
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/tdmatch/tdmatch/internal/embed"
@@ -21,6 +22,11 @@ type IndexSQ8 struct {
 	codes  []int8    // row-major quantized arena, aligned with flat's rows
 	scales []float32 // per-row dequantization scale: value ~= code * scale
 	rerank int
+
+	// borrowed marks codes and scales as read-only storage owned by a
+	// mapped snapshot section; the first mutation promotes both to heap
+	// copies instead of writing through (same contract as Index.borrowed).
+	borrowed bool
 }
 
 var _ VectorIndex = (*IndexSQ8)(nil)
@@ -81,6 +87,48 @@ func quantizeRow(v []float32, out []int8) float32 {
 	return maxAbs / 127
 }
 
+// NewIndexSQ8Parts builds a quantized index that adopts precomputed
+// codes and scales instead of re-quantizing — the zero-copy binding
+// path for snapshot sections, where the codes were produced by the
+// same deterministic quantizeRow at save time. codes and scales may be
+// read-only borrowed backing (e.g. a PROT_READ mmap): mutations
+// promote them to heap copies first. rerank <= 0 selects
+// DefaultSQ8Rerank.
+func NewIndexSQ8Parts(flat *Index, codes []int8, scales []float32, rerank int) (*IndexSQ8, error) {
+	if rerank <= 0 {
+		rerank = DefaultSQ8Rerank
+	}
+	n, dim := flat.rows(), flat.dim
+	if len(codes) != n*dim {
+		return nil, fmt.Errorf("match: sq8 codes hold %d bytes for %d rows of dim %d", len(codes), n, dim)
+	}
+	if len(scales) != n {
+		return nil, fmt.Errorf("match: sq8 scales hold %d entries for %d rows", len(scales), n)
+	}
+	return &IndexSQ8{flat: flat, codes: codes, scales: scales, rerank: rerank, borrowed: true}, nil
+}
+
+// promote copies borrowed code/scale storage to private heap slices
+// before the first in-place mutation, so a mapped snapshot section is
+// never written through.
+func (x *IndexSQ8) promote() {
+	if !x.borrowed {
+		return
+	}
+	x.codes = append([]int8(nil), x.codes...)
+	x.scales = append([]float32(nil), x.scales...)
+	x.borrowed = false
+}
+
+// Codes returns the row-major int8 code arena, aligned with the flat
+// index's rows. Callers must not mutate it; the snapshot writer
+// serializes it directly.
+func (x *IndexSQ8) Codes() []int8 { return x.codes }
+
+// Scales returns the per-row dequantization scales. Callers must not
+// mutate them.
+func (x *IndexSQ8) Scales() []float32 { return x.scales }
+
 // Flat returns the exact index the quantized index was built over.
 func (x *IndexSQ8) Flat() *Index { return x.flat }
 
@@ -92,6 +140,7 @@ func (x *IndexSQ8) Append(ids []string, arena []float32) error {
 	if err := x.flat.Append(ids, arena); err != nil {
 		return err
 	}
+	x.promote()
 	dim := x.flat.dim
 	x.codes = append(x.codes, make([]int8, len(ids)*dim)...)
 	x.scales = append(x.scales, make([]float32, len(ids))...)
@@ -114,6 +163,9 @@ func (x *IndexSQ8) Remove(ids []string) int {
 		}
 	}
 	removed := x.flat.Remove(ids)
+	if len(positions) > 0 {
+		x.promote()
+	}
 	dim := x.flat.dim
 	for _, p := range positions {
 		row := x.codes[int(p)*dim : (int(p)+1)*dim]

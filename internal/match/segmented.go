@@ -352,6 +352,29 @@ func (s *Segmented) Seal() error {
 	return nil
 }
 
+// AppendSealed pushes a pre-built sealed segment onto the top of the
+// stack without going through the delta — the snapshot binding path,
+// which reconstructs sealed segments directly over mapped arenas. The
+// segment must wrap a supported flat type (Index, IVF, IndexSQ8, or a
+// Sharded of one of those) of the stack's dimensionality; the caller
+// guarantees its IDs do not collide with other segments (the snapshot
+// writer serialized a consistent manifest, and section checksums
+// reject torn files).
+func (s *Segmented) AppendSealed(idx VectorIndex) error {
+	sf := segFlat(idx)
+	if sf == nil {
+		return fmt.Errorf("match: append of unsupported sealed segment type %T", idx)
+	}
+	if sf.Dim() != s.dim {
+		return fmt.Errorf("match: sealed segment dim %d on stack of dim %d", sf.Dim(), s.dim)
+	}
+	primeLookup(sf)
+	s.sealed = append(append([]sealedSeg(nil), s.sealed...), sealedSeg{idx: idx, flat: sf})
+	s.deadBySeg = append(append([]int(nil), s.deadBySeg...), 0)
+	s.epoch++
+	return nil
+}
+
 // Compact merges every live row of the stack into one sealed base
 // segment (wrapped by the SealFunc with ordinal 0) plus a fresh empty
 // delta, dropping all tombstones. Row order is segment order, which

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package mmapfile
+
+// openPlatform reads the file into an aligned heap buffer on
+// platforms without the unix mmap syscalls.
+func openPlatform(path string) (*Mapping, error) {
+	buf, err := readAligned(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: buf}, nil
+}
+
+func (m *Mapping) closePlatform() error { return nil }

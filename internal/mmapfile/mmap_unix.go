@@ -1,0 +1,46 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// openPlatform maps path with PROT_READ/MAP_SHARED. Empty files and
+// mmap failures (exotic filesystems, resource limits) fall back to the
+// aligned heap read so callers never have to care which one they got.
+func openPlatform(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		buf, rerr := readAligned(path)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return &Mapping{data: buf}, nil
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func (m *Mapping) closePlatform() error {
+	if !m.mapped {
+		return nil
+	}
+	return syscall.Munmap(m.data)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -44,6 +45,24 @@ type MemFS struct {
 	syncErr     error
 	writeLimit  int64 // <0 = unlimited
 	written     int64
+
+	// Directory-durability model (opt-in via TrackDirSync): a Rename is
+	// volatile until SyncDir covers its parent directory, mirroring the
+	// POSIX rule that the rename lives in directory metadata that only a
+	// directory fsync pushes to stable storage. Crash undoes uncovered
+	// renames in reverse order. Off by default so suites that test
+	// file-content durability alone keep the classic always-durable
+	// rename.
+	trackDirs      bool
+	pendingRenames []pendingRename
+}
+
+// pendingRename records one not-yet-durable rename so Crash can undo
+// it: the file moved to newpath, and whatever newpath held before
+// (displaced, nil when the target did not exist).
+type pendingRename struct {
+	oldpath, newpath string
+	displaced        *memData
 }
 
 // memData is one file's state: volatile content (buf) and the durable
@@ -106,6 +125,20 @@ func (fs *MemFS) Crash(keepUnsynced int) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.gen++
+	// Undo renames no SyncDir made durable, newest first so chains
+	// (a->b then b->c) unwind correctly.
+	for i := len(fs.pendingRenames) - 1; i >= 0; i-- {
+		pr := fs.pendingRenames[i]
+		if d, ok := fs.files[pr.newpath]; ok {
+			fs.files[pr.oldpath] = d
+		}
+		if pr.displaced != nil {
+			fs.files[pr.newpath] = pr.displaced
+		} else {
+			delete(fs.files, pr.newpath)
+		}
+	}
+	fs.pendingRenames = nil
 	for _, d := range fs.files {
 		content := append([]byte(nil), d.durable...)
 		if extra := len(d.buf) - len(d.durable); extra > 0 {
@@ -177,7 +210,22 @@ func (fs *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error)
 	return &memFile{fs: fs, name: name, gen: fs.gen}, nil
 }
 
+// TrackDirSync toggles the directory-durability model: when on, a
+// Rename survives Crash only if a later SyncDir covered its parent
+// directory. Crash-fuzz suites for atomic-replace protocols arm it to
+// catch the classic missing-parent-fsync bug.
+func (fs *MemFS) TrackDirSync(on bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.trackDirs = on
+	if !on {
+		fs.pendingRenames = nil
+	}
+}
+
 // Rename implements FS (atomic, like POSIX rename on one filesystem).
+// Under TrackDirSync the rename is volatile until SyncDir covers its
+// parent directory.
 func (fs *MemFS) Rename(oldpath, newpath string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -185,8 +233,38 @@ func (fs *MemFS) Rename(oldpath, newpath string) error {
 	if !ok {
 		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
 	}
+	if fs.trackDirs {
+		fs.pendingRenames = append(fs.pendingRenames, pendingRename{
+			oldpath:   oldpath,
+			newpath:   newpath,
+			displaced: fs.files[newpath],
+		})
+	}
 	fs.files[newpath] = d
 	delete(fs.files, oldpath)
+	return nil
+}
+
+// SyncDir implements FS: it makes every pending rename whose target's
+// parent directory is dir durable. Without TrackDirSync it is a no-op
+// (renames are already durable). The Sync failpoint applies, modeling
+// filesystems whose directory fsync fails.
+func (fs *MemFS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.syncErr != nil {
+		return fs.syncErr
+	}
+	if !fs.trackDirs {
+		return nil
+	}
+	kept := fs.pendingRenames[:0]
+	for _, pr := range fs.pendingRenames {
+		if filepath.Dir(pr.newpath) != dir {
+			kept = append(kept, pr)
+		}
+	}
+	fs.pendingRenames = kept
 	return nil
 }
 

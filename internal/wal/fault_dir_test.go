@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+func memWrite(t *testing.T, fs *MemFS, name string, content []byte) {
+	t.Helper()
+	f, err := fs.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(content); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRenameVolatileUntilSyncDir pins the directory-durability model:
+// with TrackDirSync on, a rename that is not followed by SyncDir is
+// undone by Crash (the tmp file reappears, the target reverts), while
+// a SyncDir-covered rename survives. This is the failure mode of
+// atomic-replace protocols that fsync the file but not its parent.
+func TestRenameVolatileUntilSyncDir(t *testing.T) {
+	t.Run("uncovered rename lost", func(t *testing.T) {
+		fs := NewMemFS()
+		fs.TrackDirSync(true)
+		memWrite(t, fs, "dir/model", []byte("old"))
+		memWrite(t, fs, "dir/model.tmp", []byte("new"))
+		if err := fs.Rename("dir/model.tmp", "dir/model"); err != nil {
+			t.Fatal(err)
+		}
+		fs.Crash(0)
+		if got := fs.FileBytes("dir/model"); !bytes.Equal(got, []byte("old")) {
+			t.Fatalf("target after crash = %q, want the displaced old content", got)
+		}
+		if got := fs.FileBytes("dir/model.tmp"); !bytes.Equal(got, []byte("new")) {
+			t.Fatalf("tmp after crash = %q, want it restored", got)
+		}
+	})
+	t.Run("covered rename survives", func(t *testing.T) {
+		fs := NewMemFS()
+		fs.TrackDirSync(true)
+		memWrite(t, fs, "dir/model", []byte("old"))
+		memWrite(t, fs, "dir/model.tmp", []byte("new"))
+		if err := fs.Rename("dir/model.tmp", "dir/model"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.SyncDir("dir"); err != nil {
+			t.Fatal(err)
+		}
+		fs.Crash(0)
+		if got := fs.FileBytes("dir/model"); !bytes.Equal(got, []byte("new")) {
+			t.Fatalf("target after crash = %q, want the renamed content", got)
+		}
+		if fs.FileBytes("dir/model.tmp") != nil {
+			t.Fatal("tmp reappeared after a covered rename")
+		}
+	})
+	t.Run("other directories unaffected", func(t *testing.T) {
+		fs := NewMemFS()
+		fs.TrackDirSync(true)
+		memWrite(t, fs, "a/x.tmp", []byte("ax"))
+		memWrite(t, fs, "b/y.tmp", []byte("by"))
+		if err := fs.Rename("a/x.tmp", "a/x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rename("b/y.tmp", "b/y"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.SyncDir("a"); err != nil {
+			t.Fatal(err)
+		}
+		fs.Crash(0)
+		if fs.FileBytes("a/x") == nil {
+			t.Fatal("synced dir a lost its rename")
+		}
+		if fs.FileBytes("b/y") != nil {
+			t.Fatal("unsynced dir b kept its rename")
+		}
+	})
+	t.Run("sync failpoint applies", func(t *testing.T) {
+		fs := NewMemFS()
+		fs.TrackDirSync(true)
+		boom := errors.New("boom")
+		fs.SetSyncError(boom)
+		if err := fs.SyncDir("dir"); !errors.Is(err, boom) {
+			t.Fatalf("SyncDir error = %v, want %v", err, boom)
+		}
+	})
+	t.Run("default model keeps renames durable", func(t *testing.T) {
+		fs := NewMemFS()
+		memWrite(t, fs, "dir/model.tmp", []byte("new"))
+		if err := fs.Rename("dir/model.tmp", "dir/model"); err != nil {
+			t.Fatal(err)
+		}
+		fs.Crash(0)
+		if got := fs.FileBytes("dir/model"); !bytes.Equal(got, []byte("new")) {
+			t.Fatalf("untracked rename lost on crash: %q", got)
+		}
+	})
+}

@@ -32,6 +32,12 @@ type FS interface {
 	// Remove deletes name; missing files are not an error for the log's
 	// purposes (checkpoint cleanup).
 	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making previously completed
+	// renames inside it durable: POSIX only guarantees a rename survives
+	// power loss once the parent directory's metadata has reached stable
+	// storage. Atomic-replace protocols (snapshot SaveFile, checkpoint
+	// swap) must call it after Rename.
+	SyncDir(dir string) error
 }
 
 // OSFS is the production FS: a thin pass-through to the os package.
@@ -51,3 +57,18 @@ func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, ne
 
 // Remove deletes a real file.
 func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir opens the real directory and fsyncs it. Some filesystems
+// reject fsync on directories; those errors are surfaced to the caller,
+// which may choose to ignore them (the rename already happened).
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,15 +1,21 @@
 package tdmatch
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
+	"unsafe"
 
 	"github.com/tdmatch/tdmatch/internal/match"
+	"github.com/tdmatch/tdmatch/internal/mmapfile"
 	"github.com/tdmatch/tdmatch/internal/textproc"
+	"github.com/tdmatch/tdmatch/internal/wal"
 )
 
 // savedModel is the gob-encoded form of a trained model: the learned
@@ -271,36 +277,53 @@ func (m *Model) termVectors() ([]string, []float32) {
 }
 
 // SaveFile writes the model to a file, atomically: the snapshot is
-// written and fsynced to a sidecar (path + ".tmp") and renamed into
-// place, so a crash mid-save leaves the previous snapshot intact
-// instead of a truncated file — the invariant the serving WAL's
-// checkpoint protocol depends on (Server.Checkpoint rotates the log
-// only after this returns).
+// written and fsynced to a sidecar (path + ".tmp"), renamed into
+// place, and the parent directory is fsynced, so a crash mid-save (or
+// right after the rename) leaves either the previous or the new
+// snapshot intact — never a truncated file or a lost rename. This is
+// the invariant the serving WAL's checkpoint protocol depends on
+// (Server.Checkpoint rotates the log only after this returns).
 func (m *Model) SaveFile(path string) error {
+	return saveFileAtomic(path, m.Save)
+}
+
+// saveFileAtomic runs the atomic-replace protocol against the real
+// filesystem.
+func saveFileAtomic(path string, save func(io.Writer) error) error {
+	return saveFileFS(path, wal.OSFS{}, save)
+}
+
+// saveFileFS is the atomic snapshot-replace protocol over the wal.FS
+// seam — write to a ".tmp" sidecar, fsync the file, rename into place,
+// fsync the parent directory — factored out so the crash fuzzer can
+// drive it on the fault-injecting MemFS. Without the final directory
+// fsync the rename itself can be lost on power failure (the classic
+// atomic-replace bug); TestSaveFileSyncsDirOnCrash pins it.
+func saveFileFS(path string, fsys wal.FS, save func(io.Writer) error) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := m.Save(f); err != nil {
+	if err := save(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return nil
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // LoadModel reads embeddings written by Save and reconstructs a matcher
@@ -321,14 +344,57 @@ func LoadModel(r io.Reader, first, second *Corpus) (*Model, error) {
 // Snapshot is a decoded model payload not yet bound to its corpora: the
 // intermediate state of a serving daemon that must learn the corpus
 // names from the snapshot before it can load the corpora themselves.
-// Decode once with ReadSnapshot, inspect with Info, then Bind.
+// Decode once with ReadSnapshot (or zero-copy via OpenSnapshotFile),
+// inspect with Info, then Bind.
 type Snapshot struct {
 	sm savedModel
+
+	// v6 is the zero-copy payload of a format-6 snapshot (nil for gob
+	// versions); backing is the mapping its arenas alias, pinned here
+	// until Bind hands it to the Model. mode records how the payload was
+	// loaded, see LoadMode.
+	v6      *v6State
+	backing *mmapfile.Mapping
+	mode    string
 }
 
-// ReadSnapshot decodes a payload written by Save without reconstructing
-// the serving indexes. Bind turns it into a servable Model.
+// LoadMode reports how the snapshot payload was loaded: "gob" (decoded
+// copy, versions 1–5), "v6+mmap" (zero-copy PROT_READ mapping) or
+// "v6+heap" (v6 layout read into an aligned heap buffer — stream
+// reads, or platforms without mmap).
+func (s *Snapshot) LoadMode() string {
+	if s.mode == "" {
+		return "gob"
+	}
+	return s.mode
+}
+
+// ReadSnapshot decodes a payload written by Save or SaveV6 without
+// reconstructing the serving indexes, auto-detecting the format by
+// magic. Bind turns it into a servable Model. Reading a v6 payload
+// from a stream copies it onto the heap; use OpenSnapshotFile to get
+// the zero-copy mapped path.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(v6Magic)); err == nil && bytes.Equal(magic, []byte(v6Magic)) {
+		raw, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("tdmatch: reading v6 snapshot: %w", err)
+		}
+		// The reader casts sections in place; heap buffers from ReadAll
+		// are not guaranteed 8-byte aligned, so realign if needed.
+		data := raw
+		if len(raw) > 0 && uintptr(unsafe.Pointer(&raw[0]))%8 != 0 {
+			data = mmapfile.AlignedBuffer(len(raw))
+			copy(data, raw)
+		}
+		return parseV6(data, VerifyEager, nil)
+	}
+	return readGobSnapshot(br)
+}
+
+// readGobSnapshot decodes a gob (version 1–5) snapshot payload.
+func readGobSnapshot(r io.Reader) (*Snapshot, error) {
 	var sm savedModel
 	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
 		return nil, fmt.Errorf("tdmatch: decoding model: %w", err)
@@ -455,8 +521,17 @@ func (s *Snapshot) Bind(first, second *Corpus) (*Model, error) {
 			terms: terms,
 		}
 	}
-	// A version-5 snapshot restores its serving segment boundaries;
-	// older payloads (nil manifests) rebuild one monolithic base segment.
+	// A version-6 snapshot binds its sealed segments directly onto the
+	// loaded (usually mapped) arenas; a version-5 one restores its
+	// serving segment boundaries by regathering; older payloads (nil
+	// manifests) rebuild one monolithic base segment.
+	if s.v6 != nil {
+		m.backing = s.backing
+		if err := m.bindSegmentedV6(s.v6.first, s.v6.second); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
 	if err := m.buildSegmentedIndexes(segmentIDs(sm.FirstSegments), segmentIDs(sm.SecondSegments)); err != nil {
 		return nil, err
 	}
@@ -476,21 +551,24 @@ func segmentIDs(segs []savedSegment) [][]string {
 	return out
 }
 
-// LoadModelFile reads a model from a file written by SaveFile.
+// LoadModelFile reads a model from a file written by SaveFile or
+// SaveFileV6, auto-detecting the format: a v6 snapshot is
+// memory-mapped and bound zero-copy (the mapping stays pinned for the
+// model's lifetime), gob versions decode through the classic path.
 func LoadModelFile(path string, first, second *Corpus) (*Model, error) {
-	f, err := os.Open(path)
+	snap, err := OpenSnapshotFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return LoadModel(f, first, second)
+	return snap.Bind(first, second)
 }
 
 // ModelInfo describes a saved model snapshot without reconstructing its
 // serving indexes — the metadata a serving daemon needs to validate a
 // snapshot against its corpora and report what it is serving.
 type ModelInfo struct {
-	// Version is the snapshot format version (1 through 5).
+	// Version is the snapshot format version (1 through 6; 6 is the
+	// flat memory-mappable layout, earlier versions are gob).
 	Version int
 	// Dim is the embedding dimensionality.
 	Dim int

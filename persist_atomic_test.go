@@ -1,0 +1,79 @@
+package tdmatch
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/tdmatch/tdmatch/internal/wal"
+)
+
+// writerOf adapts fixed bytes to saveFileFS's save callback.
+func writerOf(b []byte) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	}
+}
+
+// TestSaveFileSyncsDirOnCrash pins the directory-fsync step of the
+// atomic snapshot-replace protocol: on a filesystem where renames are
+// volatile until their parent directory is fsynced (MemFS with
+// TrackDirSync), a completed saveFileFS must survive a crash — which it
+// only does because the protocol ends with SyncDir. Dropping that call
+// turns this test red.
+func TestSaveFileSyncsDirOnCrash(t *testing.T) {
+	t.Run("completed save survives crash", func(t *testing.T) {
+		fs := wal.NewMemFS()
+		fs.TrackDirSync(true)
+		if err := saveFileFS("dir/model", fs, writerOf([]byte("v1"))); err != nil {
+			t.Fatal(err)
+		}
+		if err := saveFileFS("dir/model", fs, writerOf([]byte("v2"))); err != nil {
+			t.Fatal(err)
+		}
+		fs.Crash(0)
+		if got := fs.FileBytes("dir/model"); !bytes.Equal(got, []byte("v2")) {
+			t.Fatalf("snapshot after crash = %q, want the completed save", got)
+		}
+		if fs.FileBytes("dir/model.tmp") != nil {
+			t.Fatal("tmp sidecar survived a completed save")
+		}
+	})
+	t.Run("failed save leaves previous snapshot", func(t *testing.T) {
+		fs := wal.NewMemFS()
+		fs.TrackDirSync(true)
+		if err := saveFileFS("dir/model", fs, writerOf([]byte("v1"))); err != nil {
+			t.Fatal(err)
+		}
+		boom := errors.New("boom")
+		fs.SetSyncError(boom)
+		if err := saveFileFS("dir/model", fs, writerOf([]byte("v2"))); !errors.Is(err, boom) {
+			t.Fatalf("saveFileFS error = %v, want %v", err, boom)
+		}
+		fs.SetSyncError(nil)
+		fs.Crash(0)
+		if got := fs.FileBytes("dir/model"); !bytes.Equal(got, []byte("v1")) {
+			t.Fatalf("snapshot after failed save = %q, want the previous one", got)
+		}
+		if fs.FileBytes("dir/model.tmp") != nil {
+			t.Fatal("tmp sidecar left behind by a failed save")
+		}
+	})
+	t.Run("save error removes sidecar", func(t *testing.T) {
+		fs := wal.NewMemFS()
+		fs.TrackDirSync(true)
+		boom := errors.New("encode failed")
+		err := saveFileFS("dir/model", fs, func(io.Writer) error { return boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("saveFileFS error = %v, want %v", err, boom)
+		}
+		if fs.FileBytes("dir/model.tmp") != nil {
+			t.Fatal("tmp sidecar left behind by a failed encode")
+		}
+		if fs.FileBytes("dir/model") != nil {
+			t.Fatal("failed first save materialized a target file")
+		}
+	})
+}

@@ -131,6 +131,11 @@ func TestWritePersistFixtures(t *testing.T) {
 	if err := segmented.SaveFile(filepath.Join(persistFixtureDir, "v5segments.gob")); err != nil {
 		t.Fatal(err)
 	}
+
+	// v6: the same trained model in the flat memory-mappable format.
+	if err := model.SaveFileV6(filepath.Join(persistFixtureDir, "v6.snap")); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // reSaved round-trips a model through Save and returns the decoded
@@ -180,9 +185,10 @@ func persistFixtureSegmentedModel(t *testing.T) *Model {
 
 // TestSnapshotBackCompat is the consolidated persistence back-compat
 // coverage: every committed snapshot version (v1 per-document map, v2
-// arena, v3 arena+SQ8 field, v4 ingest payload) must load against the
-// fixture corpora and serve identical TopK rankings — same documents,
-// same order — since all four encode the same trained vectors.
+// arena, v3 arena+SQ8 field, v4 ingest payload, v5 segment manifests,
+// v6 flat mmap layout) must load against the fixture corpora and serve
+// identical TopK rankings — same documents, same order — since all of
+// them encode the same trained vectors.
 func TestSnapshotBackCompat(t *testing.T) {
 	type ranked map[string][]string
 	rankAll := func(t *testing.T, m *Model) ranked {
@@ -217,6 +223,7 @@ func TestSnapshotBackCompat(t *testing.T) {
 		{"v3.gob", 3, false},
 		{"v4.gob", 4, true},
 		{"v5.gob", 5, true},
+		{"v6.snap", 6, true},
 	} {
 		t.Run(tc.file, func(t *testing.T) {
 			f, err := os.Open(filepath.Join(persistFixtureDir, tc.file))

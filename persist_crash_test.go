@@ -2,7 +2,10 @@ package tdmatch
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -106,6 +109,134 @@ func TestSnapshotV5CorruptionFailsCleanlyOrLoadsWhole(t *testing.T) {
 	t.Logf("corruption trials: %d/%d rejected up front", rejected, trials)
 	if rejected == 0 {
 		t.Error("no corrupted payload was rejected — integrity checks appear dead")
+	}
+}
+
+// v6SnapshotBytes saves the multi-segment fixture model in format v6.
+func v6SnapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	model := persistFixtureSegmentedModel(t)
+	var buf bytes.Buffer
+	if err := model.SaveV6(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotV6TruncationFailsCleanly fuzzes truncation points over a
+// v6 payload: the header's embedded file size means every cut — in the
+// header, the section table or any payload — must fail at open, under
+// eager and lazy verification alike, with the corpora untouched.
+func TestSnapshotV6TruncationFailsCleanly(t *testing.T) {
+	payload := v6SnapshotBytes(t)
+	want := pristineDocCount(t)
+	rng := rand.New(rand.NewSource(79))
+	cuts := []int{0, 1, 7, 8, v6HeaderSize - 1, v6HeaderSize, len(payload) / 2, len(payload) - 1}
+	for i := 0; i < 24; i++ {
+		cuts = append(cuts, rng.Intn(len(payload)))
+	}
+	dir := t.TempDir()
+	for _, n := range cuts {
+		if _, err := ReadSnapshot(bytes.NewReader(payload[:n])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully", n, len(payload))
+		}
+		movies, reviews := fixtureCorpora(t)
+		if _, err := LoadModel(bytes.NewReader(payload[:n]), movies, reviews); err == nil {
+			t.Fatalf("LoadModel succeeded on a %d-byte truncation", n)
+		}
+		if got := len(movies.IDs()) + len(reviews.IDs()); got != want {
+			t.Fatalf("truncation at %d left the corpora partially bound: %d docs, want %d", n, got, want)
+		}
+		// The lazy path skips payload checksums but still validates the
+		// header and structure, so truncations fail it too.
+		path := filepath.Join(dir, "trunc.v6")
+		if err := os.WriteFile(path, payload[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSnapshotFileVerify(path, VerifyLazy); err == nil {
+			t.Fatalf("lazy open accepted a %d-byte truncation", n)
+		}
+	}
+}
+
+// TestSnapshotV6CorruptionFailsCleanlyOrBindsWhole fuzzes random byte
+// flips over the whole v6 payload: under eager verification a flip is
+// either rejected at open (header, table or payload checksum) or — when
+// it lands in alignment padding, the only unchecksummed bytes — the
+// model binds whole and serves. Never a partial bind.
+func TestSnapshotV6CorruptionFailsCleanlyOrBindsWhole(t *testing.T) {
+	payload := v6SnapshotBytes(t)
+	want := pristineDocCount(t)
+	rng := rand.New(rand.NewSource(80))
+	rejected := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		corrupt := append([]byte(nil), payload...)
+		for f := 0; f < 1+rng.Intn(4); f++ {
+			pos := rng.Intn(len(corrupt))
+			corrupt[pos] ^= byte(1 + rng.Intn(255))
+		}
+		snap, err := ReadSnapshot(bytes.NewReader(corrupt))
+		if err != nil {
+			rejected++
+			movies, reviews := fixtureCorpora(t)
+			if _, lerr := LoadModel(bytes.NewReader(corrupt), movies, reviews); lerr == nil {
+				t.Fatalf("trial %d: ReadSnapshot rejected but LoadModel accepted", i)
+			}
+			if got := len(movies.IDs()) + len(reviews.IDs()); got != want {
+				t.Fatalf("trial %d: failed load left corpora partially bound: %d docs, want %d", i, got, want)
+			}
+			continue
+		}
+		movies, reviews := fixtureCorpora(t)
+		model, err := snap.Bind(movies, reviews)
+		if err != nil {
+			if got := len(movies.IDs()) + len(reviews.IDs()); got != want {
+				t.Fatalf("trial %d: failed Bind left corpora partially bound: %d docs, want %d", i, got, want)
+			}
+			continue
+		}
+		if _, err := model.TopK(model.second.IDs()[0], 3); err != nil {
+			t.Fatalf("trial %d: bound model cannot serve: %v", i, err)
+		}
+	}
+	t.Logf("v6 corruption trials: %d/%d rejected up front", rejected, trials)
+	if rejected == 0 {
+		t.Error("no corrupted v6 payload was rejected — integrity checks appear dead")
+	}
+}
+
+// TestSnapshotV6TargetedFlipsRejected flips bytes inside each
+// checksummed region — header, section table, and every section payload
+// — and requires eager verification to reject all of them: unlike the
+// random sweep above, no flip here may slip through.
+func TestSnapshotV6TargetedFlipsRejected(t *testing.T) {
+	payload := v6SnapshotBytes(t)
+	nSecs := int(binary.LittleEndian.Uint32(payload[16:20]))
+	rng := rand.New(rand.NewSource(81))
+	flipAt := func(pos int, what string) {
+		corrupt := append([]byte(nil), payload...)
+		corrupt[pos] ^= byte(1 + rng.Intn(255))
+		if _, err := ReadSnapshot(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("flip in %s (offset %d) was accepted", what, pos)
+		}
+	}
+	// Header flips stay inside the checksummed bytes [0, 48) — the
+	// trailing reserved zeros are deliberately outside the digest.
+	for i := 0; i < 8; i++ {
+		flipAt(rng.Intn(48), "header")
+		flipAt(v6HeaderSize+rng.Intn(nSecs*v6EntrySize), "section table")
+	}
+	// One flip inside every section payload, via the table's own
+	// offsets/lengths.
+	for s := 0; s < nSecs; s++ {
+		e := payload[v6HeaderSize+s*v6EntrySize:]
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		if length == 0 {
+			continue
+		}
+		flipAt(int(off)+rng.Intn(int(length)), "section payload")
 	}
 }
 

@@ -1,0 +1,797 @@
+package tdmatch
+
+// Snapshot format v6: a flat, little-endian, 64-byte-aligned layout
+// whose big payloads — the raw document-vector arena, the term-vector
+// arena, and one normalized arena (plus SQ8 codes/scales) per sealed
+// serving segment — are stored as raw contiguous sections described by
+// a fixed header and a section table, so loading can mmap the file and
+// bind the serving indexes directly onto the mapping with zero decode
+// and zero copy. The gob formats (v1–v5) remain readable through the
+// existing path; ReadSnapshot auto-detects by magic.
+//
+// Layout (all integers little-endian):
+//
+//	[ 0,  8) magic "TDMSNAP6"
+//	[ 8, 12) u32 format version (6)
+//	[12, 16) u32 header size (64)
+//	[16, 20) u32 section count
+//	[20, 24) u32 flags (reserved, 0)
+//	[24, 32) u64 file size
+//	[32, 40) u64 FNV-1a of the section table bytes
+//	[40, 48) u64 FNV-1a of header bytes [0, 40)
+//	[48, 64) reserved (zero)
+//
+// followed by section-count 32-byte table entries
+//
+//	u32 type | u32 index | u64 offset | u64 length | u64 FNV-1a of payload
+//
+// and the payloads, each starting at a 64-byte-aligned offset with
+// zero padding between them. Segment sections address (side, ordinal)
+// through the index field as side<<16|ordinal, with the mutable delta
+// as the last ordinal (manifest only — its rows are regathered from
+// the raw arena at bind, exactly like the gob path). The graph is not
+// persisted, matching every earlier version: a loaded model matches
+// and ingests but does not retrain.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"unsafe"
+
+	"github.com/tdmatch/tdmatch/internal/match"
+	"github.com/tdmatch/tdmatch/internal/mmapfile"
+)
+
+// v6Magic is the first eight bytes of every v6 snapshot file.
+const v6Magic = "TDMSNAP6"
+
+const (
+	savedModelVersionV6 = 6
+	v6HeaderSize        = 64
+	v6EntrySize         = 32
+	v6Align             = 64
+)
+
+// Section types of the v6 layout.
+const (
+	secMetaJSON    uint32 = 1 // model metadata + delta chain (JSON)
+	secDocIDs      uint32 = 2 // sorted document IDs (string table)
+	secDocArena    uint32 = 3 // raw (unnormalized) float32 rows, DocIDs order
+	secTermIDs     uint32 = 4 // sorted term IDs (string table)
+	secTermArena   uint32 = 5 // term float32 rows, TermIDs order
+	secSegManifest uint32 = 6 // one segment's live IDs (string table)
+	secSegArena    uint32 = 7 // sealed segment's normalized float32 rows
+	secSegCodes    uint32 = 8 // sealed segment's SQ8 int8 codes
+	secSegScales   uint32 = 9 // sealed segment's SQ8 float32 scales
+)
+
+// VerifyMode selects how much of a v6 snapshot OpenSnapshotFileVerify
+// checks before binding.
+type VerifyMode int
+
+const (
+	// VerifyEager checks every section's FNV-1a checksum and the
+	// cross-section invariants at open — one sequential pass over the
+	// file, the default and what the durability tests exercise.
+	VerifyEager VerifyMode = iota
+	// VerifyLazy validates only the header, section table and structural
+	// bounds; payload checksums are skipped. This is the microsecond
+	// cold-start path for files trusted by construction (e.g. a
+	// checkpoint the same daemon just wrote); a torn payload surfaces as
+	// wrong scores, not a failed open.
+	VerifyLazy
+)
+
+// v6Meta is the JSON-encoded metadata section: everything the gob
+// savedModel carries outside the big arrays.
+type v6Meta struct {
+	Dim         int
+	FirstName   string
+	SecondName  string
+	Index       uint8
+	IVFClusters int
+	IVFNProbe   int
+	ExactRecall bool
+	SQ8Rerank   int
+	Seed        int64
+	MaxNGram    int
+	Staleness   int
+	Deltas      []savedDelta
+	FirstSegs   int
+	SecondSegs  int
+}
+
+// v6Segment is one serving segment parsed from a v6 snapshot: sealed
+// segments carry their normalized arena (a view into the mapping) and,
+// under IndexSQ8, the quantized codes and scales; the final (delta)
+// entry carries IDs only.
+type v6Segment struct {
+	ids    []string
+	arena  []float32
+	codes  []int8
+	scales []float32
+}
+
+// v6State is the parsed zero-copy payload a Snapshot carries for Bind.
+type v6State struct {
+	first  []v6Segment
+	second []v6Segment
+}
+
+// fnv1a digests b with 64-bit FNV-1a, the checksum of the v6 header,
+// section table and payloads.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func v6AlignUp(n int64) int64 {
+	return (n + v6Align - 1) &^ (v6Align - 1)
+}
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian; on such hosts (amd64, arm64, ...) v6 payloads cast to
+// typed views in place, otherwise they are decoded element-wise.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// encodeStringTable serializes ids as: u32 count, u32 cumulative byte
+// offsets [count+1] (first 0, last = total bytes), then the
+// concatenated string bytes.
+func encodeStringTable(ids []string) []byte {
+	total := 0
+	for _, s := range ids {
+		total += len(s)
+	}
+	buf := make([]byte, 4+4*(len(ids)+1)+total)
+	binary.LittleEndian.PutUint32(buf, uint32(len(ids)))
+	off := uint32(0)
+	for i, s := range ids {
+		binary.LittleEndian.PutUint32(buf[4+4*i:], off)
+		copy(buf[4+4*(len(ids)+1)+int(off):], s)
+		off += uint32(len(s))
+	}
+	binary.LittleEndian.PutUint32(buf[4+4*len(ids):], off)
+	return buf
+}
+
+// decodeStringTable parses an encodeStringTable payload, validating
+// every offset before use so corrupt tables fail cleanly rather than
+// panicking. The returned strings alias b zero-copy; the caller keeps
+// the backing memory alive (the snapshot pins its mapping).
+func decodeStringTable(b []byte) ([]string, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("tdmatch: string table of %d bytes", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n < 0 || n > (len(b)-8)/4 {
+		return nil, fmt.Errorf("tdmatch: string table count %d exceeds section size %d", n, len(b))
+	}
+	strBytes := b[4+4*(n+1):]
+	prev := uint32(0)
+	ids := make([]string, n)
+	for i := 0; i <= n; i++ {
+		off := binary.LittleEndian.Uint32(b[4+4*i:])
+		if off < prev || off > uint32(len(strBytes)) {
+			return nil, fmt.Errorf("tdmatch: string table offset %d out of order or bounds", off)
+		}
+		if i > 0 {
+			l := off - prev
+			if l == 0 {
+				ids[i-1] = ""
+			} else {
+				ids[i-1] = unsafe.String(&strBytes[prev], int(l))
+			}
+		}
+		prev = off
+	}
+	if prev != uint32(len(strBytes)) {
+		return nil, fmt.Errorf("tdmatch: string table covers %d of %d bytes", prev, len(strBytes))
+	}
+	return ids, nil
+}
+
+// f32Bytes serializes a float32 slice little-endian.
+func f32Bytes(v []float32) []byte {
+	buf := make([]byte, len(v)*4)
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(f))
+	}
+	return buf
+}
+
+// i8Bytes reinterprets int8 codes as raw bytes (endianness-free).
+func i8Bytes(v []int8) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v))
+}
+
+// castF32 views a little-endian payload as []float32 without copying
+// (on little-endian hosts with aligned backing; the mmap/aligned-heap
+// loaders guarantee 4-byte alignment of 64-byte-aligned sections).
+func castF32(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("tdmatch: float section of %d bytes", len(b))
+	}
+	n := len(b) / 4
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+// castI8 views a payload as []int8 in place (single-byte elements, no
+// endianness concern).
+func castI8(b []byte) []int8 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int8)(unsafe.Pointer(&b[0])), len(b))
+}
+
+// v6SectionData is one section being assembled by the writer.
+type v6SectionData struct {
+	typ, idx uint32
+	payload  []byte
+	offset   int64
+}
+
+// segmentManifestFor captures a side's segment layout for the writer:
+// the live IDs of every segment in stack order with the mutable delta
+// last, or the whole corpus as a single base segment when the side
+// serves unsegmented.
+func (m *Model) segmentManifestFor(idx match.VectorIndex, c interface{ IDs() []string }) [][]string {
+	if seg, ok := idx.(*match.Segmented); ok {
+		return seg.SegmentManifest()
+	}
+	return [][]string{c.IDs(), nil}
+}
+
+// SaveV6 writes the model in snapshot format v6 (see the package
+// layout comment). The same gather paths as Save feed it: the raw
+// document arena keeps reloads bit-identical for query vectors, and
+// each sealed segment's rows are normalized (and, under IndexSQ8,
+// quantized) exactly as the gob Bind path would rebuild them, so a v6
+// load binds those sections as borrowed arenas with no per-row work.
+func (m *Model) SaveV6(w io.Writer) error {
+	ids := make([]string, 0, len(m.vectors))
+	for id := range m.vectors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	raw := make([]float32, len(ids)*m.dim)
+	for i, id := range ids {
+		copy(raw[i*m.dim:(i+1)*m.dim], m.vectors[id])
+	}
+	termIDs, termArena := m.termVectors()
+
+	firstMan := m.segmentManifestFor(m.firstIdx, m.first.c)
+	secondMan := m.segmentManifestFor(m.secondIdx, m.second.c)
+	meta := v6Meta{
+		Dim:         m.dim,
+		FirstName:   m.first.Name(),
+		SecondName:  m.second.Name(),
+		Index:       uint8(m.cfg.Index),
+		IVFClusters: m.cfg.IVFClusters,
+		IVFNProbe:   m.cfg.IVFNProbe,
+		ExactRecall: m.cfg.ExactRecall,
+		SQ8Rerank:   m.cfg.SQ8Rerank,
+		Seed:        m.cfg.Seed,
+		MaxNGram:    m.cfg.MaxNGram,
+		Staleness:   m.Staleness(),
+		Deltas:      m.deltas,
+		FirstSegs:   len(firstMan),
+		SecondSegs:  len(secondMan),
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+
+	var secs []v6SectionData
+	add := func(typ, idx uint32, payload []byte) {
+		secs = append(secs, v6SectionData{typ: typ, idx: idx, payload: payload})
+	}
+	add(secMetaJSON, 0, metaJSON)
+	add(secDocIDs, 0, encodeStringTable(ids))
+	add(secDocArena, 0, f32Bytes(raw))
+	if len(termIDs) > 0 {
+		add(secTermIDs, 0, encodeStringTable(termIDs))
+		add(secTermArena, 0, f32Bytes(termArena))
+	}
+	for side, man := range [][][]string{firstMan, secondMan} {
+		for ord, segIDs := range man {
+			key := uint32(side)<<16 | uint32(ord)
+			add(secSegManifest, key, encodeStringTable(segIDs))
+			if ord == len(man)-1 || len(segIDs) == 0 {
+				continue // delta entry, or an all-tombstoned segment: IDs only
+			}
+			flat, err := m.buildFlatIDs(segIDs)
+			if err != nil {
+				return err
+			}
+			add(secSegArena, key, f32Bytes(flat.Arena()))
+			if IndexKind(meta.Index) == IndexSQ8 {
+				q := match.NewIndexSQ8(flat, m.cfg.SQ8Rerank)
+				add(secSegCodes, key, i8Bytes(q.Codes()))
+				add(secSegScales, key, f32Bytes(q.Scales()))
+			}
+		}
+	}
+
+	// Lay the sections out 64-byte aligned after the header and table.
+	off := v6AlignUp(int64(v6HeaderSize + len(secs)*v6EntrySize))
+	table := make([]byte, len(secs)*v6EntrySize)
+	for i := range secs {
+		secs[i].offset = off
+		e := table[i*v6EntrySize:]
+		binary.LittleEndian.PutUint32(e, secs[i].typ)
+		binary.LittleEndian.PutUint32(e[4:], secs[i].idx)
+		binary.LittleEndian.PutUint64(e[8:], uint64(off))
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(secs[i].payload)))
+		binary.LittleEndian.PutUint64(e[24:], fnv1a(secs[i].payload))
+		off = v6AlignUp(off + int64(len(secs[i].payload)))
+	}
+	fileSize := off
+
+	header := make([]byte, v6HeaderSize)
+	copy(header, v6Magic)
+	binary.LittleEndian.PutUint32(header[8:], savedModelVersionV6)
+	binary.LittleEndian.PutUint32(header[12:], v6HeaderSize)
+	binary.LittleEndian.PutUint32(header[16:], uint32(len(secs)))
+	binary.LittleEndian.PutUint32(header[20:], 0)
+	binary.LittleEndian.PutUint64(header[24:], uint64(fileSize))
+	binary.LittleEndian.PutUint64(header[32:], fnv1a(table))
+	binary.LittleEndian.PutUint64(header[40:], fnv1a(header[:40]))
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	pos := int64(0)
+	emit := func(b []byte) error {
+		n, err := bw.Write(b)
+		pos += int64(n)
+		return err
+	}
+	pad := func(to int64) error {
+		for pos < to {
+			chunk := to - pos
+			if chunk > int64(len(v6Padding)) {
+				chunk = int64(len(v6Padding))
+			}
+			if err := emit(v6Padding[:chunk]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit(header); err != nil {
+		return err
+	}
+	if err := emit(table); err != nil {
+		return err
+	}
+	for _, s := range secs {
+		if err := pad(s.offset); err != nil {
+			return err
+		}
+		if err := emit(s.payload); err != nil {
+			return err
+		}
+	}
+	if err := pad(fileSize); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// v6Padding is the zero source for inter-section alignment padding.
+var v6Padding [v6Align]byte
+
+// SaveFileV6 writes the model to a file in format v6 with the same
+// atomic tmp+fsync+rename+dirsync protocol as SaveFile.
+func (m *Model) SaveFileV6(path string) error {
+	return saveFileAtomic(path, m.SaveV6)
+}
+
+// v6SecKey addresses one parsed section by (type, index).
+type v6SecKey struct{ typ, idx uint32 }
+
+// parseV6 validates a v6 payload and assembles the zero-copy Snapshot.
+// Structural validation (header and table checksums, bounds, string
+// tables, arena lengths) always runs, so a corrupt file can never
+// panic the binder; VerifyEager additionally checks every payload
+// checksum and the cross-segment ID uniqueness the gob path enforces.
+// backing, when non-nil, is the mapping data aliases; the Snapshot
+// pins it and hands it to the bound Model.
+func parseV6(data []byte, mode VerifyMode, backing *mmapfile.Mapping) (*Snapshot, error) {
+	fail := func(format string, args ...interface{}) (*Snapshot, error) {
+		return nil, fmt.Errorf("tdmatch: corrupt v6 snapshot: "+format, args...)
+	}
+	if len(data) < v6HeaderSize {
+		return fail("%d bytes, need at least the %d-byte header", len(data), v6HeaderSize)
+	}
+	if string(data[:8]) != v6Magic {
+		return fail("bad magic")
+	}
+	if got := binary.LittleEndian.Uint64(data[40:48]); got != fnv1a(data[:40]) {
+		return fail("header checksum mismatch")
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != savedModelVersionV6 {
+		return nil, fmt.Errorf("tdmatch: unsupported model version %d", v)
+	}
+	if hs := binary.LittleEndian.Uint32(data[12:16]); hs != v6HeaderSize {
+		return fail("header size %d", hs)
+	}
+	fileSize := binary.LittleEndian.Uint64(data[24:32])
+	if fileSize != uint64(len(data)) {
+		return fail("file size %d, have %d bytes (truncated or padded)", fileSize, len(data))
+	}
+	nSecs := int(binary.LittleEndian.Uint32(data[16:20]))
+	tableEnd := int64(v6HeaderSize) + int64(nSecs)*v6EntrySize
+	if nSecs < 1 || tableEnd > int64(len(data)) {
+		return fail("section count %d exceeds file size", nSecs)
+	}
+	table := data[v6HeaderSize:tableEnd]
+	if got := binary.LittleEndian.Uint64(data[32:40]); got != fnv1a(table) {
+		return fail("section table checksum mismatch")
+	}
+
+	sections := make(map[v6SecKey][]byte, nSecs)
+	checksums := make(map[v6SecKey]uint64, nSecs)
+	for i := 0; i < nSecs; i++ {
+		e := table[i*v6EntrySize:]
+		typ := binary.LittleEndian.Uint32(e)
+		idx := binary.LittleEndian.Uint32(e[4:])
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		sum := binary.LittleEndian.Uint64(e[24:])
+		if off%v6Align != 0 || off < uint64(tableEnd) || off > uint64(len(data)) ||
+			length > uint64(len(data))-off {
+			return fail("section %d (type %d) offset %d length %d out of bounds", i, typ, off, length)
+		}
+		key := v6SecKey{typ, idx}
+		if _, dup := sections[key]; dup {
+			return fail("duplicate section type %d index %d", typ, idx)
+		}
+		sections[key] = data[off : off+length : off+length]
+		checksums[key] = sum
+	}
+	if mode == VerifyEager {
+		for key, payload := range sections {
+			if fnv1a(payload) != checksums[key] {
+				return fail("section type %d index %d checksum mismatch", key.typ, key.idx)
+			}
+		}
+	}
+
+	metaJSON, ok := sections[v6SecKey{secMetaJSON, 0}]
+	if !ok {
+		return fail("missing metadata section")
+	}
+	var meta v6Meta
+	if err := json.Unmarshal(metaJSON, &meta); err != nil {
+		return fail("metadata: %v", err)
+	}
+	if meta.Dim <= 0 {
+		return fail("dimension %d", meta.Dim)
+	}
+	const maxSegs = 1 << 20
+	if meta.FirstSegs < 0 || meta.FirstSegs > maxSegs || meta.SecondSegs < 0 || meta.SecondSegs > maxSegs {
+		return fail("segment counts %d/%d", meta.FirstSegs, meta.SecondSegs)
+	}
+
+	docIDsSec, ok := sections[v6SecKey{secDocIDs, 0}]
+	if !ok {
+		return fail("missing document ID section")
+	}
+	docIDs, err := decodeStringTable(docIDsSec)
+	if err != nil {
+		return nil, err
+	}
+	arenaSec, ok := sections[v6SecKey{secDocArena, 0}]
+	if !ok {
+		return fail("missing document arena section")
+	}
+	docArena, err := castF32(arenaSec)
+	if err != nil {
+		return nil, err
+	}
+	if len(docArena) != len(docIDs)*meta.Dim {
+		return fail("arena holds %d floats for %d vectors of dim %d", len(docArena), len(docIDs), meta.Dim)
+	}
+
+	var termIDs []string
+	var termArena []float32
+	if sec, ok := sections[v6SecKey{secTermIDs, 0}]; ok {
+		if termIDs, err = decodeStringTable(sec); err != nil {
+			return nil, err
+		}
+		taSec, ok := sections[v6SecKey{secTermArena, 0}]
+		if !ok {
+			return fail("term IDs without a term arena")
+		}
+		if termArena, err = castF32(taSec); err != nil {
+			return nil, err
+		}
+		if len(termArena) != len(termIDs)*meta.Dim {
+			return fail("term arena holds %d floats for %d terms of dim %d", len(termArena), len(termIDs), meta.Dim)
+		}
+	}
+
+	parseSide := func(side, count int) ([]v6Segment, error) {
+		segs := make([]v6Segment, count)
+		for ord := 0; ord < count; ord++ {
+			key := uint32(side)<<16 | uint32(ord)
+			man, ok := sections[v6SecKey{secSegManifest, key}]
+			if !ok {
+				return nil, fmt.Errorf("tdmatch: corrupt v6 snapshot: missing side-%d segment %d manifest", side+1, ord)
+			}
+			ids, err := decodeStringTable(man)
+			if err != nil {
+				return nil, err
+			}
+			segs[ord].ids = ids
+			if ord == count-1 || len(ids) == 0 {
+				continue // the mutable delta, or an all-tombstoned segment
+			}
+			ar, ok := sections[v6SecKey{secSegArena, key}]
+			if !ok {
+				return nil, fmt.Errorf("tdmatch: corrupt v6 snapshot: missing side-%d segment %d arena", side+1, ord)
+			}
+			if segs[ord].arena, err = castF32(ar); err != nil {
+				return nil, err
+			}
+			if len(segs[ord].arena) != len(ids)*meta.Dim {
+				return nil, fmt.Errorf("tdmatch: corrupt v6 snapshot: side-%d segment %d arena holds %d floats for %d rows",
+					side+1, ord, len(segs[ord].arena), len(ids))
+			}
+			codes, haveCodes := sections[v6SecKey{secSegCodes, key}]
+			scales, haveScales := sections[v6SecKey{secSegScales, key}]
+			if haveCodes != haveScales {
+				return nil, fmt.Errorf("tdmatch: corrupt v6 snapshot: side-%d segment %d has codes without scales", side+1, ord)
+			}
+			if haveCodes {
+				segs[ord].codes = castI8(codes)
+				if segs[ord].scales, err = castF32(scales); err != nil {
+					return nil, err
+				}
+				if len(segs[ord].codes) != len(ids)*meta.Dim || len(segs[ord].scales) != len(ids) {
+					return nil, fmt.Errorf("tdmatch: corrupt v6 snapshot: side-%d segment %d quantized sections sized %d/%d for %d rows",
+						side+1, ord, len(segs[ord].codes), len(segs[ord].scales), len(ids))
+				}
+			}
+		}
+		return segs, nil
+	}
+	first, err := parseSide(0, meta.FirstSegs)
+	if err != nil {
+		return nil, err
+	}
+	second, err := parseSide(1, meta.SecondSegs)
+	if err != nil {
+		return nil, err
+	}
+	if mode == VerifyEager {
+		for side, segs := range [][]v6Segment{first, second} {
+			seen := make(map[string]struct{})
+			for _, seg := range segs {
+				for _, id := range seg.ids {
+					if _, dup := seen[id]; dup {
+						return fail("document %q appears in two side-%d segments", id, side+1)
+					}
+					seen[id] = struct{}{}
+				}
+			}
+		}
+	}
+
+	loadMode := "v6+heap"
+	if backing != nil && backing.Mapped() {
+		loadMode = "v6+mmap"
+	}
+	return &Snapshot{
+		sm: savedModel{
+			Version:     savedModelVersionV6,
+			Dim:         meta.Dim,
+			FirstName:   meta.FirstName,
+			SecondName:  meta.SecondName,
+			VectorIDs:   docIDs,
+			Arena:       docArena,
+			Index:       meta.Index,
+			IVFClusters: meta.IVFClusters,
+			IVFNProbe:   meta.IVFNProbe,
+			ExactRecall: meta.ExactRecall,
+			SQ8Rerank:   meta.SQ8Rerank,
+			Seed:        meta.Seed,
+			Deltas:      meta.Deltas,
+			TermIDs:     termIDs,
+			TermArena:   termArena,
+			MaxNGram:    meta.MaxNGram,
+			Staleness:   meta.Staleness,
+		},
+		v6:      &v6State{first: first, second: second},
+		backing: backing,
+		mode:    loadMode,
+	}, nil
+}
+
+// OpenSnapshotFile opens a snapshot file of any supported version with
+// eager verification: a v6 file is memory-mapped (PROT_READ, shared
+// page cache across processes) and every section checksum is checked;
+// gob files (v1–v5) decode through the classic path. The returned
+// Snapshot pins the mapping; it is released only when the process
+// exits (models bound from it alias the pages for their lifetime).
+func OpenSnapshotFile(path string) (*Snapshot, error) {
+	return OpenSnapshotFileVerify(path, VerifyEager)
+}
+
+// OpenSnapshotFileVerify is OpenSnapshotFile with an explicit
+// VerifyMode: VerifyLazy skips the per-section payload checksums for
+// the lowest possible cold start on files trusted by construction.
+func OpenSnapshotFileVerify(path string, mode VerifyMode) (*Snapshot, error) {
+	mf, err := mmapfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	data := mf.Data()
+	if len(data) >= len(v6Magic) && string(data[:len(v6Magic)]) == v6Magic {
+		snap, err := parseV6(data, mode, mf)
+		if err != nil {
+			mf.Close()
+			return nil, err
+		}
+		return snap, nil
+	}
+	// A gob snapshot: decode copies everything onto the heap, so the
+	// mapping can be dropped immediately.
+	snap, err := readGobSnapshot(bytes.NewReader(data))
+	mf.Close()
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// bindSegmentedV6 reconstructs both serving stacks from a v6 payload:
+// sealed segments bind as borrowed (read-only, possibly mapped) arenas
+// with no per-row work, the mutable delta is regathered onto the heap
+// exactly like the gob path, and the stack's lookup maps are the only
+// O(n) cost paid at bind.
+func (m *Model) bindSegmentedV6(first, second []v6Segment) error {
+	var err error
+	if m.firstIdx, m.firstFlat, err = m.bindSideV6(0, first); err != nil {
+		return err
+	}
+	if m.secondIdx, m.secondFlat, err = m.bindSideV6(1, second); err != nil {
+		return err
+	}
+	return nil
+}
+
+// bindSideV6 assembles one side's segment stack from parsed v6
+// segments, mirroring buildSide's layout decisions (base wrap, seal
+// ordinals, delta regather, single-segment exact cache) over borrowed
+// arenas instead of regathered ones.
+func (m *Model) bindSideV6(side int, segs []v6Segment) (match.VectorIndex, *match.Index, error) {
+	if len(segs) == 0 {
+		// No manifest (never written by SaveV6, tolerated for robustness):
+		// rebuild the classic single-segment layout from the vector map.
+		c := m.first.c
+		if side == 1 {
+			c = m.second.c
+		}
+		return m.buildSide(c, side, nil)
+	}
+	base, err := m.bindFlatV6(segs[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	baseIdx, err := m.bindSegmentV6(base, side, 0, segs[0].codes, segs[0].scales)
+	if err != nil {
+		return nil, nil, err
+	}
+	stack, err := match.NewSegmented(baseIdx, m.dim, m.sealFunc(side), m.cfg.SegmentMaxDocs)
+	if err != nil {
+		return nil, nil, err
+	}
+	single := true
+	ordinal := 1
+	for _, seg := range segs[1 : len(segs)-1] {
+		if len(seg.ids) == 0 {
+			continue // all-tombstoned segment, compacted away on restore
+		}
+		single = false
+		flat, err := m.bindFlatV6(seg)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx, err := m.bindSegmentV6(flat, side, ordinal, seg.codes, seg.scales)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := stack.AppendSealed(idx); err != nil {
+			return nil, nil, err
+		}
+		ordinal++
+	}
+	if delta := segs[len(segs)-1]; len(delta.ids) > 0 {
+		single = false
+		if err := stack.Append(delta.ids, m.gatherArena(delta.ids)); err != nil {
+			return nil, nil, err
+		}
+	}
+	if single {
+		return stack, base, nil
+	}
+	return stack, nil, nil
+}
+
+// bindFlatV6 builds the flat index of one sealed segment: borrowed
+// over the section's normalized arena when present (zero copy), or an
+// empty heap index for a rowless base.
+func (m *Model) bindFlatV6(seg v6Segment) (*match.Index, error) {
+	if seg.arena == nil && len(seg.ids) > 0 {
+		// Only the base segment can reach here (middles with IDs always
+		// carry an arena, parseV6 enforces it); regather defensively.
+		return m.buildFlatIDs(seg.ids)
+	}
+	return match.NewIndexArenaBorrowed(seg.ids, seg.arena, m.dim)
+}
+
+// bindSegmentV6 wraps one sealed segment's flat index per the model's
+// index kind with the exact seed/stats behavior of serveIndex (ordinal
+// 0, the base) and sealFunc (ordinal >= 1), adopting precomputed SQ8
+// codes when the snapshot carries them.
+func (m *Model) bindSegmentV6(flat *match.Index, side, ordinal int, codes []int8, scales []float32) (match.VectorIndex, error) {
+	var inner match.VectorIndex
+	switch m.cfg.Index {
+	case IndexIVF:
+		seed := m.cfg.Seed + int64(side) + 1
+		if ordinal > 0 {
+			seed += (int64(ordinal) + 1) * segmentSeedStride
+		}
+		ivf := match.NewIVF(flat, match.IVFOptions{
+			Clusters:    m.cfg.IVFClusters,
+			NProbe:      m.cfg.IVFNProbe,
+			ExactRecall: m.cfg.ExactRecall,
+			Seed:        seed,
+		})
+		if ordinal == 0 {
+			m.stats.IndexClusters[side] = ivf.Clusters()
+		}
+		inner = ivf
+	case IndexSQ8:
+		if codes != nil {
+			q, err := match.NewIndexSQ8Parts(flat, codes, scales, m.cfg.SQ8Rerank)
+			if err != nil {
+				return nil, err
+			}
+			inner = q
+		} else {
+			inner = match.NewIndexSQ8(flat, m.cfg.SQ8Rerank)
+		}
+	default:
+		inner = flat
+	}
+	return m.shardWrap(inner), nil
+}

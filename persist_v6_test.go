@@ -1,0 +1,285 @@
+package tdmatch
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/tdmatch/tdmatch/internal/match"
+)
+
+// v6TestConfigs enumerates the serving configurations the v6 format must
+// round-trip bit-identically to the gob path: every index kind, plus
+// multi-segment stacks with tombstones and a live delta.
+var v6TestConfigs = []struct {
+	name      string
+	mutate    func(*Config)
+	segmented bool
+}{
+	{"flat", func(c *Config) {}, false},
+	{"ivf", func(c *Config) {
+		c.Index = IndexIVF
+		c.IVFClusters = 2
+		c.IVFNProbe = 1
+		c.ExactRecall = false
+	}, false},
+	{"sq8", func(c *Config) {
+		c.Index = IndexSQ8
+		c.SQ8Rerank = 6
+	}, false},
+	{"segmented", func(c *Config) {}, true},
+	{"segmented-sq8", func(c *Config) {
+		c.Index = IndexSQ8
+		c.SQ8Rerank = 6
+	}, true},
+}
+
+// buildV6TestModel trains a deterministic model (Workers 1) under one of
+// the v6TestConfigs; segmented variants pile up sealed segments with
+// single-doc ingests and tombstone a sealed row, like the v5 fixture.
+func buildV6TestModel(t *testing.T, mutate func(*Config), segmented bool) *Model {
+	t.Helper()
+	movies, reviews := fixtureCorpora(t)
+	cfg := smallConfig()
+	cfg.Workers = 1
+	mutate(&cfg)
+	if segmented {
+		cfg.SegmentMaxDocs = 1
+	}
+	model, err := Build(movies, reviews, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segmented {
+		for i, text := range []string{
+			"Brando leads a mafia family epic",
+			"Coppola directs a crime dynasty",
+			"Pacino inherits the family business",
+		} {
+			if err := model.Ingest([]IngestDoc{
+				{Side: 2, ID: fmt.Sprintf("reviews:seg%d", i), Values: []string{text}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := model.Remove([]string{"reviews:seg1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return model
+}
+
+// rankAllMatches runs TopK over every servable document on both sides
+// and returns the full results, scores included, for bit-identity
+// comparisons.
+func rankAllMatches(t *testing.T, m *Model) map[string][]Match {
+	t.Helper()
+	out := map[string][]Match{}
+	for _, q := range append(m.first.IDs(), m.second.IDs()...) {
+		if m.Vector(q) == nil {
+			continue
+		}
+		matches, err := m.TopK(q, 3)
+		if err != nil {
+			t.Fatalf("TopK(%s): %v", q, err)
+		}
+		out[q] = matches
+	}
+	if len(out) == 0 {
+		t.Fatal("no servable queries")
+	}
+	return out
+}
+
+// TestSaveV6BitIdenticalToGob is the format-parity pin: for every index
+// kind (flat, IVF, SQ8) and for multi-segment stacks, a model loaded
+// from a v6 snapshot — through both the zero-copy mmap path and the
+// streamed heap path — must serve TopK rankings bit-identical (IDs and
+// scores) to the same model loaded from a gob snapshot.
+func TestSaveV6BitIdenticalToGob(t *testing.T) {
+	for _, tc := range v6TestConfigs {
+		t.Run(tc.name, func(t *testing.T) {
+			model := buildV6TestModel(t, tc.mutate, tc.segmented)
+
+			var gobBuf bytes.Buffer
+			if err := model.Save(&gobBuf); err != nil {
+				t.Fatal(err)
+			}
+			v6Path := filepath.Join(t.TempDir(), "model.v6")
+			if err := model.SaveFileV6(v6Path); err != nil {
+				t.Fatal(err)
+			}
+
+			gm, gr := fixtureCorpora(t)
+			gobModel, err := LoadModel(bytes.NewReader(gobBuf.Bytes()), gm, gr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := rankAllMatches(t, gobModel)
+
+			// The zero-copy path: open, check mode, bind.
+			snap, err := OpenSnapshotFile(v6Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := snap.Info().Version; got != 6 {
+				t.Fatalf("v6 snapshot Info().Version = %d, want 6", got)
+			}
+			switch mode := snap.LoadMode(); {
+			case runtime.GOOS == "linux" && mode != "v6+mmap":
+				t.Fatalf("LoadMode() = %q, want v6+mmap", mode)
+			case mode != "v6+mmap" && mode != "v6+heap":
+				t.Fatalf("LoadMode() = %q", mode)
+			}
+			mm, mr := fixtureCorpora(t)
+			mmapModel, err := snap.Bind(mm, mr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rankAllMatches(t, mmapModel); !reflect.DeepEqual(got, want) {
+				t.Errorf("mmap-loaded rankings diverge from gob-loaded")
+			}
+
+			// The streamed heap path (ReadSnapshot auto-detects by magic).
+			f, err := os.Open(v6Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			hsnap, err := ReadSnapshot(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hsnap.LoadMode(); got != "v6+heap" {
+				t.Fatalf("streamed LoadMode() = %q, want v6+heap", got)
+			}
+			hm, hr := fixtureCorpora(t)
+			heapModel, err := hsnap.Bind(hm, hr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rankAllMatches(t, heapModel); !reflect.DeepEqual(got, want) {
+				t.Errorf("heap-loaded rankings diverge from gob-loaded")
+			}
+
+			// Segment boundaries restore exactly, not merely equivalently.
+			gf, gs := gobModel.SegmentStats()
+			mf, ms := mmapModel.SegmentStats()
+			if gf != mf || gs != ms {
+				t.Errorf("segment stats diverge: gob %+v/%+v, v6 %+v/%+v", gf, gs, mf, ms)
+			}
+		})
+	}
+}
+
+// TestSaveV6LazyVerifyServesIdentically covers the microsecond
+// cold-start path: VerifyLazy skips payload checksums but must bind the
+// same model.
+func TestSaveV6LazyVerifyServesIdentically(t *testing.T) {
+	model := buildV6TestModel(t, func(c *Config) {}, true)
+	path := filepath.Join(t.TempDir(), "model.v6")
+	if err := model.SaveFileV6(path); err != nil {
+		t.Fatal(err)
+	}
+	want := rankAllMatches(t, model)
+	snap, err := OpenSnapshotFileVerify(path, VerifyLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movies, reviews := fixtureCorpora(t)
+	loaded, err := snap.Bind(movies, reviews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rankAllMatches(t, loaded); !reflect.DeepEqual(got, want) {
+		t.Error("lazy-verified load diverges from the live model")
+	}
+}
+
+// TestV6InfoMatchesGobInfo pins that the v6 metadata section carries
+// everything ModelInfo reports, identically to the gob encoding of the
+// same model (modulo the format version itself).
+func TestV6InfoMatchesGobInfo(t *testing.T) {
+	model := buildV6TestModel(t, func(c *Config) {
+		c.Index = IndexIVF
+		c.IVFClusters = 2
+		c.IVFNProbe = 1
+	}, true)
+	var gobBuf, v6Buf bytes.Buffer
+	if err := model.Save(&gobBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.SaveV6(&v6Buf); err != nil {
+		t.Fatal(err)
+	}
+	gobInfo, err := ReadModelInfo(&gobBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v6Info, err := ReadModelInfo(&v6Buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v6Info.Version != 6 || gobInfo.Version != 5 {
+		t.Fatalf("versions = %d/%d, want 6/5", v6Info.Version, gobInfo.Version)
+	}
+	v6Info.Version = gobInfo.Version
+	if !reflect.DeepEqual(v6Info, gobInfo) {
+		t.Errorf("v6 info %+v diverges from gob info %+v", v6Info, gobInfo)
+	}
+}
+
+// TestV6LoadIsZeroCopyAndCopyOnWrite pins the tentpole's memory
+// behavior at the model level: a v6-loaded model's base segment borrows
+// the snapshot's arena (no copy at bind), and post-load mutations
+// promote to the heap rather than writing through — the snapshot file
+// is byte-identical after ingest and remove.
+func TestV6LoadIsZeroCopyAndCopyOnWrite(t *testing.T) {
+	model := buildV6TestModel(t, func(c *Config) {}, false)
+	path := filepath.Join(t.TempDir(), "model.v6")
+	if err := model.SaveFileV6(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movies, reviews := fixtureCorpora(t)
+	loaded, err := LoadModelFile(path, movies, reviews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.backing == nil {
+		t.Fatal("v6-loaded model carries no backing mapping")
+	}
+	base, ok := servingBase(loaded.firstIdx).(*match.Index)
+	if !ok {
+		t.Fatalf("base segment is %T, want *match.Index", servingBase(loaded.firstIdx))
+	}
+	if !base.Borrowed() {
+		t.Error("v6-loaded base segment does not borrow the snapshot arena")
+	}
+
+	if err := loaded.Ingest([]IngestDoc{
+		{Side: 2, ID: "reviews:cow", Values: []string{"a brand new review about Coppola"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Remove([]string{"reviews:p0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.TopK("reviews:cow", 3); err != nil {
+		t.Fatalf("ingested document not servable: %v", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("mutating a v6-loaded model wrote through to the snapshot file")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/tdmatch/tdmatch/internal/embed"
 	"github.com/tdmatch/tdmatch/internal/graph"
 	"github.com/tdmatch/tdmatch/internal/match"
+	"github.com/tdmatch/tdmatch/internal/mmapfile"
 	"github.com/tdmatch/tdmatch/internal/pipeline"
 	"github.com/tdmatch/tdmatch/internal/textproc"
 	"github.com/tdmatch/tdmatch/internal/walk"
@@ -102,6 +103,14 @@ type Model struct {
 	extMu     sync.Mutex
 	extCache  [2]extIndexCache
 	stats     Stats
+
+	// backing pins the mmap a zero-copy (v6) snapshot load bound this
+	// model's arenas onto: the vector map, term vectors and sealed index
+	// segments are views into it, so it must stay mapped for the model's
+	// lifetime (clones share it). Nil for built or gob-loaded models.
+	// The mapping is PROT_READ; mutations promote the touched arena to a
+	// heap copy instead of writing through (see match.Index).
+	backing *mmapfile.Mapping
 }
 
 // Build runs the full pipeline over two corpora and returns a ready model.

@@ -48,7 +48,10 @@ import (
 // segmented core's O(delta) claim: the three scales must stay flat.
 // The BenchmarkIngestWAL series prices durability: the same server
 // ingest with a write-ahead log under each fsync policy, so the
-// always/interval/never tax stays visible in the trajectory.
+// always/interval/never tax stays visible in the trajectory. The
+// BenchmarkLoadSnapshot pair is the cold-start ratio: gob decode vs
+// zero-copy v6 mmap, each from file open to the first TopK answer —
+// the mmap side must stay >= 10x ahead.
 const defaultBench = "BenchmarkWord2VecSkipGram$|BenchmarkWord2VecCBOW$|BenchmarkRandomWalks$|" +
 	"BenchmarkGraphBuild$|BenchmarkTopKMatch$|BenchmarkTopKBatch$|BenchmarkTopKIVF$|BenchmarkTopKSQ8$|" +
 	"BenchmarkMatchAllSerialFlat$|BenchmarkMatchAllParallelFlat$|BenchmarkMatchAllParallelIVF$|" +
@@ -56,7 +59,8 @@ const defaultBench = "BenchmarkWord2VecSkipGram$|BenchmarkWord2VecCBOW$|Benchmar
 	"BenchmarkEndToEndPipeline$|BenchmarkServeTopKCached$|" +
 	"BenchmarkIngestSingleDoc$|BenchmarkIngestServerSingleDoc$|" +
 	"BenchmarkIngestSegmented/scale(1|4|16)x$|BenchmarkCompactOnline$|" +
-	"BenchmarkIngestWAL/(always|interval|never)$"
+	"BenchmarkIngestWAL/(always|interval|never)$|" +
+	"BenchmarkLoadSnapshotGob$|BenchmarkLoadSnapshotMmap$"
 
 // benchLine matches `go test -bench -benchmem` output rows, e.g.
 // "BenchmarkRandomWalks-8  50  6449439 ns/op  4118728 B/op  23 allocs/op".
