@@ -234,6 +234,31 @@ func benchTopKIndex(b *testing.B) (*match.Index, [][]float32) {
 	return idx, vecs
 }
 
+// reportRecallAt10 attaches an approximate index's recall@10 against
+// the exact flat ranking to the benchmark, measured over a fixed sample
+// of fixture queries. tools/benchjson parses the metric into the
+// trajectory's recall_at_10 field, so retrieval quality is tracked per
+// index kind right next to its ns/op. Call it after the timed loop with
+// the timer stopped: ResetTimer clears previously reported metrics.
+func reportRecallAt10(b *testing.B, flat *match.Index, approx match.VectorIndex, vecs [][]float32) {
+	b.Helper()
+	const sample, k = 50, 10
+	hits, total := 0, 0
+	for q := 0; q < sample; q++ {
+		want := make(map[string]struct{}, k)
+		for _, s := range flat.TopK(vecs[q], k) {
+			want[s.ID] = struct{}{}
+		}
+		for _, s := range approx.TopK(vecs[q], k) {
+			if _, ok := want[s.ID]; ok {
+				hits++
+			}
+		}
+		total += len(want)
+	}
+	b.ReportMetric(float64(hits)/float64(total), "recall@10")
+}
+
 // BenchmarkTopKMatch measures single-query cosine ranking at 10k targets.
 func BenchmarkTopKMatch(b *testing.B) {
 	idx, vecs := benchTopKIndex(b)
@@ -274,6 +299,8 @@ func BenchmarkTopKIVF(b *testing.B) {
 			b.Fatal("short result")
 		}
 	}
+	b.StopTimer()
+	reportRecallAt10(b, flat, ivf, vecs)
 }
 
 // BenchmarkTopKSQ8 measures single-query quantized ranking (int8 scan +
@@ -288,6 +315,41 @@ func BenchmarkTopKSQ8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if got := sq.TopK(query, 20); len(got) != 20 {
 			b.Fatal("short result")
+		}
+	}
+	b.StopTimer()
+	reportRecallAt10(b, flat, sq, vecs)
+}
+
+// BenchmarkTopKHNSW measures single-query graph ANN ranking (greedy
+// multi-layer descent + ef-bounded layer-0 beam + exact re-rank) at 10k
+// targets — the fourth counterpart of BenchmarkTopKMatch, and the
+// sub-100µs uncached path the graph index exists for.
+func BenchmarkTopKHNSW(b *testing.B) {
+	flat, vecs := benchTopKIndex(b)
+	h := match.NewHNSW(flat, match.HNSWOptions{Seed: 1})
+	query := vecs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := h.TopK(query, 20); len(got) != 20 {
+			b.Fatal("short result")
+		}
+	}
+	b.StopTimer()
+	reportRecallAt10(b, flat, h, vecs)
+}
+
+// BenchmarkBuildHNSW measures the one-time graph construction cost over
+// the shared 10k x 96 fixture — the build-side price of the query-side
+// speedup, tracked next to it in BENCH_build.json.
+func BenchmarkBuildHNSW(b *testing.B) {
+	flat, _ := benchTopKIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h := match.NewHNSW(flat, match.HNSWOptions{Seed: int64(i + 1)}); h.Len() != flat.Len() {
+			b.Fatal("short graph")
 		}
 	}
 }

@@ -19,8 +19,12 @@
 // (0 = closed loop, each worker fires as fast as answers return). The
 // result cache is disabled by default so latencies measure the index
 // scan, not cache hits; -cache re-enables it to measure the production
-// mix. -min-qps turns the harness into a smoke check: exit status 1
-// when any level undershoots, for CI.
+// mix. -warmup N fires N discarded read-only queries per level before
+// its measured window — cold-start effects (page faults on a mapped
+// snapshot, pool spin-up) stay out of the percentiles; warm-up traffic
+// is never paced, -qps throttles only the measured window. -min-qps
+// turns the harness into a smoke check: exit status 1 when any level
+// undershoots, for CI.
 //
 // -ingest-frac mixes single-document ingest mutations into the load
 // (each with a unique generated ID), reporting acknowledged ingests per
@@ -58,7 +62,7 @@ import (
 func main() {
 	var (
 		synthN     = flag.Int("synth", 0, "build a synthetic in-process model with this many documents per side")
-		indexKind  = flag.String("index", "flat", "index kind for -synth: flat, ivf or sq8")
+		indexKind  = flag.String("index", "flat", "index kind for -synth: flat, ivf, sq8 or hnsw")
 		dim        = flag.Int("dim", 48, "embedding dimension for -synth")
 		firstPath  = flag.String("first", "", "first corpus file (snapshot mode, as passed to the training run)")
 		secondPath = flag.String("second", "", "second corpus file (snapshot mode)")
@@ -80,6 +84,7 @@ func main() {
 		minQPS     = flag.Float64("min-qps", 0, "exit nonzero when any level's achieved QPS is below this")
 		ingestFrac = flag.Float64("ingest-frac", 0, "fraction of requests that are single-doc ingest mutations, drawn per request (0 = read-only); under -qps pacing, mutations spend the same token budget as reads, so offered load stays qps total and read throughput drops by roughly the fraction")
 		ingestSide = flag.Int("ingest-side", 2, "corpus side the generated ingest documents join")
+		warmupN    = flag.Int("warmup", 0, "discarded read-only iterations per concurrency level before the measured window; warm-up traffic is unpaced (-qps throttles only the measured window)")
 	)
 	flag.Parse()
 
@@ -147,7 +152,7 @@ func main() {
 	rep := report{Mode: mode, Dist: *dist, K: *k, Shards: *shards, QueryIDs: len(ids)}
 	for _, conc := range levels {
 		fmt.Fprintf(os.Stderr, "tdload: level c=%d for %s...\n", conc, *duration)
-		rep.Levels = append(rep.Levels, runLevel(tg, ids, *k, conc, *duration, *qps, *dist, *seed, *ingestFrac, *ingestSide))
+		rep.Levels = append(rep.Levels, runLevel(tg, ids, *k, conc, *duration, *qps, *dist, *seed, *ingestFrac, *ingestSide, *warmupN))
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -340,7 +345,38 @@ func validateWorkloadFlags(dist string, ingestFrac, qps float64) error {
 // RNG (seed + worker index), so runs are reproducible for a fixed
 // level list; qps > 0 paces each worker at qps/conc with per-worker
 // phase offsets so the aggregate offered load is smooth.
-func runLevel(tg target, ids []string, k, conc int, dur time.Duration, qps float64, dist string, seed int64, ingestFrac float64, ingestSide int) levelReport {
+//
+// warmup > 0 first fires that many read-only queries (split across the
+// conc workers, same ID distribution, offset seed) whose latencies are
+// discarded — cold caches, first-touch page faults and JIT'd connection
+// state land outside the measured window. Warm-up traffic ignores -qps:
+// pacing starts with the measured window, so a paced run still warms at
+// full speed.
+func runLevel(tg target, ids []string, k, conc int, dur time.Duration, qps float64, dist string, seed int64, ingestFrac float64, ingestSide int, warmup int) levelReport {
+	if warmup > 0 {
+		var wwg sync.WaitGroup
+		for w := 0; w < conc; w++ {
+			wwg.Add(1)
+			go func(w int) {
+				defer wwg.Done()
+				rng := rand.New(rand.NewSource(seed + 104729 + int64(w)*7919))
+				var zipf *rand.Zipf
+				if dist == "zipf" && len(ids) > 1 {
+					zipf = rand.NewZipf(rng, 1.1, 1, uint64(len(ids)-1))
+				}
+				for i := w; i < warmup; i += conc {
+					id := ids[0]
+					if zipf != nil {
+						id = ids[zipf.Uint64()]
+					} else if len(ids) > 1 {
+						id = ids[rng.Intn(len(ids))]
+					}
+					tg.topk(id, k) // discarded: neither latency nor errors count
+				}
+			}(w)
+		}
+		wwg.Wait()
+	}
 	type workerOut struct {
 		lats    []time.Duration
 		errs    int64
@@ -574,8 +610,10 @@ func buildSynthModel(n, dim int, indexKind string, seed int64) (*tdmatch.Model, 
 		cfg.Index = tdmatch.IndexIVF
 	case "sq8":
 		cfg.Index = tdmatch.IndexSQ8
+	case "hnsw":
+		cfg.Index = tdmatch.IndexHNSW
 	default:
-		return nil, nil, fmt.Errorf("unknown -index %q (want flat, ivf or sq8)", indexKind)
+		return nil, nil, fmt.Errorf("unknown -index %q (want flat, ivf, sq8 or hnsw)", indexKind)
 	}
 	model, err := tdmatch.Build(movies, reviews, cfg)
 	if err != nil {

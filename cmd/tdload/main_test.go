@@ -64,7 +64,7 @@ func TestRunLevelSmoke(t *testing.T) {
 	}
 	for _, dist := range []string{"zipf", "uniform"} {
 		for _, conc := range []int{1, 2} {
-			lv := runLevel(tg, ids, 5, conc, 150*time.Millisecond, 0, dist, 1, 0, 2)
+			lv := runLevel(tg, ids, 5, conc, 150*time.Millisecond, 0, dist, 1, 0, 2, 0)
 			if lv.Queries == 0 || lv.QPS <= 0 {
 				t.Fatalf("%s c=%d: no throughput: %+v", dist, conc, lv)
 			}
@@ -78,6 +78,25 @@ func TestRunLevelSmoke(t *testing.T) {
 	}
 }
 
+// TestRunLevelWarmup checks that -warmup traffic reaches the target but
+// stays out of the report: a warmed level's counters must look exactly
+// like a cold one's (queries counted from the measured window only).
+func TestRunLevelWarmup(t *testing.T) {
+	model, ids, err := buildSynthModel(60, 16, "hnsw", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := newInproc(model, 0, 0, false, -1)
+	defer tg.Close()
+	lv := runLevel(tg, ids, 5, 2, 100*time.Millisecond, 0, "uniform", 1, 0, 2, 40)
+	if lv.Queries == 0 || lv.Errors != 0 {
+		t.Fatalf("warmed level: %+v", lv)
+	}
+	if lv.DurationSec > 0.5 {
+		t.Fatalf("warm-up leaked into the measured window: %.3fs", lv.DurationSec)
+	}
+}
+
 // TestRunLevelPacing checks -qps throttling: a 200ms window offered 50
 // QPS must complete far fewer queries than the closed loop would.
 func TestRunLevelPacing(t *testing.T) {
@@ -87,7 +106,7 @@ func TestRunLevelPacing(t *testing.T) {
 	}
 	tg := newInproc(model, 0, 0, false, -1)
 	defer tg.Close()
-	lv := runLevel(tg, ids, 5, 2, 200*time.Millisecond, 50, "uniform", 1, 0, 2)
+	lv := runLevel(tg, ids, 5, 2, 200*time.Millisecond, 50, "uniform", 1, 0, 2, 0)
 	// 50 QPS over 200ms is ~10 queries; allow generous slack for timer
 	// jitter but fail if the throttle clearly did not engage.
 	if lv.Queries == 0 || lv.Queries > 30 {
@@ -105,7 +124,7 @@ func TestRunLevelIngestMix(t *testing.T) {
 	}
 	tg := newInproc(model, 0, 1, false, -1)
 	defer tg.Close()
-	lv := runLevel(tg, ids, 5, 2, 150*time.Millisecond, 0, "uniform", 1, 1.0, 2)
+	lv := runLevel(tg, ids, 5, 2, 150*time.Millisecond, 0, "uniform", 1, 1.0, 2, 0)
 	if lv.Errors != 0 {
 		t.Fatalf("ingest mix: %d errors", lv.Errors)
 	}

@@ -49,11 +49,14 @@ func main() {
 		dotPath    = flag.String("dot", "", "write the built graph in Graphviz DOT format to this file")
 		savePath   = flag.String("save", "", "write the trained model snapshot to this file (serve it with tdserved)")
 		saveFormat = flag.String("snapshot-format", "v6", "snapshot format for -save: v6 (flat, mmap-loadable) or gob")
-		indexKind  = flag.String("index", "flat", "serving index: flat (exact scan), ivf (clustered ANN) or sq8 (int8-quantized scan + exact re-rank)")
+		indexKind  = flag.String("index", "flat", "serving index: flat (exact scan), ivf (clustered ANN), sq8 (int8-quantized scan + exact re-rank) or hnsw (graph ANN + exact re-rank)")
 		clusters   = flag.Int("clusters", 0, "IVF partitions (0 = sqrt of corpus size)")
 		nprobe     = flag.Int("nprobe", 0, "IVF partitions probed per query (0 = adaptive half)")
 		exact      = flag.Bool("exact-recall", false, "force IVF to probe every partition (flat-identical rankings)")
 		sq8Rerank  = flag.Int("sq8-rerank", 0, "SQ8 re-rank multiplier: re-score this many times k candidates exactly (0 = default 4)")
+		hnswM      = flag.Int("hnsw-m", 0, "HNSW neighbors per node per layer (0 = default 16)")
+		hnswEf     = flag.Int("hnsw-ef", 0, "HNSW query beam width (0 = default 96)")
+		hnswEfc    = flag.Int("hnsw-ef-construct", 0, "HNSW construction beam width (0 = default 128)")
 	)
 	flag.Parse()
 	if *firstPath == "" || *secondPath == "" {
@@ -88,6 +91,9 @@ func main() {
 	cfg.IVFNProbe = *nprobe
 	cfg.ExactRecall = *exact
 	cfg.SQ8Rerank = *sq8Rerank
+	cfg.HNSWM = *hnswM
+	cfg.HNSWEf = *hnswEf
+	cfg.HNSWEfConstruct = *hnswEfc
 	if *compress {
 		cfg.Compression = tdmatch.CompressMSP
 	}
@@ -145,8 +151,10 @@ func parseIndexKind(s string) (tdmatch.IndexKind, error) {
 		return tdmatch.IndexIVF, nil
 	case "sq8":
 		return tdmatch.IndexSQ8, nil
+	case "hnsw":
+		return tdmatch.IndexHNSW, nil
 	default:
-		return 0, fmt.Errorf("unknown -index %q (want flat, ivf or sq8)", s)
+		return 0, fmt.Errorf("unknown -index %q (want flat, ivf, sq8 or hnsw)", s)
 	}
 }
 

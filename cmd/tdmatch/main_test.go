@@ -20,6 +20,7 @@ func writeFile(t *testing.T, name, content string) string {
 func TestParseIndexKind(t *testing.T) {
 	for s, want := range map[string]tdmatch.IndexKind{
 		"flat": tdmatch.IndexFlat, "": tdmatch.IndexFlat, "ivf": tdmatch.IndexIVF,
+		"sq8": tdmatch.IndexSQ8, "hnsw": tdmatch.IndexHNSW,
 	} {
 		got, err := parseIndexKind(s)
 		if err != nil || got != want {

@@ -334,7 +334,20 @@ func (d *daemon) load() (*tdmatch.Model, tdmatch.ModelInfo, error) {
 		// starts serving, so the -shards override survives hot reloads.
 		model.Reshard(d.shards)
 	}
+	fi, si := model.IndexStats()
+	log.Printf("tdserved: index %s: first %s; second %s", fi.Kind, indexLine(fi), indexLine(si))
 	return model, info, nil
+}
+
+// indexLine formats one side's IndexStats for the startup log line that
+// sits next to the load-mode line: row counts for every kind, plus the
+// graph shape under HNSW serving.
+func indexLine(st tdmatch.IndexStats) string {
+	s := fmt.Sprintf("%d rows (%d live)", st.Rows, st.LiveRows)
+	if st.Kind == "hnsw" {
+		s += fmt.Sprintf(", max level %d, avg degree %.1f, ef %d", st.MaxLevel, st.AvgDegree, st.Ef)
+	}
+	return s
 }
 
 // validateCoverage sanity-checks that the snapshot actually describes
@@ -616,6 +629,9 @@ type modelInfoResponse struct {
 	IVFClusters int    `json:"ivf_clusters,omitempty"`
 	IVFNProbe   int    `json:"ivf_nprobe,omitempty"`
 	SQ8Rerank   int    `json:"sq8_rerank,omitempty"`
+	HNSWM       int    `json:"hnsw_m,omitempty"`
+	HNSWEf      int    `json:"hnsw_ef,omitempty"`
+	HNSWEfC     int    `json:"hnsw_ef_construct,omitempty"`
 }
 
 func (d *daemon) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -880,6 +896,18 @@ func (d *daemon) modelInfoResponse() modelInfoResponse {
 		out.SQ8Rerank = info.SQ8Rerank
 		if out.SQ8Rerank == 0 {
 			out.SQ8Rerank = tdmatch.DefaultSQ8Rerank
+		}
+	}
+	if info.Index == tdmatch.IndexHNSW {
+		out.HNSWM, out.HNSWEf, out.HNSWEfC = info.HNSWM, info.HNSWEf, info.HNSWEfConstruct
+		if out.HNSWM == 0 {
+			out.HNSWM = tdmatch.DefaultHNSWM
+		}
+		if out.HNSWEf == 0 {
+			out.HNSWEf = tdmatch.DefaultHNSWEf
+		}
+		if out.HNSWEfC == 0 {
+			out.HNSWEfC = tdmatch.DefaultHNSWEfConstruct
 		}
 	}
 	return out

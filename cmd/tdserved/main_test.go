@@ -612,6 +612,70 @@ func TestV6SnapshotDaemonRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHNSWSnapshotDaemonRoundTrip starts the daemon over a v6 snapshot
+// of an HNSW-served model: the graph sections bind zero-copy, /v1/topk
+// matches the in-process model, /v1/stats describes the graph in its
+// per-side index block, and a checkpoint restarts cleanly.
+func TestHNSWSnapshotDaemonRoundTrip(t *testing.T) {
+	cfg := fixtureConfig(23)
+	cfg.Index = tdmatch.IndexHNSW
+	cfg.HNSWM = 4
+	cfg.HNSWEf = 8
+	cfg.HNSWEfConstruct = 16
+	firstPath, secondPath, modelPath, model := trainFixture(t, cfg)
+	if err := model.SaveFileV6(modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	d, ts := startDaemonWith(t, firstPath, secondPath, modelPath, daemonOptions{})
+	info := d.info()
+	if info.Version != 6 || info.Index != tdmatch.IndexHNSW {
+		t.Fatalf("daemon loaded version %d index %v, want 6/hnsw", info.Version, info.Index)
+	}
+
+	var resp struct {
+		Matches []tdmatch.Match `json:"matches"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/topk", map[string]any{"id": "reviews:p0", "k": 3}, &resp); code != http.StatusOK {
+		t.Fatalf("topk status %d", code)
+	}
+	want, err := model.TopK("reviews:p0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Matches, want) {
+		t.Fatalf("hnsw-served rankings diverge:\ngot:  %v\nwant: %v", resp.Matches, want)
+	}
+
+	var stats statsResponse
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if m := stats.Model; m.Index != "hnsw" || m.HNSWM != 4 || m.HNSWEf != 8 || m.HNSWEfC != 16 {
+		t.Errorf("stats model block = %+v, want hnsw 4/8/16", stats.Model)
+	}
+	for side, st := range map[string]tdmatch.IndexStats{"first": stats.FirstIndex, "second": stats.SecondIndex} {
+		if st.Kind != "hnsw" || st.LiveRows == 0 || st.AvgDegree <= 0 || st.Ef != 8 {
+			t.Errorf("%s index block does not describe the graph: %+v", side, st)
+		}
+	}
+
+	// A checkpoint rewrites the graph sections deterministically and the
+	// next start binds them again.
+	if err := d.checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := startDaemonWith(t, firstPath, secondPath, modelPath, daemonOptions{})
+	if got := d2.info(); got.Version != 6 || got.Index != tdmatch.IndexHNSW {
+		t.Fatalf("restart loaded version %d index %v, want 6/hnsw", got.Version, got.Index)
+	}
+}
+
 // TestBadSnapshotFlagsRejected pins the flag validation in newDaemon.
 func TestBadSnapshotFlagsRejected(t *testing.T) {
 	firstPath, secondPath, modelPath, _ := trainFixture(t, fixtureConfig(35))

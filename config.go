@@ -12,6 +12,15 @@ import (
 // model uses when Config.SQ8Rerank is 0.
 const DefaultSQ8Rerank = match.DefaultSQ8Rerank
 
+// DefaultHNSWM, DefaultHNSWEf and DefaultHNSWEfConstruct are the HNSW
+// graph parameters an IndexHNSW model uses when the corresponding
+// Config knob is 0.
+const (
+	DefaultHNSWM           = match.DefaultHNSWM
+	DefaultHNSWEf          = match.DefaultHNSWEf
+	DefaultHNSWEfConstruct = match.DefaultHNSWEfConstruct
+)
+
 // FilterStrategy selects how data nodes are filtered at graph creation
 // (§II-B, Fig. 9).
 type FilterStrategy uint8
@@ -57,10 +66,17 @@ const (
 	// exactly in float32, which keeps recall@10 >= 0.99 at default
 	// settings.
 	IndexSQ8
+	// IndexHNSW is a hierarchical navigable-small-world graph index:
+	// queries descend a layered proximity graph and an ef-bounded beam
+	// over the bottom layer collects candidates that are re-scored
+	// exactly in float32, making per-query cost independent of corpus
+	// size — the sublinear option for very large sides.
+	IndexHNSW
 )
 
-// String returns the flag-style name of the index kind: "flat", "ivf"
-// or "sq8" (or "indexkind(n)" for values outside the defined set).
+// String returns the flag-style name of the index kind: "flat", "ivf",
+// "sq8" or "hnsw" (or "indexkind(n)" for values outside the defined
+// set).
 func (k IndexKind) String() string {
 	switch k {
 	case IndexFlat:
@@ -69,6 +85,8 @@ func (k IndexKind) String() string {
 		return "ivf"
 	case IndexSQ8:
 		return "sq8"
+	case IndexHNSW:
+		return "hnsw"
 	default:
 		return fmt.Sprintf("indexkind(%d)", uint8(k))
 	}
@@ -167,6 +185,21 @@ type Config struct {
 	// trades scan savings for recall; SQ8Rerank >= corpus size / k makes
 	// the ranking provably identical to IndexFlat.
 	SQ8Rerank int
+	// HNSWM caps the neighbor count per node on the upper layers of an
+	// IndexHNSW graph (the bottom layer allows 2×HNSWM). 0 selects the
+	// default (16); larger values raise recall and memory per node.
+	HNSWM int
+	// HNSWEf is the query-time beam width of an IndexHNSW index: the
+	// bottom-layer search keeps the best HNSWEf candidates, all of which
+	// are re-scored exactly. 0 selects the default (96); the beam is
+	// always at least k, and when it would cover the whole corpus the
+	// query delegates to the exact scan.
+	HNSWEf int
+	// HNSWEfConstruct is the construction-time beam width of an
+	// IndexHNSW index (0 = default 128). Wider construction beams find
+	// better neighbors — higher recall per unit of query beam — at
+	// build-time cost.
+	HNSWEfConstruct int
 
 	// SegmentMaxDocs caps the mutable delta segment of the segmented
 	// serving indexes: ingested documents accumulate in a small flat

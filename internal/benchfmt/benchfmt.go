@@ -29,6 +29,11 @@ type Result struct {
 	P99Ns       float64 `json:"p99_ns,omitempty"`
 	QPS         float64 `json:"qps,omitempty"`
 	Concurrency int     `json:"concurrency,omitempty"`
+	// RecallAt10 is the approximate index's recall@10 against the exact
+	// flat ranking over the benchmark fixture, reported by the ANN TopK
+	// benchmarks (IVF, SQ8, HNSW) via b.ReportMetric. Zero (omitted) for
+	// exact indexes and non-retrieval benchmarks.
+	RecallAt10 float64 `json:"recall_at_10,omitempty"`
 }
 
 // Entry is one trajectory point: the results of one run plus enough

@@ -48,4 +48,26 @@ func TestFingerprintDistinguishesConfigurations(t *testing.T) {
 			t.Errorf("IVF fingerprint ignores %s change", name)
 		}
 	}
+
+	// Every kind tag must keep the kinds pairwise disjoint over the same
+	// flat: a cache keyed on the fingerprint must never serve one kind's
+	// results for another.
+	sq8 := NewIndexSQ8(flat, 2)
+	hnsw := NewHNSW(flat, HNSWOptions{Seed: 1})
+	fps := map[string]uint64{
+		"flat": flat.Fingerprint(),
+		"ivf":  ivf.Fingerprint(),
+		"sq8":  sq8.Fingerprint(),
+		"hnsw": hnsw.Fingerprint(),
+	}
+	seen := map[uint64]string{}
+	for kind, fp := range fps {
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s and %s fingerprints collide: %#x", kind, prev, fp)
+		}
+		seen[fp] = kind
+	}
+	if NewHNSW(flat, HNSWOptions{Seed: 1}).Fingerprint() != hnsw.Fingerprint() {
+		t.Error("equal HNSW configurations disagree")
+	}
 }

@@ -1,0 +1,695 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/tdmatch/tdmatch/internal/embed"
+)
+
+// HNSW is a hierarchical navigable-small-world graph index, the third
+// approximate serving kind next to IVF and SQ8: each indexed row is a
+// graph node with at most M neighbors per layer (2M on layer 0), upper
+// layers form an exponentially sparser hierarchy, and a query descends
+// the hierarchy greedily before an ef-bounded best-first beam over
+// layer 0 collects the candidate pool. Search cost is O(ef · degree ·
+// dim) regardless of corpus size — the sublinear floor the O(rows)
+// scans (flat, SQ8) cannot reach — and the collected candidates are
+// re-ranked exactly against the retained float32 arena with the same
+// dot kernel as every other path, so ties keep the strict
+// (score desc, ID asc) order.
+//
+// Construction is deterministic: node levels come from a seeded
+// splitmix generator keyed off (seed, row), and insertion order is row
+// order, so two builds over the same arena produce identical graphs —
+// the property the byte-identical snapshot contract relies on.
+// Like the other kinds, an HNSW index is safe for concurrent queries
+// once built; Append and Remove are not safe concurrently with queries.
+type HNSW struct {
+	flat *Index
+	m    int // degree cap on layers > 0; layer 0 allows 2m
+	ef   int // query beam width
+	efc  int // construction beam width
+	seed int64
+
+	levels    []int32   // per-row top layer (0-based)
+	listStart []int32   // first list index of row i (len rows+1); row i's layer-l list is links[listStart[i]+l]
+	links     [][]int32 // per-(row, layer) neighbor lists
+	entry     int32     // descent entry point: the highest-level row, -1 while empty
+	maxLevel  int32
+
+	// borrowed marks levels and the neighbor lists as read-only views of
+	// a mapped snapshot section; the first mutation promotes them to heap
+	// copies instead of writing through (same contract as Index.borrowed).
+	borrowed bool
+
+	scratchPool sync.Pool
+}
+
+var _ VectorIndex = (*HNSW)(nil)
+
+// Default HNSW tuning: M=16 with efConstruct=128 builds a graph whose
+// ef=96 beam holds recall@10 >= 0.95 on corpora at the paper's scale
+// while scoring a few thousand rows per query instead of all of them.
+const (
+	DefaultHNSWM           = 16
+	DefaultHNSWEf          = 96
+	DefaultHNSWEfConstruct = 128
+
+	// hnswMaxLevel bounds the hierarchy depth (level overflow would need
+	// ~16^24 rows).
+	hnswMaxLevel = 24
+)
+
+// HNSWOptions tunes HNSW construction and search. Zero values select
+// the defaults above.
+type HNSWOptions struct {
+	// M caps the neighbor count per node on layers above 0; layer 0
+	// allows 2M. Larger M raises recall and memory per node.
+	M int
+	// Ef is the query-time beam width: the layer-0 search keeps the best
+	// Ef candidates seen, all of which feed the exact re-rank. Raised to
+	// k when k exceeds it.
+	Ef int
+	// EfConstruct is the construction-time beam width: wider beams find
+	// better neighbors and build better graphs, at build-time cost.
+	EfConstruct int
+	// Seed drives the level generator; equal seeds give equal graphs.
+	Seed int64
+}
+
+// withDefaults resolves zero options to the package defaults.
+func (o HNSWOptions) withDefaults() HNSWOptions {
+	if o.M <= 0 {
+		o.M = DefaultHNSWM
+	}
+	if o.Ef <= 0 {
+		o.Ef = DefaultHNSWEf
+	}
+	if o.EfConstruct <= 0 {
+		o.EfConstruct = DefaultHNSWEfConstruct
+	}
+	if o.EfConstruct < o.M {
+		o.EfConstruct = o.M
+	}
+	return o
+}
+
+// hnswLevelFor draws row i's top layer from the seeded geometric level
+// distribution with p = 1/m — the deterministic stand-in for the
+// paper's floor(-ln(U)·mL) draw (identical distribution, integer-only
+// arithmetic, reproducible across platforms).
+func hnswLevelFor(seed int64, m, i int) int32 {
+	state := splitmix(uint64(seed) ^ splitmix(uint64(i)+0x686e7377)) // "hnsw"
+	var lvl int32
+	for lvl < hnswMaxLevel && state%uint64(m) == 0 {
+		lvl++
+		state = splitmix(state)
+	}
+	return lvl
+}
+
+// NewHNSW builds the graph over the flat index's rows, inserting them
+// in row order with seeded levels. The flat index is retained (not
+// copied): beam candidates and the exact re-rank score straight out of
+// its arena, and Flat exposes it for exact paths. Tombstoned rows are
+// not inserted.
+func NewHNSW(flat *Index, o HNSWOptions) *HNSW {
+	o = o.withDefaults()
+	x := &HNSW{
+		flat:  flat,
+		m:     o.M,
+		ef:    o.Ef,
+		efc:   o.EfConstruct,
+		seed:  o.Seed,
+		entry: -1,
+	}
+	n := flat.rows()
+	x.levels = make([]int32, n)
+	x.listStart = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		lvl := hnswLevelFor(o.Seed, o.M, i)
+		x.levels[i] = lvl
+		x.listStart[i+1] = x.listStart[i] + lvl + 1
+	}
+	x.links = make([][]int32, x.listStart[n])
+	for i := 0; i < n; i++ {
+		if flat.isDead(i) {
+			continue
+		}
+		x.connect(int32(i))
+	}
+	return x
+}
+
+// NewHNSWParts builds an HNSW index that adopts a prebuilt graph —
+// per-row levels plus the flattened CSR adjacency (offs, adj) produced
+// by Levels/FlattenLinks at save time — instead of re-inserting every
+// row: the zero-copy binding path for snapshot sections. levels, offs
+// and adj may be read-only borrowed backing (e.g. a PROT_READ mmap):
+// mutations promote them to heap copies first.
+func NewHNSWParts(flat *Index, levels, offs, adj []int32, o HNSWOptions) (*HNSW, error) {
+	o = o.withDefaults()
+	n := flat.rows()
+	if len(levels) != n {
+		return nil, fmt.Errorf("match: hnsw levels hold %d entries for %d rows", len(levels), n)
+	}
+	x := &HNSW{
+		flat:     flat,
+		m:        o.M,
+		ef:       o.Ef,
+		efc:      o.EfConstruct,
+		seed:     o.Seed,
+		entry:    -1,
+		levels:   levels,
+		borrowed: true,
+	}
+	x.listStart = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		lvl := levels[i]
+		if lvl < 0 || lvl > hnswMaxLevel {
+			return nil, fmt.Errorf("match: hnsw level %d of row %d out of range", lvl, i)
+		}
+		x.listStart[i+1] = x.listStart[i] + lvl + 1
+		if lvl > x.maxLevel || (lvl == x.maxLevel && x.entry < 0) {
+			x.maxLevel = lvl
+			x.entry = int32(i)
+		}
+	}
+	lists := int(x.listStart[n])
+	if len(offs) != lists+1 {
+		return nil, fmt.Errorf("match: hnsw offsets hold %d entries for %d lists", len(offs), lists)
+	}
+	if lists > 0 && offs[0] != 0 {
+		return nil, fmt.Errorf("match: hnsw offsets start at %d", offs[0])
+	}
+	x.links = make([][]int32, lists)
+	for j := 0; j < lists; j++ {
+		lo, hi := offs[j], offs[j+1]
+		if lo > hi || int(hi) > len(adj) {
+			return nil, fmt.Errorf("match: hnsw offsets corrupt at list %d (%d..%d of %d)", j, lo, hi, len(adj))
+		}
+		// Three-index subslices: cap == len, so a post-promotion append can
+		// never grow into the mapped arena.
+		x.links[j] = adj[lo:hi:hi]
+	}
+	if lists > 0 && int(offs[lists]) != len(adj) {
+		return nil, fmt.Errorf("match: hnsw adjacency holds %d entries, offsets end at %d", len(adj), offs[lists])
+	}
+	for _, l := range x.links {
+		for _, nb := range l {
+			if nb < 0 || int(nb) >= n {
+				return nil, fmt.Errorf("match: hnsw neighbor %d out of range for %d rows", nb, n)
+			}
+		}
+	}
+	return x, nil
+}
+
+// promote copies borrowed graph storage (levels and every neighbor
+// list) to private heap slices before the first mutation, so a mapped
+// snapshot section is never written through.
+func (x *HNSW) promote() {
+	if !x.borrowed {
+		return
+	}
+	x.levels = append([]int32(nil), x.levels...)
+	links := make([][]int32, len(x.links))
+	for j, l := range x.links {
+		links[j] = append([]int32(nil), l...)
+	}
+	x.links = links
+	x.borrowed = false
+}
+
+// Borrowed reports whether the graph storage is still read-only
+// borrowed backing (no mutation has promoted it yet).
+func (x *HNSW) Borrowed() bool { return x.borrowed }
+
+// Flat returns the exact index the graph was built over.
+func (x *HNSW) Flat() *Index { return x.flat }
+
+// M returns the per-layer degree cap (layer 0 allows 2M).
+func (x *HNSW) M() int { return x.m }
+
+// Ef returns the query-time beam width.
+func (x *HNSW) Ef() int { return x.ef }
+
+// EfConstruct returns the construction-time beam width.
+func (x *HNSW) EfConstruct() int { return x.efc }
+
+// Seed returns the level-generator seed.
+func (x *HNSW) Seed() int64 { return x.seed }
+
+// MaxLevel returns the top layer of the hierarchy (0 for a flat graph).
+func (x *HNSW) MaxLevel() int { return int(x.maxLevel) }
+
+// AvgDegree returns the mean layer-0 neighbor count per row — the
+// stats surface of graph density.
+func (x *HNSW) AvgDegree() float64 {
+	n := x.flat.rows()
+	if n == 0 {
+		return 0
+	}
+	edges := 0
+	for i := 0; i < n; i++ {
+		edges += len(x.links[x.listStart[i]])
+	}
+	return float64(edges) / float64(n)
+}
+
+// Levels returns the per-row level assignments. Callers must not
+// mutate them; the snapshot writer serializes them directly.
+func (x *HNSW) Levels() []int32 { return x.levels }
+
+// FlattenLinks returns the adjacency in CSR form — cumulative offsets
+// (one per (row, layer) list, in row-major layer order, plus a final
+// total) and the concatenated neighbor arena — the shape the snapshot
+// writer serializes and NewHNSWParts adopts.
+func (x *HNSW) FlattenLinks() (offs, adj []int32) {
+	offs = make([]int32, len(x.links)+1)
+	total := 0
+	for j, l := range x.links {
+		total += len(l)
+		offs[j+1] = int32(total)
+	}
+	adj = make([]int32, 0, total)
+	for _, l := range x.links {
+		adj = append(adj, l...)
+	}
+	return offs, adj
+}
+
+// m0 returns the layer-0 degree cap.
+func (x *HNSW) m0() int { return 2 * x.m }
+
+// neighborList returns row i's layer-l neighbor list.
+func (x *HNSW) neighborList(i, l int32) []int32 {
+	return x.links[x.listStart[i]+l]
+}
+
+// connect inserts row i (whose level is already assigned) into the
+// graph: greedy descent to the row's level, then per-layer beam search,
+// heuristic neighbor selection and bidirectional linking with degree-cap
+// pruning.
+func (x *HNSW) connect(i int32) {
+	if x.entry < 0 {
+		x.entry = i
+		x.maxLevel = x.levels[i]
+		return
+	}
+	q := x.flat.row(int(i))
+	lvl := x.levels[i]
+	ep := x.entry
+	for l := x.maxLevel; l > lvl; l-- {
+		ep = x.greedy(q, ep, l)
+	}
+	sc := x.scratch()
+	eps := []int32{ep}
+	top := lvl
+	if top > x.maxLevel {
+		top = x.maxLevel
+	}
+	for l := top; l >= 0; l-- {
+		poss, scores := x.searchLayer(q, eps, x.efc, l, sc)
+		cap := x.m
+		if l == 0 {
+			cap = x.m0()
+		}
+		sel := x.selectNeighbors(poss, scores, cap)
+		x.links[x.listStart[i]+l] = sel
+		for _, nb := range sel {
+			x.addLink(nb, l, i, cap)
+		}
+		eps = poss
+	}
+	x.putScratch(sc)
+	if lvl > x.maxLevel {
+		x.entry = i
+		x.maxLevel = lvl
+	}
+}
+
+// selectNeighbors applies the diversity heuristic to a best-first
+// candidate list: a candidate is kept only when it is closer to the
+// base row than to every already-kept neighbor, so the selected set
+// spreads over distinct directions instead of clustering; remaining
+// slots are refilled from the pruned candidates in rank order.
+func (x *HNSW) selectNeighbors(poss []int32, scores []float32, m int) []int32 {
+	sel := make([]int32, 0, m)
+	var pruned []int32
+	for idx, c := range poss {
+		if len(sel) == m {
+			break
+		}
+		keep := true
+		for _, s := range sel {
+			if dotOne(x.flat.row(int(c)), x.flat.row(int(s))) > scores[idx] {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			sel = append(sel, c)
+		} else {
+			pruned = append(pruned, c)
+		}
+	}
+	for len(sel) < m && len(pruned) > 0 {
+		sel = append(sel, pruned[0])
+		pruned = pruned[1:]
+	}
+	return sel
+}
+
+// addLink adds i to nb's layer-l neighbor list, re-running the
+// selection heuristic when the list overflows its degree cap.
+func (x *HNSW) addLink(nb, l, i int32, m int) {
+	j := x.listStart[nb] + l
+	list := append(x.links[j], i)
+	if len(list) > m {
+		base := x.flat.row(int(nb))
+		scores := make([]float32, len(list))
+		for idx, c := range list {
+			scores[idx] = dotOne(x.flat.row(int(c)), base)
+		}
+		x.sortByScore(list, scores)
+		list = x.selectNeighbors(list, scores, m)
+	}
+	x.links[j] = list
+}
+
+// sortByScore orders parallel (position, score) slices best-first:
+// score descending, ties by ascending ID — the same strict total order
+// every selection path uses.
+func (x *HNSW) sortByScore(poss []int32, scores []float32) {
+	sort.Sort(&posByScore{poss: poss, scores: scores, ids: x.flat.ids})
+}
+
+type posByScore struct {
+	poss   []int32
+	scores []float32
+	ids    []string
+}
+
+func (p *posByScore) Len() int { return len(p.poss) }
+func (p *posByScore) Less(i, j int) bool {
+	if p.scores[i] != p.scores[j] {
+		return p.scores[i] > p.scores[j]
+	}
+	return p.ids[p.poss[i]] < p.ids[p.poss[j]]
+}
+func (p *posByScore) Swap(i, j int) {
+	p.poss[i], p.poss[j] = p.poss[j], p.poss[i]
+	p.scores[i], p.scores[j] = p.scores[j], p.scores[i]
+}
+
+// greedy walks layer l from ep to the locally best row: repeatedly move
+// to the neighbor scoring strictly higher than the current row (ties
+// never move, so the walk is cycle-free and deterministic).
+func (x *HNSW) greedy(q []float32, ep, l int32) int32 {
+	cur := ep
+	curScore := dotOne(x.flat.row(int(cur)), q)
+	for {
+		next := cur
+		for _, nb := range x.neighborList(cur, l) {
+			if s := dotOne(x.flat.row(int(nb)), q); s > curScore {
+				next, curScore = nb, s
+			}
+		}
+		if next == cur {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// searchLayer runs the ef-bounded best-first beam over layer l from the
+// given entry points: a max-ordered frontier expands the best
+// unexplored candidate while it can still improve the current best-w
+// set, every visited row is scored once with the shared dot kernel, and
+// the surviving w candidates return best-first (score desc, ID asc).
+// Tombstoned rows are traversed — their edges keep the graph connected
+// — but the callers' exact re-rank excludes them from rankings.
+func (x *HNSW) searchLayer(q []float32, eps []int32, w int, l int32, sc *hnswScratch) ([]int32, []float32) {
+	sc.reset()
+	best := newTopkHeap(make([]float32, w), make([]int32, w), x.flat.ids, w)
+	var f hnswFrontier
+	for _, ep := range eps {
+		if !sc.visit(ep) {
+			continue
+		}
+		s := dotOne(x.flat.row(int(ep)), q)
+		best.consider(s, ep)
+		f.push(s, ep)
+	}
+	for len(f.pos) > 0 {
+		s, c := f.pop()
+		if best.n == best.k && s < best.score[0] {
+			break
+		}
+		for _, nb := range x.neighborList(c, l) {
+			if !sc.visit(nb) {
+				continue
+			}
+			sn := dotOne(x.flat.row(int(nb)), q)
+			if best.n < best.k || sn >= best.score[0] {
+				f.push(sn, nb)
+				best.consider(sn, nb)
+			}
+		}
+	}
+	poss := make([]int32, best.n)
+	scores := make([]float32, best.n)
+	copy(poss, best.pos[:best.n])
+	copy(scores, best.score[:best.n])
+	x.sortByScore(poss, scores)
+	return poss, scores
+}
+
+// hnswFrontier is the expansion frontier of one beam search: a binary
+// max-heap over (score, position) with higher scores first and ties by
+// lower position, so expansion order is deterministic.
+type hnswFrontier struct {
+	score []float32
+	pos   []int32
+}
+
+func (f *hnswFrontier) better(i, j int) bool {
+	if f.score[i] != f.score[j] {
+		return f.score[i] > f.score[j]
+	}
+	return f.pos[i] < f.pos[j]
+}
+
+func (f *hnswFrontier) push(s float32, p int32) {
+	f.score = append(f.score, s)
+	f.pos = append(f.pos, p)
+	i := len(f.pos) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !f.better(i, parent) {
+			break
+		}
+		f.swap(i, parent)
+		i = parent
+	}
+}
+
+func (f *hnswFrontier) pop() (float32, int32) {
+	s, p := f.score[0], f.pos[0]
+	n := len(f.pos) - 1
+	f.score[0], f.pos[0] = f.score[n], f.pos[n]
+	f.score, f.pos = f.score[:n], f.pos[:n]
+	i := 0
+	for {
+		bestI := i
+		if l := 2*i + 1; l < n && f.better(l, bestI) {
+			bestI = l
+		}
+		if r := 2*i + 2; r < n && f.better(r, bestI) {
+			bestI = r
+		}
+		if bestI == i {
+			return s, p
+		}
+		f.swap(i, bestI)
+		i = bestI
+	}
+}
+
+func (f *hnswFrontier) swap(i, j int) {
+	f.score[i], f.score[j] = f.score[j], f.score[i]
+	f.pos[i], f.pos[j] = f.pos[j], f.pos[i]
+}
+
+// hnswScratch is the per-search visited set: a stamp array instead of a
+// bitmap, so a pooled scratch resets in O(1) between searches.
+type hnswScratch struct {
+	stamp   uint32
+	visited []uint32
+}
+
+// visit marks row p visited, reporting true the first time.
+func (s *hnswScratch) visit(p int32) bool {
+	if s.visited[p] == s.stamp {
+		return false
+	}
+	s.visited[p] = s.stamp
+	return true
+}
+
+// reset starts a fresh visited generation in O(1), clearing the array
+// only on the (2^32nd) stamp wrap where stale stamps could alias.
+func (s *hnswScratch) reset() {
+	s.stamp++
+	if s.stamp == 0 {
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.stamp = 1
+	}
+}
+
+// scratch leases a visited set covering the current row count.
+func (x *HNSW) scratch() *hnswScratch {
+	n := x.flat.rows()
+	sc, _ := x.scratchPool.Get().(*hnswScratch)
+	if sc == nil || len(sc.visited) < n {
+		sc = &hnswScratch{visited: make([]uint32, n)}
+	}
+	return sc
+}
+
+func (x *HNSW) putScratch(sc *hnswScratch) { x.scratchPool.Put(sc) }
+
+// Len returns the number of live indexed documents.
+func (x *HNSW) Len() int { return x.flat.Len() }
+
+// IDs returns the indexed document IDs in index order.
+func (x *HNSW) IDs() []string { return x.flat.IDs() }
+
+// Dim returns the vector dimensionality.
+func (x *HNSW) Dim() int { return x.flat.Dim() }
+
+// fingerprintHNSW is the kind tag keeping HNSW digests disjoint from
+// flat, IVF, SQ8 and segmented ones.
+const fingerprintHNSW uint64 = 0x6e57
+
+// Fingerprint returns the serving-configuration digest of the graph
+// index: the underlying flat fingerprint mixed with the HNSW kind tag
+// and every tuning knob, so re-tuning M/ef — or re-seeding the level
+// generator — invalidates fingerprint-keyed result caches.
+func (x *HNSW) Fingerprint() uint64 {
+	return mixFingerprint(fingerprintHNSW, x.flat.Fingerprint(),
+		uint64(x.m), uint64(x.ef), uint64(x.efc), uint64(x.seed))
+}
+
+// Append adds documents to the underlying flat index and inserts each
+// new row into the graph at its seeded level — insert-on-append, no
+// rebuild: existing neighbor lists change only where the degree-cap
+// pruning touches them.
+func (x *HNSW) Append(ids []string, arena []float32) error {
+	base := x.flat.rows()
+	if err := x.flat.Append(ids, arena); err != nil {
+		return err
+	}
+	x.promote()
+	for i := range ids {
+		p := base + i
+		lvl := hnswLevelFor(x.seed, x.m, p)
+		x.levels = append(x.levels, lvl)
+		x.listStart = append(x.listStart, x.listStart[p]+lvl+1)
+		x.links = append(x.links, make([][]int32, lvl+1)...)
+		x.connect(int32(p))
+	}
+	return nil
+}
+
+// Remove tombstones the documents in the underlying flat index. Their
+// graph nodes stay — edges through them keep the beam connected — but
+// their zeroed rows score 0 in the beam and the exact re-rank excludes
+// them, so they never surface in rankings; the query beam widens by the
+// tombstone count to compensate for the dead rows it may collect.
+func (x *HNSW) Remove(ids []string) int { return x.flat.Remove(ids) }
+
+// CloneWithFlat returns an HNSW index over the given clone of the
+// underlying flat index, deep-copying the mutable graph — the ingest
+// clone-mutate-swap path.
+func (x *HNSW) CloneWithFlat(flat *Index) *HNSW {
+	nx := &HNSW{
+		flat:      flat,
+		m:         x.m,
+		ef:        x.ef,
+		efc:       x.efc,
+		seed:      x.seed,
+		levels:    append([]int32(nil), x.levels...),
+		listStart: append([]int32(nil), x.listStart...),
+		links:     make([][]int32, len(x.links)),
+		entry:     x.entry,
+		maxLevel:  x.maxLevel,
+	}
+	for j, l := range x.links {
+		nx.links[j] = append([]int32(nil), l...)
+	}
+	return nx
+}
+
+// beamWidth returns the layer-0 beam width for one query: ef raised to
+// k, widened by the tombstone count so dead rows collected by the beam
+// cannot starve the live candidate pool.
+func (x *HNSW) beamWidth(k int) int {
+	w := x.ef
+	if w < k {
+		w = k
+	}
+	return w + x.flat.nDead
+}
+
+// TopK returns the k targets most similar to query, best first with ID
+// tie-breaking: greedy hierarchy descent, an ef-bounded beam over
+// layer 0, then an exact float32 re-rank of the beam through the same
+// kernel as the flat scan.
+func (x *HNSW) TopK(query []float32, k int) []Scored {
+	return x.TopKBatch(oneQuery(query), k)[0]
+}
+
+// TopKBatch answers one TopK per query, position-aligned with queries
+// and identical to calling TopK per query. Beams are query-specific, so
+// the batch is served query by query; when the beam would cover every
+// live row anyway the whole batch delegates to the flat index's blocked
+// kernel, which is exact (the small-corpus regime where graph search
+// cannot win).
+func (x *HNSW) TopKBatch(queries [][]float32, k int) [][]Scored {
+	out := make([][]Scored, len(queries))
+	if k <= 0 || x.flat.Len() == 0 || len(queries) == 0 {
+		return out
+	}
+	if x.entry < 0 || x.beamWidth(k) >= x.flat.Len() {
+		return x.flat.TopKBatch(queries, k)
+	}
+	dim := x.flat.dim
+	qn := make([]float32, dim)
+	for qi, q := range queries {
+		copy(qn, q)
+		embed.Normalize(qn)
+		out[qi] = x.flat.topKPositions(qn, x.beamCandidates(qn, k), k)
+	}
+	return out
+}
+
+// beamCandidates runs the graph search for one normalized query and
+// returns the candidate positions of the layer-0 beam — the exact
+// re-rank pool. Shared by the serial path and the sharded planner, so
+// both rank from the same candidate set.
+func (x *HNSW) beamCandidates(qn []float32, k int) []int32 {
+	sc := x.scratch()
+	ep := x.entry
+	for l := x.maxLevel; l > 0; l-- {
+		ep = x.greedy(qn, ep, l)
+	}
+	poss, _ := x.searchLayer(qn, []int32{ep}, x.beamWidth(k), 0, sc)
+	x.putScratch(sc)
+	return poss
+}

@@ -1,0 +1,338 @@
+package match
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"github.com/tdmatch/tdmatch/internal/mmapfile"
+)
+
+// hnswGraphEqual compares two graphs structurally: levels and the
+// flattened CSR adjacency.
+func hnswGraphEqual(a, b *HNSW) bool {
+	ao, aa := a.FlattenLinks()
+	bo, ba := b.FlattenLinks()
+	return reflect.DeepEqual(a.Levels(), b.Levels()) &&
+		reflect.DeepEqual(ao, bo) && reflect.DeepEqual(aa, ba)
+}
+
+// TestHNSWDeterministicBuild: two builds over the same rows with the
+// same seed must produce identical graphs (the property byte-identical
+// snapshots rest on), and a different seed must produce a different
+// level assignment.
+func TestHNSWDeterministicBuild(t *testing.T) {
+	flat := randomIndex(t, 400, 16, 21)
+	a := NewHNSW(flat, HNSWOptions{Seed: 5})
+	b := NewHNSW(flat, HNSWOptions{Seed: 5})
+	if !hnswGraphEqual(a, b) {
+		t.Fatal("same-seed builds produced different graphs")
+	}
+	c := NewHNSW(flat, HNSWOptions{Seed: 6})
+	if reflect.DeepEqual(a.Levels(), c.Levels()) {
+		t.Fatal("different seeds produced identical level assignments")
+	}
+}
+
+// TestHNSWSmallCorpusMatchesFlatExactly: when the beam covers every
+// live row the batch delegates to the exact scan, so small corpora are
+// served bit-identically to flat.
+func TestHNSWSmallCorpusMatchesFlatExactly(t *testing.T) {
+	flat := randomIndex(t, 50, 16, 3)
+	h := NewHNSW(flat, HNSWOptions{Seed: 1}) // default ef=96 >= 50 rows
+	for qi := 0; qi < 50; qi += 5 {
+		q := flat.Vector(qi)
+		if got, want := h.TopK(q, 10), flat.TopK(q, 10); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: delegated HNSW diverged from flat\nflat: %v\nhnsw: %v", qi, want, got)
+		}
+	}
+}
+
+// TestHNSWRecall: the graph path (beam narrower than the corpus) must
+// hold recall@10 >= 0.95 against the exact scan on pseudo-random
+// vectors, and every score it reports must equal the exact float32
+// score (the re-rank envelope).
+func TestHNSWRecall(t *testing.T) {
+	flat := randomIndex(t, 2000, 32, 17)
+	h := NewHNSW(flat, HNSWOptions{Seed: 4})
+	if h.beamWidth(10) >= flat.Len() {
+		t.Fatal("beam covers the corpus; test would not exercise graph search")
+	}
+	hits, total := 0, 0
+	for qi := 0; qi < 2000; qi += 20 {
+		q := flat.Vector(qi)
+		exact := map[string]float64{}
+		for _, s := range flat.TopK(q, 10) {
+			exact[s.ID] = s.Score
+		}
+		for _, s := range h.TopK(q, 10) {
+			if want, ok := exact[s.ID]; ok {
+				hits++
+				if s.Score != want {
+					t.Fatalf("query %d: re-ranked score %v != exact %v for %s", qi, s.Score, want, s.ID)
+				}
+			}
+		}
+		total += 10
+	}
+	if recall := float64(hits) / float64(total); recall < 0.95 {
+		t.Fatalf("recall@10 = %.3f, want >= 0.95", recall)
+	}
+}
+
+// TestHNSWAppendRemove: insert-on-append makes new rows reachable
+// through the graph, and removed rows disappear from rankings while
+// their nodes keep routing the beam.
+func TestHNSWAppendRemove(t *testing.T) {
+	flat := randomIndex(t, 500, 16, 9)
+	h := NewHNSW(flat, HNSWOptions{M: 8, Ef: 32, EfConstruct: 48, Seed: 2})
+	if h.beamWidth(1) >= flat.Len() {
+		t.Fatal("beam covers the corpus; test would not exercise graph search")
+	}
+
+	// Append: each new row must be its own top-1.
+	extra := randomIndex(t, 8, 16, 77)
+	ids := make([]string, extra.rows())
+	for i := range ids {
+		ids[i] = "new-" + extra.IDs()[i]
+	}
+	if err := h.Append(ids, append([]float32(nil), extra.Arena()...)); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		got := h.TopK(extra.Vector(i), 1)
+		if len(got) != 1 || got[0].ID != id {
+			t.Fatalf("appended %s not found as its own top-1: %v", id, got)
+		}
+	}
+
+	// Remove: tombstoned rows never surface, results stay full-length.
+	doomed := []string{"d0007", "d0100", ids[3]}
+	if n := h.Remove(doomed); n != len(doomed) {
+		t.Fatalf("Remove = %d, want %d", n, len(doomed))
+	}
+	dead := map[string]bool{}
+	for _, id := range doomed {
+		dead[id] = true
+	}
+	for qi := 0; qi < 500; qi += 25 {
+		for _, s := range h.TopK(flat.Vector(qi), 10) {
+			if dead[s.ID] {
+				t.Fatalf("tombstoned %s served for query %d", s.ID, qi)
+			}
+		}
+	}
+	if want := 500 + 8 - 3; h.Len() != want {
+		t.Fatalf("Len = %d, want %d", h.Len(), want)
+	}
+}
+
+// TestHNSWCloneWithFlat: a clone over a cloned flat serves identically,
+// and mutating the clone leaves the original untouched.
+func TestHNSWCloneWithFlat(t *testing.T) {
+	flat := randomIndex(t, 300, 16, 13)
+	h := NewHNSW(flat, HNSWOptions{M: 8, Ef: 24, EfConstruct: 32, Seed: 3})
+	cl := h.CloneWithFlat(flat.Clone())
+	q := flat.Vector(7)
+	if got, want := cl.TopK(q, 10), h.TopK(q, 10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("clone diverged before mutation:\n got %v\nwant %v", got, want)
+	}
+	if err := cl.Append([]string{"zz"}, flat.Vector(0)); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Remove([]string{"d0007"}) != 1 {
+		t.Fatal("Remove on clone failed")
+	}
+	if h.Len() != 300 || cl.Len() != 300 {
+		t.Fatalf("lens diverged wrong: orig %d clone %d", h.Len(), cl.Len())
+	}
+	if !hnswGraphEqual(h, NewHNSW(flat, HNSWOptions{M: 8, Ef: 24, EfConstruct: 32, Seed: 3})) {
+		t.Fatal("mutating the clone changed the original graph")
+	}
+}
+
+// TestHNSWFingerprint: the digest must react to every tuning knob and
+// to flat mutations underneath.
+func TestHNSWFingerprint(t *testing.T) {
+	flat := randomIndex(t, 60, 8, 1)
+	base := NewHNSW(flat, HNSWOptions{Seed: 1}).Fingerprint()
+	if NewHNSW(flat, HNSWOptions{M: 8, Seed: 1}).Fingerprint() == base {
+		t.Fatal("M change kept the fingerprint")
+	}
+	if NewHNSW(flat, HNSWOptions{Ef: 33, Seed: 1}).Fingerprint() == base {
+		t.Fatal("ef change kept the fingerprint")
+	}
+	if NewHNSW(flat, HNSWOptions{EfConstruct: 222, Seed: 1}).Fingerprint() == base {
+		t.Fatal("efConstruct change kept the fingerprint")
+	}
+	if NewHNSW(flat, HNSWOptions{Seed: 2}).Fingerprint() == base {
+		t.Fatal("seed change kept the fingerprint")
+	}
+	h := NewHNSW(flat, HNSWOptions{Seed: 1})
+	if h.Remove([]string{flat.IDs()[0]}) != 1 {
+		t.Fatal("Remove failed")
+	}
+	if h.Fingerprint() == base {
+		t.Fatal("flat mutation kept the fingerprint")
+	}
+}
+
+// mapInt32s writes the given int32 slices to one file back to back,
+// maps it read-only, and returns the mapped views plus the file path —
+// the graph-section analogue of mapNormalizedArena.
+func mapInt32s(t *testing.T, parts ...[]int32) ([][]int32, string) {
+	t.Helper()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	buf := make([]byte, total*4)
+	off := 0
+	for _, p := range parts {
+		for _, v := range p {
+			binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+			off += 4
+		}
+	}
+	path := filepath.Join(t.TempDir(), "graph")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mmapfile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	data := m.Data()
+	all := unsafe.Slice((*int32)(unsafe.Pointer(&data[0])), total)
+	out := make([][]int32, len(parts))
+	off = 0
+	for i, p := range parts {
+		out[i] = all[off : off+len(p) : off+len(p)]
+		off += len(p)
+	}
+	return out, path
+}
+
+// TestBorrowedHNSWPartsMatchesBuilt: a graph bound from mapped CSR
+// sections must serve bit-identically to the built one, stay read-only
+// under queries and Remove (the graph is untouched), and promote to
+// heap copies on the first graph mutation (Append) without writing
+// through to the file.
+func TestBorrowedHNSWPartsMatchesBuilt(t *testing.T) {
+	flat := randomIndex(t, 300, 16, 31)
+	opts := HNSWOptions{M: 8, Ef: 24, EfConstruct: 32, Seed: 6}
+	built := NewHNSW(flat, opts)
+	offs, adj := built.FlattenLinks()
+	mapped, path := mapInt32s(t, built.Levels(), offs, adj)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bound, err := NewHNSWParts(flat.Clone(), mapped[0], mapped[1], mapped[2], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bound.Borrowed() {
+		t.Fatal("fresh parts-bound graph reports Borrowed() == false")
+	}
+	if bound.Fingerprint() != built.Fingerprint() {
+		t.Fatal("parts-bound fingerprint diverged from built")
+	}
+	for qi := 0; qi < 300; qi += 17 {
+		q := flat.Vector(qi)
+		if got, want := bound.TopK(q, 10), built.TopK(q, 10); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: parts-bound graph diverged\nbuilt: %v\nbound: %v", qi, want, got)
+		}
+	}
+	if !bound.Borrowed() {
+		t.Fatal("read path promoted the graph")
+	}
+
+	// Remove tombstones rows in the flat only; the mapped graph stays
+	// borrowed and the file untouched.
+	if n := bound.Remove([]string{"d0005"}); n != 1 {
+		t.Fatalf("Remove = %d, want 1", n)
+	}
+	if !bound.Borrowed() {
+		t.Fatal("Remove promoted the graph (it mutates only the flat)")
+	}
+
+	// Append inserts into the graph: must promote, not write through.
+	if err := bound.Append([]string{"zz"}, flat.Vector(0)); err != nil {
+		t.Fatal(err)
+	}
+	if bound.Borrowed() {
+		t.Fatal("Append did not promote the borrowed graph")
+	}
+	if got := bound.TopK(flat.Vector(0), 2); len(got) < 1 {
+		t.Fatalf("appended doc not served: %v", got)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("mutation wrote through to the mapped graph file")
+	}
+}
+
+// TestHNSWPartsValidation: corrupt section shapes must be rejected.
+func TestHNSWPartsValidation(t *testing.T) {
+	flat := randomIndex(t, 40, 8, 2)
+	opts := HNSWOptions{M: 4, Seed: 1}
+	built := NewHNSW(flat, opts)
+	offs, adj := built.FlattenLinks()
+	levels := built.Levels()
+
+	if _, err := NewHNSWParts(flat, levels[:len(levels)-1], offs, adj, opts); err == nil {
+		t.Fatal("short levels accepted")
+	}
+	if _, err := NewHNSWParts(flat, levels, offs[:len(offs)-1], adj, opts); err == nil {
+		t.Fatal("short offsets accepted")
+	}
+	if _, err := NewHNSWParts(flat, levels, offs, adj[:len(adj)-1], opts); err == nil {
+		t.Fatal("truncated adjacency accepted")
+	}
+	badLevels := append([]int32(nil), levels...)
+	badLevels[0] = -1
+	if _, err := NewHNSWParts(flat, badLevels, offs, adj, opts); err == nil {
+		t.Fatal("negative level accepted")
+	}
+	badAdj := append([]int32(nil), adj...)
+	badAdj[0] = int32(flat.rows())
+	if _, err := NewHNSWParts(flat, levels, offs, badAdj, opts); err == nil {
+		t.Fatal("out-of-range neighbor accepted")
+	}
+}
+
+// TestHNSWDegenerate covers empty indexes, k <= 0 and k above the live
+// count: the unsharded nil-result conventions must hold.
+func TestHNSWDegenerate(t *testing.T) {
+	empty, err := NewIndex(nil, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHNSW(empty, HNSWOptions{})
+	q := make([]float32, 8)
+	q[0] = 1
+	if got := h.TopK(q, 3); got != nil {
+		t.Errorf("empty-index TopK = %v, want nil", got)
+	}
+	if err := h.Append([]string{"a", "b"}, []float32{1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.TopK(q, 0); got != nil {
+		t.Errorf("k=0 TopK = %v, want nil", got)
+	}
+	if got := h.TopK(q, 10); len(got) != 2 {
+		t.Errorf("k>live TopK returned %d results, want 2", len(got))
+	}
+	if got := h.TopKBatch(nil, 3); len(got) != 0 {
+		t.Errorf("empty-batch TopKBatch = %v, want empty", got)
+	}
+}

@@ -101,6 +101,8 @@ func segFlat(v VectorIndex) *Index {
 		return ix.flat
 	case *IndexSQ8:
 		return ix.flat
+	case *HNSW:
+		return ix.flat
 	case *Sharded:
 		return ix.flat
 	default:
@@ -355,8 +357,8 @@ func (s *Segmented) Seal() error {
 // AppendSealed pushes a pre-built sealed segment onto the top of the
 // stack without going through the delta — the snapshot binding path,
 // which reconstructs sealed segments directly over mapped arenas. The
-// segment must wrap a supported flat type (Index, IVF, IndexSQ8, or a
-// Sharded of one of those) of the stack's dimensionality; the caller
+// segment must wrap a supported flat type (Index, IVF, IndexSQ8, HNSW,
+// or a Sharded of one of those) of the stack's dimensionality; the caller
 // guarantees its IDs do not collide with other segments (the snapshot
 // writer serialized a consistent manifest, and section checksums
 // reject torn files).

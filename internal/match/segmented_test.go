@@ -70,6 +70,9 @@ func sealFuncFor(cfg segPropConfig) SealFunc {
 			idx = NewIVF(flat, IVFOptions{Clusters: 3, ExactRecall: true, Seed: 11 + int64(ordinal)})
 		case "sq8":
 			idx = NewIndexSQ8(flat, 1<<20) // rerank pool covers any segment: exact
+		case "hnsw":
+			// A beam wider than any segment delegates to the exact scan.
+			idx = NewHNSW(flat, HNSWOptions{M: 4, EfConstruct: 16, Ef: 1 << 20, Seed: 11 + int64(ordinal)})
 		}
 		if cfg.shards > 1 {
 			sh, err := NewSharded(idx, cfg.shards, 2)
@@ -279,9 +282,9 @@ func shrinkSeq(cfg segPropConfig, ops []segOp, queries [][]float32, k int) []seg
 // the full kind × shards matrix. On failure it reports the shrunk
 // minimal op sequence together with the seed that regenerates it.
 func TestSegmentedPropertyParity(t *testing.T) {
-	kinds := []string{"flat", "ivf", "sq8"}
+	kinds := []string{"flat", "ivf", "sq8", "hnsw"}
 	shardCounts := []int{1, 8}
-	const itersPerCell = 36 // 3 kinds × 2 shardings × 36 = 216 interleavings
+	const itersPerCell = 36 // 4 kinds × 2 shardings × 36 = 288 interleavings
 	total := 0
 	for _, kind := range kinds {
 		for _, shards := range shardCounts {

@@ -9,7 +9,7 @@ import (
 	"github.com/tdmatch/tdmatch/internal/embed"
 )
 
-// Sharded is a scatter-gather wrapper over a flat, IVF or SQ8 index: the
+// Sharded is a scatter-gather wrapper over a flat, IVF, SQ8 or HNSW index: the
 // arena's row range is partitioned into contiguous shards, a query batch
 // is scored per shard (each shard runs the same blocked kernels the
 // unsharded index would, restricted to its row range), and the per-shard
@@ -68,11 +68,13 @@ func flatOf(inner VectorIndex) *Index {
 		return v.flat
 	case *IndexSQ8:
 		return v.flat
+	case *HNSW:
+		return v.flat
 	}
 	return nil
 }
 
-// NewSharded wraps a flat, IVF or SQ8 index for scatter-gather serving
+// NewSharded wraps a flat, IVF, SQ8 or HNSW index for scatter-gather serving
 // with the given shard count (clamped to at least 1; shards beyond the
 // row count are harmless and stay empty). workers bounds the scatter
 // concurrency of direct TopK/TopKBatch calls on the wrapper (<= 0
@@ -273,6 +275,8 @@ func (s *Sharded) Plan(queries [][]float32, k int) ShardPlan {
 		return s.planIVF(v, queries, k)
 	case *IndexSQ8:
 		return s.planSQ8(v, queries, k)
+	case *HNSW:
+		return s.planHNSW(v, queries, k)
 	default:
 		return s.planFlat(queries, k)
 	}
@@ -316,7 +320,7 @@ type flatPlan struct {
 	s     *Sharded
 	x     *Index
 	b, k  int
-	qs    []float32   // normalized queries, row-major
+	qs    []float32    // normalized queries, row-major
 	parts [][]topkHeap // per-shard per-query selection heaps
 }
 
@@ -590,6 +594,105 @@ func (p *sq8Plan) RunShard(si int) {
 		}
 	}
 	p.parts[si] = heaps
+}
+
+// planHNSW prepares a graph-searched batch: the greedy descent and the
+// ef-bounded layer-0 beam run once per query at plan time — the same
+// candidate pool the unsharded path re-ranks — and the beam positions
+// are bucketed by shard for the scatter. When the beam would cover
+// every live row the plan delegates to the exact scan, mirroring
+// HNSW.TopKBatch's delegation.
+func (s *Sharded) planHNSW(v *HNSW, queries [][]float32, k int) ShardPlan {
+	b := len(queries)
+	if k <= 0 || v.flat.Len() == 0 || b == 0 {
+		return &emptyPlan{b: b}
+	}
+	if v.entry < 0 || v.beamWidth(k) >= v.flat.Len() {
+		return s.planFlat(queries, k)
+	}
+	dim := v.flat.dim
+	nsh := s.Shards()
+	p := &hnswPlan{
+		s:     s,
+		v:     v,
+		b:     b,
+		k:     k,
+		qs:    make([]float32, b*dim),
+		cands: make([][][]int32, nsh),
+		parts: make([][]topkHeap, nsh),
+	}
+	for si := range p.cands {
+		p.cands[si] = make([][]int32, b)
+	}
+	for i, q := range queries {
+		row := p.qs[i*dim : (i+1)*dim]
+		copy(row, q)
+		embed.Normalize(row)
+		for _, pos := range v.beamCandidates(row, k) {
+			si := s.shardOf(pos)
+			p.cands[si][i] = append(p.cands[si][i], pos)
+		}
+	}
+	return p
+}
+
+// hnswPlan is the scatter state of one graph-searched batch.
+type hnswPlan struct {
+	s     *Sharded
+	v     *HNSW
+	b, k  int
+	qs    []float32   // normalized queries, row-major
+	cands [][][]int32 // [shard][query] beam positions
+	parts [][]topkHeap
+}
+
+// RunShard re-ranks each query's beam candidates that fall inside shard
+// si exactly against the float32 arena, skipping tombstones — the same
+// per-candidate kernel the unsharded re-rank uses.
+func (p *hnswPlan) RunShard(si int) {
+	p.s.note(si, p.b)
+	x := p.v.flat
+	dim := x.dim
+	heaps := make([]topkHeap, p.b)
+	for i := 0; i < p.b; i++ {
+		poss := p.cands[si][i]
+		if len(poss) == 0 {
+			continue
+		}
+		h := newTopkHeap(make([]float32, p.k), make([]int32, p.k), x.ids, p.k)
+		q := p.qs[i*dim : (i+1)*dim]
+		for _, pos := range poss {
+			if x.isDead(int(pos)) {
+				continue
+			}
+			h.consider(dotOne(x.row(int(pos)), q), pos)
+		}
+		heaps[i] = h
+	}
+	p.parts[si] = heaps
+}
+
+// Merge combines the per-shard beam heaps: every shard resident is
+// offered to one global size-k heap per query, whose strict total order
+// (score, then ID) reproduces the unsharded exact re-rank bit for bit.
+func (p *hnswPlan) Merge() [][]Scored {
+	out := make([][]Scored, p.b)
+	scoreBack := make([]float32, p.k)
+	posBack := make([]int32, p.k)
+	for i := 0; i < p.b; i++ {
+		g := newTopkHeap(scoreBack, posBack, p.v.flat.ids, p.k)
+		for _, heaps := range p.parts {
+			if heaps == nil {
+				continue
+			}
+			h := &heaps[i]
+			for j := 0; j < h.n; j++ {
+				g.consider(h.score[j], h.pos[j])
+			}
+		}
+		out[i] = g.results()
+	}
+	return out
 }
 
 // Merge selects each query's global top-r quantized candidates from the

@@ -8,7 +8,7 @@ import (
 
 // shardedKinds enumerates the wrappable index configurations the parity
 // tests cover: the exact scan, IVF under adaptive / strict / exhaustive
-// probing, and the quantized two-phase scan.
+// probing, the quantized two-phase scan, and the graph-searched beam.
 var shardedKinds = []struct {
 	name  string
 	build func(flat *Index) VectorIndex
@@ -24,6 +24,11 @@ var shardedKinds = []struct {
 		return NewIVF(flat, IVFOptions{Clusters: 6, ExactRecall: true, Seed: 3})
 	}},
 	{"sq8", func(flat *Index) VectorIndex { return NewIndexSQ8(flat, 2) }},
+	{"hnsw", func(flat *Index) VectorIndex {
+		// Small ef so the graph path (not the exact-scan delegation)
+		// carries most k values at this corpus size.
+		return NewHNSW(flat, HNSWOptions{M: 4, Ef: 8, EfConstruct: 16, Seed: 7})
+	}},
 }
 
 // shardedTestIndex builds one wrapped index over n deterministic vectors,

@@ -57,14 +57,19 @@ type savedModel struct {
 	Arena     []float32
 
 	// Serving-index choice, restored into the loaded model's Config. Seed
-	// is included so an approximate index is re-clustered exactly as the
-	// saved model's was.
-	Index       uint8
-	IVFClusters int
-	IVFNProbe   int
-	ExactRecall bool
-	SQ8Rerank   int
-	Seed        int64
+	// is included so an approximate index is re-clustered (or an HNSW
+	// graph re-built) exactly as the saved model's was. The HNSW knobs
+	// are newer additions to the version-5 layout: gob leaves them zero —
+	// meaning the defaults — when decoding older payloads.
+	Index           uint8
+	IVFClusters     int
+	IVFNProbe       int
+	ExactRecall     bool
+	SQ8Rerank       int
+	HNSWM           int
+	HNSWEf          int
+	HNSWEfConstruct int
+	Seed            int64
 
 	// Deltas is the version-4 delta chain, oldest first.
 	Deltas []savedDelta
@@ -134,25 +139,28 @@ func (m *Model) Save(w io.Writer) error {
 	termIDs, termArena := m.termVectors()
 	enc := gob.NewEncoder(w)
 	return enc.Encode(savedModel{
-		Version:        savedModelVersion,
-		Dim:            m.dim,
-		FirstName:      m.first.Name(),
-		SecondName:     m.second.Name(),
-		VectorIDs:      ids,
-		Arena:          arena,
-		Index:          uint8(m.cfg.Index),
-		IVFClusters:    m.cfg.IVFClusters,
-		IVFNProbe:      m.cfg.IVFNProbe,
-		ExactRecall:    m.cfg.ExactRecall,
-		SQ8Rerank:      m.cfg.SQ8Rerank,
-		Seed:           m.cfg.Seed,
-		Deltas:         m.deltas,
-		TermIDs:        termIDs,
-		TermArena:      termArena,
-		MaxNGram:       m.cfg.MaxNGram,
-		Staleness:      m.Staleness(),
-		FirstSegments:  m.savedSegments(m.firstIdx),
-		SecondSegments: m.savedSegments(m.secondIdx),
+		Version:         savedModelVersion,
+		Dim:             m.dim,
+		FirstName:       m.first.Name(),
+		SecondName:      m.second.Name(),
+		VectorIDs:       ids,
+		Arena:           arena,
+		Index:           uint8(m.cfg.Index),
+		IVFClusters:     m.cfg.IVFClusters,
+		IVFNProbe:       m.cfg.IVFNProbe,
+		ExactRecall:     m.cfg.ExactRecall,
+		SQ8Rerank:       m.cfg.SQ8Rerank,
+		HNSWM:           m.cfg.HNSWM,
+		HNSWEf:          m.cfg.HNSWEf,
+		HNSWEfConstruct: m.cfg.HNSWEfConstruct,
+		Seed:            m.cfg.Seed,
+		Deltas:          m.deltas,
+		TermIDs:         termIDs,
+		TermArena:       termArena,
+		MaxNGram:        m.cfg.MaxNGram,
+		Staleness:       m.Staleness(),
+		FirstSegments:   m.savedSegments(m.firstIdx),
+		SecondSegments:  m.savedSegments(m.secondIdx),
 	})
 }
 
@@ -419,18 +427,21 @@ func (s *Snapshot) Info() ModelInfo {
 		deltaDocs += len(d.Added) + len(d.Removed)
 	}
 	return ModelInfo{
-		Version:     s.sm.Version,
-		Dim:         s.sm.Dim,
-		FirstName:   s.sm.FirstName,
-		SecondName:  s.sm.SecondName,
-		Docs:        docs,
-		Index:       IndexKind(s.sm.Index),
-		IVFClusters: s.sm.IVFClusters,
-		IVFNProbe:   s.sm.IVFNProbe,
-		ExactRecall: s.sm.ExactRecall,
-		SQ8Rerank:   s.sm.SQ8Rerank,
-		DeltaDocs:   deltaDocs,
-		Staleness:   s.sm.Staleness,
+		Version:         s.sm.Version,
+		Dim:             s.sm.Dim,
+		FirstName:       s.sm.FirstName,
+		SecondName:      s.sm.SecondName,
+		Docs:            docs,
+		Index:           IndexKind(s.sm.Index),
+		IVFClusters:     s.sm.IVFClusters,
+		IVFNProbe:       s.sm.IVFNProbe,
+		ExactRecall:     s.sm.ExactRecall,
+		SQ8Rerank:       s.sm.SQ8Rerank,
+		HNSWM:           s.sm.HNSWM,
+		HNSWEf:          s.sm.HNSWEf,
+		HNSWEfConstruct: s.sm.HNSWEfConstruct,
+		DeltaDocs:       deltaDocs,
+		Staleness:       s.sm.Staleness,
 	}
 }
 
@@ -487,6 +498,9 @@ func (s *Snapshot) Bind(first, second *Corpus) (*Model, error) {
 	cfg.IVFNProbe = sm.IVFNProbe
 	cfg.ExactRecall = sm.ExactRecall
 	cfg.SQ8Rerank = sm.SQ8Rerank
+	cfg.HNSWM = sm.HNSWM
+	cfg.HNSWEf = sm.HNSWEf
+	cfg.HNSWEfConstruct = sm.HNSWEfConstruct
 	cfg.Seed = sm.Seed
 	if sm.MaxNGram > 0 {
 		cfg.MaxNGram = sm.MaxNGram
@@ -579,13 +593,17 @@ type ModelInfo struct {
 	// Docs is the number of stored document vectors (both sides).
 	Docs int
 	// Index is the persisted serving-index choice; IVFClusters,
-	// IVFNProbe and ExactRecall are its parameters under IndexIVF, and
-	// SQ8Rerank (0 = default) under IndexSQ8.
-	Index       IndexKind
-	IVFClusters int
-	IVFNProbe   int
-	ExactRecall bool
-	SQ8Rerank   int
+	// IVFNProbe and ExactRecall are its parameters under IndexIVF,
+	// SQ8Rerank (0 = default) under IndexSQ8, and HNSWM / HNSWEf /
+	// HNSWEfConstruct (0 = defaults) under IndexHNSW.
+	Index           IndexKind
+	IVFClusters     int
+	IVFNProbe       int
+	ExactRecall     bool
+	SQ8Rerank       int
+	HNSWM           int
+	HNSWEf          int
+	HNSWEfConstruct int
 	// DeltaDocs counts the documents in the snapshot's delta chain
 	// (ingested plus removed since the base corpora); Staleness is the
 	// saved model's un-compacted delta count.

@@ -136,6 +136,13 @@ func TestWritePersistFixtures(t *testing.T) {
 	if err := model.SaveFileV6(filepath.Join(persistFixtureDir, "v6.snap")); err != nil {
 		t.Fatal(err)
 	}
+
+	// v6hnsw: the same corpora served through the HNSW graph index — the
+	// only fixture carrying graph sections (levels, CSR offsets,
+	// adjacency), bound zero-copy via NewHNSWParts on load.
+	if err := persistFixtureHNSWModel(t).SaveFileV6(filepath.Join(persistFixtureDir, "v6hnsw.snap")); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // reSaved round-trips a model through Save and returns the decoded
@@ -178,6 +185,26 @@ func persistFixtureSegmentedModel(t *testing.T) *Model {
 		}
 	}
 	if err := model.Remove([]string{"reviews:seg1"}); err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// persistFixtureHNSWModel trains the deterministic HNSW fixture model:
+// the shared corpora served through a graph narrow enough (M 4, ef 8)
+// that the committed snapshot's adjacency sections are actually walked
+// at query time rather than delegated to the exact scan.
+func persistFixtureHNSWModel(t *testing.T) *Model {
+	t.Helper()
+	movies, reviews := fixtureCorpora(t)
+	cfg := smallConfig()
+	cfg.Workers = 1
+	cfg.Index = IndexHNSW
+	cfg.HNSWM = 4
+	cfg.HNSWEf = 8
+	cfg.HNSWEfConstruct = 16
+	model, err := Build(movies, reviews, cfg)
+	if err != nil {
 		t.Fatal(err)
 	}
 	return model
@@ -290,6 +317,51 @@ func TestSnapshotBackCompat(t *testing.T) {
 		}
 		if _, err := model.TopK("reviews:p3", 3); err == nil {
 			t.Error("removed document still servable after load")
+		}
+	})
+
+	// The HNSW fixture restores the graph index from its committed
+	// sections — borrowed, not rebuilt — and serves rankings identical
+	// to a live build with the same seed (the graph is deterministic, so
+	// approximate results are still reproducible).
+	t.Run("v6hnsw.snap", func(t *testing.T) {
+		f, err := os.Open(filepath.Join(persistFixtureDir, "v6hnsw.snap"))
+		if err != nil {
+			t.Fatalf("committed fixture missing (regenerate with -write-persist-fixtures): %v", err)
+		}
+		defer f.Close()
+		snap, err := ReadSnapshot(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := snap.Info()
+		if info.Version != 6 || info.Index != IndexHNSW {
+			t.Fatalf("fixture info = version %d index %v, want 6/hnsw", info.Version, info.Index)
+		}
+		if info.HNSWM != 4 || info.HNSWEf != 8 || info.HNSWEfConstruct != 16 {
+			t.Errorf("fixture HNSW knobs = %d/%d/%d, want 4/8/16", info.HNSWM, info.HNSWEf, info.HNSWEfConstruct)
+		}
+		movies, reviews := fixtureCorpora(t)
+		loaded, err := snap.Bind(movies, reviews)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := persistFixtureHNSWModel(t)
+		for _, q := range append(loaded.first.IDs(), loaded.second.IDs()...) {
+			if loaded.Vector(q) == nil {
+				continue
+			}
+			got, err := loaded.TopK(q, 3)
+			if err != nil {
+				t.Fatalf("TopK(%s): %v", q, err)
+			}
+			want, err := live.TopK(q, 3)
+			if err != nil {
+				t.Fatalf("live TopK(%s): %v", q, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("restored HNSW rankings diverge for %s:\ngot:  %v\nwant: %v", q, got, want)
+			}
 		}
 	})
 

@@ -69,6 +69,15 @@ const (
 	secSegArena    uint32 = 7 // sealed segment's normalized float32 rows
 	secSegCodes    uint32 = 8 // sealed segment's SQ8 int8 codes
 	secSegScales   uint32 = 9 // sealed segment's SQ8 float32 scales
+
+	// HNSW graph sections of one sealed segment (IndexHNSW models): the
+	// per-row level assignments and the flattened CSR adjacency
+	// (cumulative offsets + concatenated neighbor arena), all int32
+	// little-endian, bound read-only via match.NewHNSWParts with
+	// copy-on-write promotion on the first graph mutation.
+	secSegHNSWLevels uint32 = 10
+	secSegHNSWOffs   uint32 = 11
+	secSegHNSWAdj    uint32 = 12
 )
 
 // VerifyMode selects how much of a v6 snapshot OpenSnapshotFileVerify
@@ -91,20 +100,23 @@ const (
 // v6Meta is the JSON-encoded metadata section: everything the gob
 // savedModel carries outside the big arrays.
 type v6Meta struct {
-	Dim         int
-	FirstName   string
-	SecondName  string
-	Index       uint8
-	IVFClusters int
-	IVFNProbe   int
-	ExactRecall bool
-	SQ8Rerank   int
-	Seed        int64
-	MaxNGram    int
-	Staleness   int
-	Deltas      []savedDelta
-	FirstSegs   int
-	SecondSegs  int
+	Dim             int
+	FirstName       string
+	SecondName      string
+	Index           uint8
+	IVFClusters     int
+	IVFNProbe       int
+	ExactRecall     bool
+	SQ8Rerank       int
+	HNSWM           int `json:",omitempty"`
+	HNSWEf          int `json:",omitempty"`
+	HNSWEfConstruct int `json:",omitempty"`
+	Seed            int64
+	MaxNGram        int
+	Staleness       int
+	Deltas          []savedDelta
+	FirstSegs       int
+	SecondSegs      int
 }
 
 // v6Segment is one serving segment parsed from a v6 snapshot: sealed
@@ -116,6 +128,11 @@ type v6Segment struct {
 	arena  []float32
 	codes  []int8
 	scales []float32
+	// HNSW graph sections (IndexHNSW models): per-row levels plus the
+	// CSR adjacency, views into the mapping bound via NewHNSWParts.
+	levels []int32
+	offs   []int32
+	adj    []int32
 }
 
 // v6State is the parsed zero-copy payload a Snapshot carries for Bind.
@@ -241,6 +258,35 @@ func castF32(b []byte) ([]float32, error) {
 	return out, nil
 }
 
+// i32Bytes serializes an int32 slice little-endian.
+func i32Bytes(v []int32) []byte {
+	buf := make([]byte, len(v)*4)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(x))
+	}
+	return buf
+}
+
+// castI32 views a little-endian payload as []int32 without copying (on
+// little-endian hosts with aligned backing, same contract as castF32).
+func castI32(b []byte) ([]int32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("tdmatch: int32 section of %d bytes", len(b))
+	}
+	n := len(b) / 4
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
 // castI8 views a payload as []int8 in place (single-byte elements, no
 // endianness concern).
 func castI8(b []byte) []int8 {
@@ -289,20 +335,23 @@ func (m *Model) SaveV6(w io.Writer) error {
 	firstMan := m.segmentManifestFor(m.firstIdx, m.first.c)
 	secondMan := m.segmentManifestFor(m.secondIdx, m.second.c)
 	meta := v6Meta{
-		Dim:         m.dim,
-		FirstName:   m.first.Name(),
-		SecondName:  m.second.Name(),
-		Index:       uint8(m.cfg.Index),
-		IVFClusters: m.cfg.IVFClusters,
-		IVFNProbe:   m.cfg.IVFNProbe,
-		ExactRecall: m.cfg.ExactRecall,
-		SQ8Rerank:   m.cfg.SQ8Rerank,
-		Seed:        m.cfg.Seed,
-		MaxNGram:    m.cfg.MaxNGram,
-		Staleness:   m.Staleness(),
-		Deltas:      m.deltas,
-		FirstSegs:   len(firstMan),
-		SecondSegs:  len(secondMan),
+		Dim:             m.dim,
+		FirstName:       m.first.Name(),
+		SecondName:      m.second.Name(),
+		Index:           uint8(m.cfg.Index),
+		IVFClusters:     m.cfg.IVFClusters,
+		IVFNProbe:       m.cfg.IVFNProbe,
+		ExactRecall:     m.cfg.ExactRecall,
+		SQ8Rerank:       m.cfg.SQ8Rerank,
+		HNSWM:           m.cfg.HNSWM,
+		HNSWEf:          m.cfg.HNSWEf,
+		HNSWEfConstruct: m.cfg.HNSWEfConstruct,
+		Seed:            m.cfg.Seed,
+		MaxNGram:        m.cfg.MaxNGram,
+		Staleness:       m.Staleness(),
+		Deltas:          m.deltas,
+		FirstSegs:       len(firstMan),
+		SecondSegs:      len(secondMan),
 	}
 	metaJSON, err := json.Marshal(meta)
 	if err != nil {
@@ -332,10 +381,21 @@ func (m *Model) SaveV6(w io.Writer) error {
 				return err
 			}
 			add(secSegArena, key, f32Bytes(flat.Arena()))
-			if IndexKind(meta.Index) == IndexSQ8 {
+			switch IndexKind(meta.Index) {
+			case IndexSQ8:
 				q := match.NewIndexSQ8(flat, m.cfg.SQ8Rerank)
 				add(secSegCodes, key, i8Bytes(q.Codes()))
 				add(secSegScales, key, f32Bytes(q.Scales()))
+			case IndexHNSW:
+				// Rebuild the graph from the gathered rows with the same
+				// seed scheme the binder uses: construction is deterministic,
+				// so a load-and-resave cycle reproduces these sections byte
+				// for byte.
+				h := match.NewHNSW(flat, m.hnswOptions(side, ord))
+				offs, adj := h.FlattenLinks()
+				add(secSegHNSWLevels, key, i32Bytes(h.Levels()))
+				add(secSegHNSWOffs, key, i32Bytes(offs))
+				add(secSegHNSWAdj, key, i32Bytes(adj))
 			}
 		}
 	}
@@ -580,6 +640,27 @@ func parseV6(data []byte, mode VerifyMode, backing *mmapfile.Mapping) (*Snapshot
 						side+1, ord, len(segs[ord].codes), len(segs[ord].scales), len(ids))
 				}
 			}
+			levels, haveLevels := sections[v6SecKey{secSegHNSWLevels, key}]
+			offs, haveOffs := sections[v6SecKey{secSegHNSWOffs, key}]
+			adj, haveAdj := sections[v6SecKey{secSegHNSWAdj, key}]
+			if haveLevels != haveOffs || haveLevels != haveAdj {
+				return nil, fmt.Errorf("tdmatch: corrupt v6 snapshot: side-%d segment %d has a partial HNSW graph", side+1, ord)
+			}
+			if haveLevels {
+				if segs[ord].levels, err = castI32(levels); err != nil {
+					return nil, err
+				}
+				if segs[ord].offs, err = castI32(offs); err != nil {
+					return nil, err
+				}
+				if segs[ord].adj, err = castI32(adj); err != nil {
+					return nil, err
+				}
+				if len(segs[ord].levels) != len(ids) {
+					return nil, fmt.Errorf("tdmatch: corrupt v6 snapshot: side-%d segment %d carries %d HNSW levels for %d rows",
+						side+1, ord, len(segs[ord].levels), len(ids))
+				}
+			}
 		}
 		return segs, nil
 	}
@@ -611,23 +692,26 @@ func parseV6(data []byte, mode VerifyMode, backing *mmapfile.Mapping) (*Snapshot
 	}
 	return &Snapshot{
 		sm: savedModel{
-			Version:     savedModelVersionV6,
-			Dim:         meta.Dim,
-			FirstName:   meta.FirstName,
-			SecondName:  meta.SecondName,
-			VectorIDs:   docIDs,
-			Arena:       docArena,
-			Index:       meta.Index,
-			IVFClusters: meta.IVFClusters,
-			IVFNProbe:   meta.IVFNProbe,
-			ExactRecall: meta.ExactRecall,
-			SQ8Rerank:   meta.SQ8Rerank,
-			Seed:        meta.Seed,
-			Deltas:      meta.Deltas,
-			TermIDs:     termIDs,
-			TermArena:   termArena,
-			MaxNGram:    meta.MaxNGram,
-			Staleness:   meta.Staleness,
+			Version:         savedModelVersionV6,
+			Dim:             meta.Dim,
+			FirstName:       meta.FirstName,
+			SecondName:      meta.SecondName,
+			VectorIDs:       docIDs,
+			Arena:           docArena,
+			Index:           meta.Index,
+			IVFClusters:     meta.IVFClusters,
+			IVFNProbe:       meta.IVFNProbe,
+			ExactRecall:     meta.ExactRecall,
+			SQ8Rerank:       meta.SQ8Rerank,
+			HNSWM:           meta.HNSWM,
+			HNSWEf:          meta.HNSWEf,
+			HNSWEfConstruct: meta.HNSWEfConstruct,
+			Seed:            meta.Seed,
+			Deltas:          meta.Deltas,
+			TermIDs:         termIDs,
+			TermArena:       termArena,
+			MaxNGram:        meta.MaxNGram,
+			Staleness:       meta.Staleness,
 		},
 		v6:      &v6State{first: first, second: second},
 		backing: backing,
@@ -706,7 +790,7 @@ func (m *Model) bindSideV6(side int, segs []v6Segment) (match.VectorIndex, *matc
 	if err != nil {
 		return nil, nil, err
 	}
-	baseIdx, err := m.bindSegmentV6(base, side, 0, segs[0].codes, segs[0].scales)
+	baseIdx, err := m.bindSegmentV6(base, side, 0, segs[0])
 	if err != nil {
 		return nil, nil, err
 	}
@@ -725,7 +809,7 @@ func (m *Model) bindSideV6(side int, segs []v6Segment) (match.VectorIndex, *matc
 		if err != nil {
 			return nil, nil, err
 		}
-		idx, err := m.bindSegmentV6(flat, side, ordinal, seg.codes, seg.scales)
+		idx, err := m.bindSegmentV6(flat, side, ordinal, seg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -761,8 +845,8 @@ func (m *Model) bindFlatV6(seg v6Segment) (*match.Index, error) {
 // bindSegmentV6 wraps one sealed segment's flat index per the model's
 // index kind with the exact seed/stats behavior of serveIndex (ordinal
 // 0, the base) and sealFunc (ordinal >= 1), adopting precomputed SQ8
-// codes when the snapshot carries them.
-func (m *Model) bindSegmentV6(flat *match.Index, side, ordinal int, codes []int8, scales []float32) (match.VectorIndex, error) {
+// codes or a serialized HNSW graph when the snapshot carries them.
+func (m *Model) bindSegmentV6(flat *match.Index, side, ordinal int, seg v6Segment) (match.VectorIndex, error) {
 	var inner match.VectorIndex
 	switch m.cfg.Index {
 	case IndexIVF:
@@ -781,14 +865,25 @@ func (m *Model) bindSegmentV6(flat *match.Index, side, ordinal int, codes []int8
 		}
 		inner = ivf
 	case IndexSQ8:
-		if codes != nil {
-			q, err := match.NewIndexSQ8Parts(flat, codes, scales, m.cfg.SQ8Rerank)
+		if seg.codes != nil {
+			q, err := match.NewIndexSQ8Parts(flat, seg.codes, seg.scales, m.cfg.SQ8Rerank)
 			if err != nil {
 				return nil, err
 			}
 			inner = q
 		} else {
 			inner = match.NewIndexSQ8(flat, m.cfg.SQ8Rerank)
+		}
+	case IndexHNSW:
+		opts := m.hnswOptions(side, ordinal)
+		if seg.levels != nil {
+			h, err := match.NewHNSWParts(flat, seg.levels, seg.offs, seg.adj, opts)
+			if err != nil {
+				return nil, err
+			}
+			inner = h
+		} else {
+			inner = match.NewHNSW(flat, opts)
 		}
 	default:
 		inner = flat

@@ -31,10 +31,22 @@ var v6TestConfigs = []struct {
 		c.Index = IndexSQ8
 		c.SQ8Rerank = 6
 	}, false},
+	{"hnsw", func(c *Config) {
+		c.Index = IndexHNSW
+		c.HNSWM = 4
+		c.HNSWEf = 8
+		c.HNSWEfConstruct = 16
+	}, false},
 	{"segmented", func(c *Config) {}, true},
 	{"segmented-sq8", func(c *Config) {
 		c.Index = IndexSQ8
 		c.SQ8Rerank = 6
+	}, true},
+	{"segmented-hnsw", func(c *Config) {
+		c.Index = IndexHNSW
+		c.HNSWM = 4
+		c.HNSWEf = 8
+		c.HNSWEfConstruct = 16
 	}, true},
 }
 

@@ -377,6 +377,8 @@ func (m *Model) serveIndex(flat *match.Index, side int) match.VectorIndex {
 		inner = ivf
 	case IndexSQ8:
 		inner = match.NewIndexSQ8(flat, m.cfg.SQ8Rerank)
+	case IndexHNSW:
+		inner = match.NewHNSW(flat, m.hnswOptions(side, 0))
 	default:
 		inner = flat
 	}
@@ -402,6 +404,25 @@ func (m *Model) shardWrap(inner match.VectorIndex) match.VectorIndex {
 // segments apart from the base segment's and from each other.
 const segmentSeedStride = 1_000_003
 
+// hnswOptions resolves the HNSW construction options for one side's
+// segment at the given manifest ordinal: the base (ordinal 0) derives
+// its level-generator seed like serveIndex's clustering seed, sealed
+// deltas space theirs by segmentSeedStride exactly like IVF's. Shared
+// by the builder, the v6 snapshot writer and the v6 binder so a
+// load-and-resave cycle rebuilds identical graphs.
+func (m *Model) hnswOptions(side, ordinal int) match.HNSWOptions {
+	seed := m.cfg.Seed + int64(side) + 1
+	if ordinal > 0 {
+		seed += (int64(ordinal) + 1) * segmentSeedStride
+	}
+	return match.HNSWOptions{
+		M:           m.cfg.HNSWM,
+		Ef:          m.cfg.HNSWEf,
+		EfConstruct: m.cfg.HNSWEfConstruct,
+		Seed:        seed,
+	}
+}
+
 // sealFunc returns the stack's seal hook for one side: a freshly
 // sealed delta segment gets the same kind wrap as the base (IVF
 // clustering, SQ8 quantization, sharding when large enough), with a
@@ -422,6 +443,13 @@ func (m *Model) sealFunc(side int) match.SealFunc {
 			})
 		case IndexSQ8:
 			inner = match.NewIndexSQ8(flat, cfg.SQ8Rerank)
+		case IndexHNSW:
+			inner = match.NewHNSW(flat, match.HNSWOptions{
+				M:           cfg.HNSWM,
+				Ef:          cfg.HNSWEf,
+				EfConstruct: cfg.HNSWEfConstruct,
+				Seed:        cfg.Seed + int64(side) + 1 + (int64(ordinal)+1)*segmentSeedStride,
+			})
 		default:
 			inner = flat
 		}
@@ -522,6 +550,48 @@ func segmentStatsOf(idx match.VectorIndex) SegmentStats {
 		DeltaDocs:  seg.DeltaLen(),
 		Tombstones: seg.Tombstones(),
 	}
+}
+
+// IndexStats identifies one side's serving index for monitoring: the
+// configured kind plus resident/live row counts, and the graph shape
+// when the side serves HNSW.
+type IndexStats struct {
+	// Kind is the serving index kind ("flat", "ivf", "sq8" or "hnsw").
+	Kind string `json:"kind"`
+	// Rows counts resident rows including tombstoned ones; LiveRows
+	// counts rows a query can actually return. Compact closes the gap.
+	Rows     int `json:"rows"`
+	LiveRows int `json:"live_rows"`
+	// MaxLevel, AvgDegree and Ef describe the base segment's HNSW graph
+	// (absent for other kinds): the hierarchy's top layer, the mean
+	// layer-0 out-degree, and the query-time beam width.
+	MaxLevel  int     `json:"max_level,omitempty"`
+	AvgDegree float64 `json:"avg_degree,omitempty"`
+	Ef        int     `json:"ef,omitempty"`
+}
+
+// IndexStats snapshots both serving indexes' identity blocks.
+func (m *Model) IndexStats() (first, second IndexStats) {
+	return m.indexStatsOf(m.firstIdx), m.indexStatsOf(m.secondIdx)
+}
+
+func (m *Model) indexStatsOf(idx match.VectorIndex) IndexStats {
+	st := IndexStats{Kind: m.cfg.Index.String()}
+	base := idx
+	if seg, ok := idx.(*match.Segmented); ok {
+		st.LiveRows = seg.Len()
+		st.Rows = seg.Len() + seg.Tombstones()
+		base = seg.Base()
+	} else {
+		st.LiveRows = idx.Len()
+		st.Rows = len(idx.IDs())
+	}
+	if h, ok := unshard(base).(*match.HNSW); ok {
+		st.MaxLevel = h.MaxLevel()
+		st.AvgDegree = h.AvgDegree()
+		st.Ef = h.Ef()
+	}
+	return st
 }
 
 // objective picks Skip-gram window 3 when a table is involved and CBOW

@@ -95,6 +95,10 @@ type ServeStats struct {
 	// segment stack (sealed segments, delta rows, tombstones).
 	FirstSegments  SegmentStats `json:"first_segments"`
 	SecondSegments SegmentStats `json:"second_segments"`
+	// FirstIndex / SecondIndex identify each side's serving index: kind,
+	// resident and live rows, plus the graph shape under HNSW serving.
+	FirstIndex  IndexStats `json:"first_index"`
+	SecondIndex IndexStats `json:"second_index"`
 	// Errors counts queries that failed (unknown document, no embedding).
 	Errors uint64 `json:"errors"`
 	// FirstShards / SecondShards report the per-shard scatter counters of
@@ -514,6 +518,7 @@ func (s *Server) Stats() ServeStats {
 	}
 	st.FirstShards, st.SecondShards = cur.model.ShardStats()
 	st.FirstSegments, st.SecondSegments = cur.model.SegmentStats()
+	st.FirstIndex, st.SecondIndex = cur.model.IndexStats()
 	s.mutMu.Unlock()
 
 	st.CacheHits, st.CacheMisses = s.cache.counters()

@@ -17,8 +17,11 @@
 //
 // The default benchmark set covers the training hot path (graph build,
 // random walks, Skip-gram and CBOW Word2Vec, end-to-end Build) and the
-// serving hot path (single and batched flat TopK, IVF and SQ8 TopK,
-// cached serve TopK, and the MatchAll family, sharded and unsharded).
+// serving hot path (single and batched flat TopK, IVF, SQ8 and HNSW
+// TopK, HNSW graph construction, cached serve TopK, and the MatchAll
+// family, sharded and unsharded). ANN TopK benchmarks also report
+// recall@10 against the exact flat ranking, recorded per index kind in
+// the trajectory's recall_at_10 field.
 package main
 
 import (
@@ -51,9 +54,13 @@ import (
 // always/interval/never tax stays visible in the trajectory. The
 // BenchmarkLoadSnapshot pair is the cold-start ratio: gob decode vs
 // zero-copy v6 mmap, each from file open to the first TopK answer —
-// the mmap side must stay >= 10x ahead.
+// the mmap side must stay >= 10x ahead. The BenchmarkTopKHNSW /
+// BenchmarkBuildHNSW pair tracks the graph ANN path: uncached query
+// latency next to its one-time construction price, with recall@10
+// alongside so the speedup is never bought with silent quality loss.
 const defaultBench = "BenchmarkWord2VecSkipGram$|BenchmarkWord2VecCBOW$|BenchmarkRandomWalks$|" +
 	"BenchmarkGraphBuild$|BenchmarkTopKMatch$|BenchmarkTopKBatch$|BenchmarkTopKIVF$|BenchmarkTopKSQ8$|" +
+	"BenchmarkTopKHNSW$|BenchmarkBuildHNSW$|" +
 	"BenchmarkMatchAllSerialFlat$|BenchmarkMatchAllParallelFlat$|BenchmarkMatchAllParallelIVF$|" +
 	"BenchmarkMatchAllParallelSQ8$|BenchmarkMatchAllShardedFlat$|BenchmarkTopKBatchSharded$|" +
 	"BenchmarkEndToEndPipeline$|BenchmarkServeTopKCached$|" +
@@ -64,8 +71,11 @@ const defaultBench = "BenchmarkWord2VecSkipGram$|BenchmarkWord2VecCBOW$|Benchmar
 
 // benchLine matches `go test -bench -benchmem` output rows, e.g.
 // "BenchmarkRandomWalks-8  50  6449439 ns/op  4118728 B/op  23 allocs/op".
+// Custom metrics print between ns/op and the -benchmem columns; the ANN
+// benchmarks report one, "recall@10" (see bench_test.go), captured here
+// as an optional group.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) recall@10)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
 	out := flag.String("out", "BENCH_build.json", "output JSON path (appended to; old entries preserved)")
@@ -107,12 +117,16 @@ func main() {
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		var bytesOp, allocsOp int64
+		var recall float64
 		if m[4] != "" {
-			bytesOp, _ = strconv.ParseInt(m[4], 10, 64)
+			recall, _ = strconv.ParseFloat(m[4], 64)
 		}
+		var bytesOp, allocsOp int64
 		if m[5] != "" {
-			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+			bytesOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			allocsOp, _ = strconv.ParseInt(m[6], 10, 64)
 		}
 		entry.Benchmarks = append(entry.Benchmarks, benchfmt.Result{
 			Name:        strings.TrimPrefix(m[1], "Benchmark"),
@@ -120,6 +134,7 @@ func main() {
 			NsPerOp:     ns,
 			BytesPerOp:  bytesOp,
 			AllocsPerOp: allocsOp,
+			RecallAt10:  recall,
 		})
 	}
 	if len(entry.Benchmarks) == 0 {
